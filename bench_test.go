@@ -1,0 +1,423 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6) as testing.B targets. Each BenchmarkFig* corresponds to one paper
+// artifact; quality figures report their headline quantity (compression
+// ratio, average error, patching ratio) via b.ReportMetric alongside the
+// timing. cmd/trajbench prints the same results as text tables at larger
+// scales.
+//
+//	go test -bench=. -benchmem
+package trajsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"trajsim/internal/algo"
+	"trajsim/internal/bench"
+	"trajsim/internal/core"
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+// benchScale sizes the in-process benchmarks: big enough to be
+// representative, small enough that -bench=. completes in minutes.
+var benchScale = bench.Scale{
+	Name:       "bench",
+	SubsetTraj: 2, SizeSweep: []int{2000, 4000},
+	WholeTraj: 2, WholePoints: 2000,
+	Repeats:      1,
+	Zetas:        []float64{10, 40, 100},
+	TimeZetas:    []float64{10, 40, 100},
+	GammaDegrees: []float64{0, 60, 120, 180},
+	Seed:         1,
+}
+
+var (
+	envOnce sync.Once
+	envInst *bench.Env
+)
+
+func benchEnv() *bench.Env {
+	envOnce.Do(func() { envInst = bench.NewEnv(benchScale) })
+	return envInst
+}
+
+func totalPoints(ds []traj.Trajectory) int {
+	var n int
+	for _, t := range ds {
+		n += len(t)
+	}
+	return n
+}
+
+func compressAll(b *testing.B, fn algo.Func, ds []traj.Trajectory, zeta float64) []traj.Piecewise {
+	b.Helper()
+	out := make([]traj.Piecewise, len(ds))
+	for i, t := range ds {
+		pw, err := fn(t, zeta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = pw
+	}
+	return out
+}
+
+// BenchmarkTable1Datasets measures synthetic dataset generation, the
+// substrate behind Table 1.
+func BenchmarkTable1Datasets(b *testing.B) {
+	for _, p := range gen.Presets {
+		b.Run(p.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := gen.One(p, 2000, uint64(i))
+				if len(tr) != 2000 {
+					b.Fatal("bad generation")
+				}
+			}
+			b.ReportMetric(2000, "points/op")
+		})
+	}
+}
+
+// BenchmarkFig12Size reproduces Figure 12: runtime vs trajectory size at
+// ζ=40 m for DP, FBQS, OPERB and OPERB-A.
+func BenchmarkFig12Size(b *testing.B) {
+	e := benchEnv()
+	for _, p := range gen.Presets {
+		for _, size := range benchScale.SizeSweep {
+			ds := e.Subset(p, size)
+			pts := totalPoints(ds)
+			for _, a := range algo.Comparison() {
+				name := fmt.Sprintf("%s/size=%d/%s", p, size, a.Name)
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						compressAll(b, a.Fn, ds, 40)
+					}
+					b.ReportMetric(float64(pts)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig13Epsilon reproduces Figure 13: runtime vs ζ on the whole
+// datasets.
+func BenchmarkFig13Epsilon(b *testing.B) {
+	e := benchEnv()
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		pts := totalPoints(ds)
+		for _, zeta := range benchScale.TimeZetas {
+			for _, a := range algo.Comparison() {
+				name := fmt.Sprintf("%s/zeta=%g/%s", p, zeta, a.Name)
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						compressAll(b, a.Fn, ds, zeta)
+					}
+					b.ReportMetric(float64(pts)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig14Optimizations reproduces Figure 14: the runtime cost of
+// the §4.4 optimization techniques (Raw-OPERB vs OPERB and the OPERB-A
+// pair) at ζ=40 m.
+func BenchmarkFig14Optimizations(b *testing.B) {
+	e := benchEnv()
+	lineup := []string{"Raw-OPERB", "OPERB", "Raw-OPERB-A", "OPERB-A"}
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, name := range lineup {
+			a, err := algo.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", p, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					compressAll(b, a.Fn, ds, 40)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig15Ratio reproduces Figure 15: compression ratio vs ζ,
+// reported as the "ratio" metric (segments per point; lower is better).
+func BenchmarkFig15Ratio(b *testing.B) {
+	e := benchEnv()
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, zeta := range benchScale.Zetas {
+			for _, a := range algo.Comparison() {
+				name := fmt.Sprintf("%s/zeta=%g/%s", p, zeta, a.Name)
+				b.Run(name, func(b *testing.B) {
+					var ratio float64
+					for i := 0; i < b.N; i++ {
+						pws := compressAll(b, a.Fn, ds, zeta)
+						r, err := metrics.DatasetRatio(ds, pws)
+						if err != nil {
+							b.Fatal(err)
+						}
+						ratio = r
+					}
+					b.ReportMetric(ratio, "ratio")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig16OptimizationRatio reproduces Figure 16: the ratio impact
+// of the optimization techniques at ζ=40 m.
+func BenchmarkFig16OptimizationRatio(b *testing.B) {
+	e := benchEnv()
+	lineup := []string{"Raw-OPERB", "OPERB", "Raw-OPERB-A", "OPERB-A"}
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, name := range lineup {
+			a, err := algo.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", p, name), func(b *testing.B) {
+				var ratio float64
+				for i := 0; i < b.N; i++ {
+					pws := compressAll(b, a.Fn, ds, 40)
+					r, err := metrics.DatasetRatio(ds, pws)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ratio = r
+				}
+				b.ReportMetric(ratio, "ratio")
+			})
+		}
+	}
+}
+
+// BenchmarkFig17Distribution reproduces Figure 17: the Z(k) segment-size
+// distribution at ζ=40 m; the "heavy" metric counts segments representing
+// 10+ points (the tail the paper highlights).
+func BenchmarkFig17Distribution(b *testing.B) {
+	e := benchEnv()
+	size := benchScale.SizeSweep[len(benchScale.SizeSweep)-1]
+	for _, p := range gen.Presets {
+		ds := e.Subset(p, size)
+		for _, a := range algo.Comparison() {
+			b.Run(fmt.Sprintf("%s/%s", p, a.Name), func(b *testing.B) {
+				var heavy int
+				for i := 0; i < b.N; i++ {
+					pws := compressAll(b, a.Fn, ds, 40)
+					z := metrics.Distribution(pws)
+					heavy = 0
+					for k, n := range z {
+						if k >= 10 {
+							heavy += n
+						}
+					}
+				}
+				b.ReportMetric(float64(heavy), "heavy-segments")
+			})
+		}
+	}
+}
+
+// BenchmarkFig18AvgError reproduces Figure 18: average error vs ζ,
+// reported as the "avg-err-m" metric.
+func BenchmarkFig18AvgError(b *testing.B) {
+	e := benchEnv()
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, zeta := range benchScale.Zetas {
+			for _, a := range algo.Comparison() {
+				name := fmt.Sprintf("%s/zeta=%g/%s", p, zeta, a.Name)
+				b.Run(name, func(b *testing.B) {
+					var avg float64
+					for i := 0; i < b.N; i++ {
+						pws := compressAll(b, a.Fn, ds, zeta)
+						v, err := metrics.DatasetAvgError(ds, pws)
+						if err != nil {
+							b.Fatal(err)
+						}
+						avg = v
+					}
+					b.ReportMetric(avg, "avg-err-m")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig19PatchingZeta reproduces Figure 19(1): OPERB-A's patching
+// ratio vs ζ (γm=π/3), reported as the "patch-ratio" metric.
+func BenchmarkFig19PatchingZeta(b *testing.B) {
+	e := benchEnv()
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, zeta := range benchScale.TimeZetas {
+			b.Run(fmt.Sprintf("%s/zeta=%g", p, zeta), func(b *testing.B) {
+				var st core.PatchStats
+				for i := 0; i < b.N; i++ {
+					st = core.PatchStats{}
+					for _, t := range ds {
+						_, s, err := core.SimplifyAggressiveOpts(t, zeta, core.DefaultOptions())
+						if err != nil {
+							b.Fatal(err)
+						}
+						st.Anomalous += s.Anomalous
+						st.Patched += s.Patched
+					}
+				}
+				b.ReportMetric(st.Ratio(), "patch-ratio")
+			})
+		}
+	}
+}
+
+// BenchmarkFig19PatchingGamma reproduces Figure 19(2): patching ratio vs
+// γm at ζ=40 m.
+func BenchmarkFig19PatchingGamma(b *testing.B) {
+	e := benchEnv()
+	size := benchScale.SizeSweep[len(benchScale.SizeSweep)-1]
+	for _, p := range gen.Presets {
+		ds := e.Subset(p, size)
+		for _, deg := range benchScale.GammaDegrees {
+			b.Run(fmt.Sprintf("%s/gamma=%g", p, deg), func(b *testing.B) {
+				opts := core.DefaultOptions()
+				opts.Gamma = float64(deg) * 3.14159265358979323846 / 180
+				if opts.Gamma == 0 {
+					opts.Gamma = 1e-9
+				}
+				var st core.PatchStats
+				for i := 0; i < b.N; i++ {
+					st = core.PatchStats{}
+					for _, t := range ds {
+						_, s, err := core.SimplifyAggressiveOpts(t, 40, opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						st.Anomalous += s.Anomalous
+						st.Patched += s.Patched
+					}
+				}
+				b.ReportMetric(st.Ratio(), "patch-ratio")
+			})
+		}
+	}
+}
+
+// BenchmarkEncoderPush measures the steady-state per-point cost of the
+// streaming OPERB encoder — the number the O(n)/O(1) claims are about.
+func BenchmarkEncoderPush(b *testing.B) {
+	tr := gen.One(gen.SerCar, 100_000, 3)
+	b.Run("OPERB", func(b *testing.B) {
+		enc, err := core.NewEncoder(40, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			enc.Push(tr[i%len(tr)])
+		}
+	})
+	b.Run("OPERB-A", func(b *testing.B) {
+		enc, err := core.NewAggressiveEncoder(40, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			enc.Push(tr[i%len(tr)])
+		}
+	})
+}
+
+// BenchmarkAlgorithmsThroughput compares all registered algorithms on one
+// standard 10k-point urban trajectory, ζ=40 m.
+func BenchmarkAlgorithmsThroughput(b *testing.B) {
+	tr := gen.One(gen.SerCar, 10_000, 5)
+	for _, a := range algo.All() {
+		b.Run(a.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Fn(tr, 40); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(tr))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkAblationOptimizations isolates each §4.4 technique: one flag on
+// at a time, reporting both the runtime and the achieved ratio at ζ=40 m.
+// This is the fine-grained version of Figures 14/16 for the design choices
+// DESIGN.md calls out.
+func BenchmarkAblationOptimizations(b *testing.B) {
+	tr := gen.One(gen.SerCar, 10_000, 11)
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"none", core.RawOptions()},
+		{"first-active", func() core.Options { o := core.RawOptions(); o.FirstActive = true; return o }()},
+		{"adjusted-bound", func() core.Options { o := core.RawOptions(); o.AdjustedBound = true; return o }()},
+		{"angle-tighten", func() core.Options { o := core.RawOptions(); o.AngleTighten = true; return o }()},
+		{"missing-zones", func() core.Options { o := core.RawOptions(); o.MissingZones = true; return o }()},
+		{"absorb", func() core.Options { o := core.RawOptions(); o.Absorb = true; return o }()},
+		{"all", core.DefaultOptions()},
+		{"all-linear-fitting", func() core.Options { o := core.DefaultOptions(); o.LinearFitting = true; return o }()},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var segs int
+			for i := 0; i < b.N; i++ {
+				pw, err := core.SimplifyOpts(tr, 40, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				segs = len(pw)
+			}
+			b.ReportMetric(float64(segs)/float64(len(tr)), "ratio")
+			b.ReportMetric(float64(len(tr))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkAblationGamma sweeps OPERB-A's γm to expose the patching
+// crossover the paper discusses in Exp-4.2.
+func BenchmarkAblationGamma(b *testing.B) {
+	tr := gen.One(gen.Taxi, 10_000, 13)
+	for _, deg := range []float64{15, 60, 105, 150} {
+		b.Run(fmt.Sprintf("gamma=%g", deg), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Gamma = deg * 3.141592653589793 / 180
+			var st core.PatchStats
+			for i := 0; i < b.N; i++ {
+				_, s, err := core.SimplifyAggressiveOpts(tr, 40, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = s
+			}
+			b.ReportMetric(st.Ratio(), "patch-ratio")
+		})
+	}
+}
+
+// BenchmarkCompressFleet measures the parallel fleet path.
+func BenchmarkCompressFleet(b *testing.B) {
+	fleet := GenerateDataset(PresetSerCar, 16, 2000, 9)
+	for _, workers := range []int{1, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := CompressFleet(fleet, 40, "OPERB-A", workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

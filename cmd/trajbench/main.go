@@ -1,0 +1,72 @@
+// Command trajbench regenerates the paper's evaluation: Table 1 and
+// Figures 12–19 as text tables, on synthetic surrogate datasets.
+//
+// Usage:
+//
+//	trajbench                      # every experiment at small scale
+//	trajbench -scale quick         # fast smoke run
+//	trajbench -exp 2.1             # one experiment (Figure 15)
+//	trajbench -scale full -o results.txt
+//
+// Experiment IDs: table1, 1.1, 1.2, 1.3, 2.1, 2.2, 2.3, 3, 4.1, 4.2
+// (matching the paper's Exp numbering; see DESIGN.md for the mapping).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"trajsim/internal/bench"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "small", "experiment scale: quick, small, full")
+		exp   = flag.String("exp", "all", "experiment ID or 'all'")
+		out   = flag.String("o", "", "write tables to this file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*scale, *exp, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "trajbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleName, exp, out string) error {
+	s, err := bench.ScaleByName(scaleName)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	fmt.Fprintf(os.Stderr, "generating %s-scale datasets...\n", s.Name)
+	start := time.Now()
+	env := bench.NewEnv(s)
+	fmt.Fprintf(os.Stderr, "datasets ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Fprintf(w, "OPERB/OPERB-A reproduction — scale %q — %s\n\n", s.Name, time.Now().Format(time.RFC3339))
+	if exp == "all" {
+		err = env.RunAll(w)
+	} else {
+		var t bench.Table
+		if t, err = env.Run(exp); err == nil {
+			err = t.Format(w)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.txt")
+	if err := run("quick", "table1", out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "Table 1") {
+		t.Errorf("output lacks Table 1: %s", b)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := filepath.Join(t.TempDir(), "all.txt")
+	if err := run("quick", "all", out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 12", "Figure 15", "Figure 19(2)"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("output lacks %s", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus-scale", "all", ""); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if err := run("quick", "9.9", filepath.Join(t.TempDir(), "x.txt")); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

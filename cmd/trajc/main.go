@@ -1,0 +1,160 @@
+// Command trajc compresses a trajectory file with any of the registered
+// line-simplification algorithms and reports quality metrics.
+//
+// Usage:
+//
+//	trajc -algo OPERB-A -zeta 40 -in taxi_0001.csv
+//	trajc -algo DP -zeta 20 -in track.plt -format plt -out simplified.csv
+//	trajc -algo OPERB -zeta 40 -in fleet.csv -binary out.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"trajsim/internal/algo"
+	"trajsim/internal/core"
+	"trajsim/internal/geo"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+	"trajsim/internal/trajio"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "OPERB", "algorithm name (see -list)")
+		list     = flag.Bool("list", false, "list algorithms and exit")
+		zeta     = flag.Float64("zeta", 40, "error bound ζ in meters")
+		in       = flag.String("in", "", "input file (default stdin)")
+		format   = flag.String("format", "csv", "input format: csv (planar), lonlat, plt")
+		out      = flag.String("out", "", "write simplified points as CSV to this file")
+		binOut   = flag.String("binary", "", "write compact binary piecewise encoding to this file")
+		verify   = flag.Bool("verify", true, "verify the ζ bound on the output")
+		clean    = flag.Int("clean", 0, "reorder-window size for stream cleaning (0 = off)")
+		gamma    = flag.Float64("gamma", 60, "OPERB-A γm in degrees")
+		hist     = flag.Bool("hist", false, "print the per-point deviation histogram")
+	)
+	flag.Parse()
+	if *list {
+		for _, a := range algo.All() {
+			kind := "online"
+			if a.Batch {
+				kind = "batch"
+			}
+			if a.OnePass {
+				kind = "one-pass"
+			}
+			fmt.Printf("%-12s %s\n", a.Name, kind)
+		}
+		return
+	}
+	if err := run(*algoName, *zeta, *in, *format, *out, *binOut, *verify, *clean, *gamma, *hist); err != nil {
+		fmt.Fprintln(os.Stderr, "trajc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algoName string, zeta float64, in, format, out, binOut string, verify bool, clean int, gammaDeg float64, hist bool) error {
+	a, err := algo.Get(algoName)
+	if err != nil {
+		return err
+	}
+	src := io.Reader(os.Stdin)
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	t, pr, err := read(src, format)
+	if err != nil {
+		return err
+	}
+	if clean > 0 {
+		t = traj.Clean(t, clean)
+	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("%w (use -clean N to repair raw streams)", err)
+	}
+
+	var pw traj.Piecewise
+	var patch *core.PatchStats
+	if a.Name == "OPERB-A" {
+		opts := core.DefaultOptions()
+		opts.Gamma = geo.Radians(gammaDeg)
+		res, st, err := core.SimplifyAggressiveOpts(t, zeta, opts)
+		if err != nil {
+			return err
+		}
+		pw, patch = res, &st
+	} else {
+		pw, err = a.Fn(t, zeta)
+		if err != nil {
+			return err
+		}
+	}
+
+	s := metrics.Summarize(t, pw)
+	fmt.Printf("algorithm:    %s (ζ=%g m)\n", a.Name, zeta)
+	fmt.Printf("points:       %d\n", s.Points)
+	fmt.Printf("segments:     %d\n", s.Segments)
+	fmt.Printf("ratio:        %.2f%%\n", s.Ratio*100)
+	fmt.Printf("avg error:    %.2f m\n", s.AvgError)
+	fmt.Printf("max error:    %.2f m\n", s.MaxError)
+	if patch != nil {
+		fmt.Printf("patching:     %d/%d anomalous segments patched (%.1f%%)\n",
+			patch.Patched, patch.Anomalous, patch.Ratio()*100)
+	}
+	if verify && !a.SED {
+		if err := metrics.VerifyBound(t, pw, zeta); err != nil {
+			return err
+		}
+		fmt.Printf("bound check:  ok (every point within ζ)\n")
+	}
+	if hist {
+		d := metrics.NewErrorDistribution(t, pw, zeta)
+		fmt.Printf("deviation:    %s\n%s", d, d.Histogram())
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts := trajio.CSVOptions{Format: trajio.Planar, Header: true}
+		if pr != nil {
+			opts = trajio.CSVOptions{Format: trajio.LonLat, Header: true, Projection: pr}
+		}
+		if err := trajio.WriteCSV(f, pw.Decode(), opts); err != nil {
+			return err
+		}
+	}
+	if binOut != "" {
+		f, err := os.Create(binOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trajio.WritePiecewise(f, pw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func read(r io.Reader, format string) (traj.Trajectory, *geo.Projection, error) {
+	switch format {
+	case "csv":
+		return trajio.ReadCSV(r, trajio.CSVOptions{Format: trajio.Planar, Header: true})
+	case "lonlat":
+		return trajio.ReadCSV(r, trajio.CSVOptions{Format: trajio.LonLat, Header: true})
+	case "plt":
+		return trajio.ReadPLT(r, nil)
+	}
+	return nil, nil, fmt.Errorf("unknown format %q (csv, lonlat, plt)", format)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/trajio"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr := gen.One(gen.SerCar, 300, 7)
+	if err := trajio.WriteCSV(f, tr, trajio.CSVOptions{Format: trajio.Planar, Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	in := writeSample(t)
+	for _, algoName := range []string{"DP", "FBQS", "OPERB", "OPERB-A", "BottomUp"} {
+		if err := run(algoName, 30, in, "csv", "", "", true, 0, 60, false); err != nil {
+			t.Errorf("%s: %v", algoName, err)
+		}
+	}
+}
+
+func TestRunWithHistogram(t *testing.T) {
+	in := writeSample(t)
+	if err := run("OPERB", 30, in, "csv", "", "", true, 0, 60, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesOutputs(t *testing.T) {
+	in := writeSample(t)
+	dir := t.TempDir()
+	outCSV := filepath.Join(dir, "out.csv")
+	outBin := filepath.Join(dir, "out.bin")
+	if err := run("OPERB-A", 30, in, "csv", outCSV, outBin, true, 0, 60, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{outCSV, outBin} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("%s: %v size=%v", p, err, st)
+		}
+	}
+	// The binary output decodes.
+	b, err := os.ReadFile(outBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := trajio.DecodePiecewise(b)
+	if err != nil || len(pw) == 0 {
+		t.Errorf("binary decode: %d segments, %v", len(pw), err)
+	}
+}
+
+func TestRunCleansDirtyStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dirty.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.One(gen.Taxi, 50, 3)
+	// Duplicate a point and swap a pair to simulate uplink corruption.
+	dirty := append(tr[:10:10], tr[9])
+	dirty = append(dirty, tr[11], tr[10])
+	dirty = append(dirty, tr[12:]...)
+	if err := trajio.WriteCSV(f, dirty, trajio.CSVOptions{Format: trajio.Planar, Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("OPERB", 40, path, "csv", "", "", true, 0, 60, false); err == nil {
+		t.Error("dirty stream without -clean should fail validation")
+	}
+	if err := run("OPERB", 40, path, "csv", "", "", true, 4, 60, false); err != nil {
+		t.Errorf("with -clean 4: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeSample(t)
+	if err := run("bogus", 30, in, "csv", "", "", true, 0, 60, false); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if err := run("OPERB", 30, in, "weird", "", "", true, 0, 60, false); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := run("OPERB", 30, "/nonexistent/file.csv", "csv", "", "", true, 0, 60, false); err == nil {
+		t.Error("missing input should fail")
+	}
+	if err := run("OPERB", -1, in, "csv", "", "", true, 0, 60, false); err == nil {
+		t.Error("invalid ζ should fail")
+	}
+}

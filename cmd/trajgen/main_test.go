@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("sercar", 3, 50, 1, "csv", dir, 116.4, 39.9); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "sercar_*.csv"))
+	if err != nil || len(files) != 3 {
+		t.Fatalf("files: %v err: %v", files, err)
+	}
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 51 { // header + 50 points
+		t.Errorf("%d lines, want 51", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_ms,") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+}
+
+func TestRunPLTFormat(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("geolife", 1, 20, 2, "plt", dir, 116.3, 39.98); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "geolife_*.plt"))
+	if len(files) != 1 {
+		t.Fatalf("files: %v", files)
+	}
+	b, _ := os.ReadFile(files[0])
+	if !strings.HasPrefix(string(b), "Geolife trajectory") {
+		t.Error("missing PLT header")
+	}
+}
+
+func TestRunLonLatFormat(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("taxi", 1, 10, 3, "lonlat", dir, 116.4, 39.9); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "taxi_*.csv"))
+	if len(files) != 1 {
+		t.Fatalf("files: %v", files)
+	}
+	b, _ := os.ReadFile(files[0])
+	if !strings.Contains(string(b), "116.") {
+		t.Error("lonlat output lacks longitudes")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 1, 10, 1, "csv", t.TempDir(), 0, 0); err == nil {
+		t.Error("bogus preset should fail")
+	}
+	if err := run("taxi", 0, 10, 1, "csv", t.TempDir(), 0, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if err := run("taxi", 2, 10, 1, "csv", "", 0, 0); err == nil {
+		t.Error("multiple trajectories to stdout should fail")
+	}
+	if err := run("taxi", 1, 10, 1, "weird", t.TempDir(), 0, 0); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

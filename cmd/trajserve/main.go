@@ -1,0 +1,130 @@
+// Command trajserve is the cloud side of the paper's motivating
+// deployment: an HTTP ingestion service that compresses uploaded
+// trajectories with any registered algorithm and returns either the
+// simplified points (CSV) or the compact binary wire format.
+//
+// Usage:
+//
+//	trajserve -addr :8080
+//
+// Endpoints:
+//
+//	GET  /healthz                  liveness probe
+//	GET  /algorithms               registered algorithm names (text)
+//	POST /compress?algo=OPERB-A&zeta=40&format=csv&clean=4&out=binary
+//	     body: trajectory CSV (t_ms,x_m,y_m with header)
+//	     out=csv    → simplified trajectory CSV (default)
+//	     out=binary → compact binary piecewise encoding
+//	     response headers carry X-Segments, X-Points, X-Ratio, X-Max-Error
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+
+	"trajsim/internal/algo"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+	"trajsim/internal/trajio"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{Addr: *addr, Handler: newHandler()}
+	log.Printf("trajserve listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "trajserve:", err)
+		os.Exit(1)
+	}
+}
+
+// newHandler builds the service mux; separated from main for testing.
+func newHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, _ *http.Request) {
+		for _, a := range algo.All() {
+			fmt.Fprintln(w, a.Name)
+		}
+	})
+	mux.HandleFunc("POST /compress", handleCompress)
+	return mux
+}
+
+// maxBody bounds uploads to 64 MiB (~1.5 M points of CSV).
+const maxBody = 64 << 20
+
+func handleCompress(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	algoName := q.Get("algo")
+	if algoName == "" {
+		algoName = "OPERB"
+	}
+	a, err := algo.Get(algoName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	zeta := 40.0
+	if s := q.Get("zeta"); s != "" {
+		if zeta, err = strconv.ParseFloat(s, 64); err != nil {
+			http.Error(w, "bad zeta: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	clean := 0
+	if s := q.Get("clean"); s != "" {
+		if clean, err = strconv.Atoi(s); err != nil || clean < 0 {
+			http.Error(w, "bad clean window", http.StatusBadRequest)
+			return
+		}
+	}
+
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	t, _, err := trajio.ReadCSV(body, trajio.CSVOptions{Format: trajio.Planar, Header: true})
+	if err != nil {
+		http.Error(w, "bad trajectory: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if clean > 0 {
+		t = traj.Clean(t, clean)
+	}
+	if err := t.Validate(); err != nil {
+		http.Error(w, err.Error()+" (pass clean=N to repair)", http.StatusUnprocessableEntity)
+		return
+	}
+	pw, err := a.Fn(t, zeta)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s := metrics.Summarize(t, pw)
+	w.Header().Set("X-Algorithm", a.Name)
+	w.Header().Set("X-Points", strconv.Itoa(s.Points))
+	w.Header().Set("X-Segments", strconv.Itoa(s.Segments))
+	w.Header().Set("X-Ratio", strconv.FormatFloat(s.Ratio, 'f', 6, 64))
+	w.Header().Set("X-Max-Error", strconv.FormatFloat(s.MaxError, 'f', 3, 64))
+
+	switch q.Get("out") {
+	case "", "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := trajio.WriteCSV(w, pw.Decode(), trajio.CSVOptions{Format: trajio.Planar, Header: true}); err != nil {
+			log.Printf("compress: write: %v", err)
+		}
+	case "binary":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := w.Write(trajio.AppendPiecewise(nil, pw)); err != nil {
+			log.Printf("compress: write: %v", err)
+		}
+	default:
+		http.Error(w, "unknown out format (csv, binary)", http.StatusBadRequest)
+	}
+}

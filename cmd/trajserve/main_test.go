@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/trajio"
+)
+
+func sampleCSV(t *testing.T, n int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := gen.One(gen.SerCar, n, 5)
+	if err := trajio.WriteCSV(&buf, tr, trajio.CSVOptions{Format: trajio.Planar, Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(newHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestAlgorithms(t *testing.T) {
+	srv := httptest.NewServer(newHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"OPERB", "OPERB-A", "FBQS", "DP"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("missing %s in %s", want, b)
+		}
+	}
+}
+
+func TestCompressCSV(t *testing.T) {
+	srv := httptest.NewServer(newHandler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/compress?algo=OPERB-A&zeta=30", "text/csv", sampleCSV(t, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	points, _ := strconv.Atoi(resp.Header.Get("X-Points"))
+	segments, _ := strconv.Atoi(resp.Header.Get("X-Segments"))
+	if points != 400 || segments <= 0 || segments >= points {
+		t.Fatalf("X-Points=%d X-Segments=%d", points, segments)
+	}
+	maxErr, _ := strconv.ParseFloat(resp.Header.Get("X-Max-Error"), 64)
+	if maxErr > 30*1.000001 {
+		t.Errorf("X-Max-Error=%v exceeds ζ", maxErr)
+	}
+	// The body is a decodable simplified CSV with segments+1 points.
+	out, _, err := trajio.ReadCSV(resp.Body, trajio.CSVOptions{Format: trajio.Planar, Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != segments+1 {
+		t.Errorf("body has %d points, want %d", len(out), segments+1)
+	}
+}
+
+func TestCompressBinary(t *testing.T) {
+	srv := httptest.NewServer(newHandler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/compress?algo=FBQS&zeta=25&out=binary", "text/csv", sampleCSV(t, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := trajio.DecodePiecewise(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := strconv.Atoi(resp.Header.Get("X-Segments")); len(pw) != want {
+		t.Errorf("decoded %d segments, header says %s", len(pw), resp.Header.Get("X-Segments"))
+	}
+}
+
+func TestCompressDirtyStreamNeedsClean(t *testing.T) {
+	srv := httptest.NewServer(newHandler())
+	defer srv.Close()
+	// A stream with a duplicated timestamp fails validation without clean=.
+	dirty := "t_ms,x_m,y_m\n0,0,0\n1000,5,0\n1000,5,0\n2000,10,0\n"
+	resp, err := http.Post(srv.URL+"/compress", "text/csv", strings.NewReader(dirty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("dirty upload: status %d, want 422", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/compress?clean=4", "text/csv", strings.NewReader(dirty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("cleaned upload: status %d: %s", resp.StatusCode, b)
+	}
+}
+
+func TestCompressErrors(t *testing.T) {
+	srv := httptest.NewServer(newHandler())
+	defer srv.Close()
+	cases := []struct {
+		url  string
+		body string
+		want int
+	}{
+		{"/compress?algo=bogus", "t_ms,x_m,y_m\n0,0,0\n1000,1,1\n", http.StatusBadRequest},
+		{"/compress?zeta=abc", "t_ms,x_m,y_m\n0,0,0\n1000,1,1\n", http.StatusBadRequest},
+		{"/compress?zeta=-5", "t_ms,x_m,y_m\n0,0,0\n1000,1,1\n", http.StatusBadRequest},
+		{"/compress?clean=-1", "t_ms,x_m,y_m\n0,0,0\n1000,1,1\n", http.StatusBadRequest},
+		{"/compress?out=weird", "t_ms,x_m,y_m\n0,0,0\n1000,1,1\n", http.StatusBadRequest},
+		{"/compress", "not,a,trajectory\nx,y,z\n", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+c.url, "text/csv", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.url, resp.StatusCode, c.want)
+		}
+	}
+	// GET on /compress is rejected by the method-scoped route.
+	resp, err := http.Get(srv.URL + "/compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET /compress should not succeed")
+	}
+}
+
+// End-to-end: the round trip through the service preserves the error
+// bound against the original upload.
+func TestEndToEndBound(t *testing.T) {
+	srv := httptest.NewServer(newHandler())
+	defer srv.Close()
+	tr := gen.One(gen.Taxi, 300, 11)
+	var buf bytes.Buffer
+	if err := trajio.WriteCSV(&buf, tr, trajio.CSVOptions{Format: trajio.Planar, Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/compress?algo=OPERB&zeta=40&out=binary", "text/csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	pw, err := trajio.DecodePiecewise(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary quantizes to 1 cm; allow that on top of ζ.
+	if err := metrics.VerifyBound(tr, pw, 40.03); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Command trajstat prints descriptive statistics of a trajectory file:
+// size, duration, sampling cadence, speeds and spatial extent. Useful for
+// checking that a dataset matches a Table-1-style profile before running
+// experiments on it.
+//
+// Usage:
+//
+//	trajstat -in taxi_0001.csv
+//	trajstat -in track.plt -format plt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"trajsim/internal/geo"
+	"trajsim/internal/traj"
+	"trajsim/internal/trajio"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input file (default stdin)")
+		format = flag.String("format", "csv", "input format: csv (planar), lonlat, plt")
+	)
+	flag.Parse()
+	if err := run(*in, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "trajstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, format string) error {
+	src := io.Reader(os.Stdin)
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	var (
+		t   traj.Trajectory
+		err error
+	)
+	switch format {
+	case "csv":
+		t, _, err = trajio.ReadCSV(src, trajio.CSVOptions{Format: trajio.Planar, Header: true})
+	case "lonlat":
+		t, _, err = trajio.ReadCSV(src, trajio.CSVOptions{Format: trajio.LonLat, Header: true})
+	case "plt":
+		t, _, err = trajio.ReadPLT(src, nil)
+	default:
+		return fmt.Errorf("unknown format %q (csv, lonlat, plt)", format)
+	}
+	if err != nil {
+		return err
+	}
+	if len(t) == 0 {
+		return fmt.Errorf("no points")
+	}
+
+	fmt.Printf("points:        %d\n", len(t))
+	fmt.Printf("duration:      %.1f min\n", float64(t.Duration())/60000)
+	fmt.Printf("path length:   %.1f km\n", t.PathLength()/1000)
+	b := t.Bounds()
+	fmt.Printf("extent:        %.1f × %.1f km\n", (b.MaxX-b.MinX)/1000, (b.MaxY-b.MinY)/1000)
+	if err := t.Validate(); err != nil {
+		fmt.Printf("validity:      BROKEN (%v)\n", err)
+	} else {
+		fmt.Printf("validity:      ok (strictly increasing timestamps)\n")
+	}
+	if len(t) < 2 {
+		return nil
+	}
+
+	intervals := make([]float64, 0, len(t)-1)
+	speeds := make([]float64, 0, len(t)-1)
+	for i := 1; i < len(t); i++ {
+		dt := float64(t[i].T-t[i-1].T) / 1000
+		if dt <= 0 {
+			continue
+		}
+		intervals = append(intervals, dt)
+		speeds = append(speeds, t[i].Dist(t[i-1])/dt)
+	}
+	fmt.Printf("sampling:      median %.1f s (p10 %.1f, p90 %.1f)\n",
+		percentile(intervals, 0.5), percentile(intervals, 0.1), percentile(intervals, 0.9))
+	fmt.Printf("speed:         median %.1f m/s, max %.1f m/s\n",
+		percentile(speeds, 0.5), percentile(speeds, 1.0))
+
+	// Heading-change profile: how twisty the track is (drives how well LS
+	// algorithms can compress it).
+	var turny int
+	for i := 2; i < len(t); i++ {
+		a1 := geo.SegmentAngle(t[i-2].P(), t[i-1].P())
+		a2 := geo.SegmentAngle(t[i-1].P(), t[i].P())
+		if geo.AngleDiff(a1, a2) > math.Pi/6 {
+			turny++
+		}
+	}
+	fmt.Printf("turns >30°:    %.1f%% of samples\n", 100*float64(turny)/float64(len(t)))
+	return nil
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/geo"
+	"trajsim/internal/trajio"
+)
+
+func TestRunOnCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.One(gen.Truck, 200, 9)
+	if err := trajio.WriteCSV(f, tr, trajio.CSVOptions{Format: trajio.Planar, Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(path, "csv"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnPLT(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.plt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.One(gen.GeoLife, 100, 9)
+	if err := trajio.WritePLT(f, tr, geo.NewProjection(116.3, 39.98)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(path, "plt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent.csv", "csv"); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(path, []byte("t_ms,x_m,y_m\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "csv"); err == nil {
+		t.Error("empty trajectory should fail")
+	}
+	if err := run(path, "weird"); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if p := percentile(xs, 0.5); p != 3 {
+		t.Errorf("median = %v", p)
+	}
+	if p := percentile(xs, 0); p != 1 {
+		t.Errorf("min = %v", p)
+	}
+	if p := percentile(xs, 1); p != 5 {
+		t.Errorf("max = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty = %v", p)
+	}
+}

@@ -1,0 +1,90 @@
+package trajsim_test
+
+import (
+	"fmt"
+
+	"trajsim"
+)
+
+// A straight run with GPS jitter collapses to one segment.
+func ExampleSimplify() {
+	track := trajsim.Trajectory{
+		trajsim.At(0, 0, 0),
+		trajsim.At(100, 0.4, 10_000),
+		trajsim.At(200, -0.3, 20_000),
+		trajsim.At(300, 0.2, 30_000),
+		trajsim.At(400, 0, 40_000),
+	}
+	pw, err := trajsim.Simplify(track, 5) // ζ = 5 m
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d points -> %d segment, max error %.1f m\n",
+		len(track), len(pw), trajsim.MaxError(track, pw))
+	// Output: 5 points -> 1 segment, max error 0.4 m
+}
+
+// Streaming emits each segment as soon as it is final.
+func ExampleNewEncoder() {
+	enc, err := trajsim.NewEncoder(10, trajsim.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	// An L-shaped drive: east to (450,0), then a hard turn north.
+	var emitted int
+	for i := 0; i < 20; i++ {
+		p := trajsim.At(float64(i)*50, 0, int64(i)*5_000)
+		if i >= 10 {
+			p = trajsim.At(450, float64(i-9)*50, int64(i)*5_000)
+		}
+		emitted += len(enc.Push(p))
+	}
+	emitted += len(enc.Flush())
+	fmt.Printf("%d segments for the two legs\n", emitted)
+	// Output: 2 segments for the two legs
+}
+
+// OPERB-A reports how many anomalous segments it eliminated.
+func ExampleSimplifyAggressiveOpts() {
+	track := trajsim.GenerateTrajectory(trajsim.PresetTaxi, 2000, 7)
+	pw, stats, err := trajsim.SimplifyAggressiveOpts(track, 40, trajsim.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bounded: %v, patched more than half: %v, compressed: %v\n",
+		trajsim.VerifyErrorBound(track, pw, 40) == nil,
+		stats.Patched*2 >= stats.Anomalous,
+		len(pw) < len(track)/3)
+	// Output: bounded: true, patched more than half: true, compressed: true
+}
+
+// The registry drives generic tooling.
+func ExampleAlgorithmByName() {
+	a, err := trajsim.AlgorithmByName("fbqs")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(a.Name, a.OnePass)
+	// Output: FBQS false
+}
+
+// The cleaner repairs the raw uplink defects the paper's introduction
+// describes.
+func ExampleCleaner() {
+	c := trajsim.NewCleaner(2)
+	raw := []trajsim.Point{
+		trajsim.At(0, 0, 0),
+		trajsim.At(20, 0, 2000), // out of order: arrives before t=1000
+		trajsim.At(10, 0, 1000),
+		trajsim.At(10, 0, 1000), // duplicate
+		trajsim.At(30, 0, 3000),
+	}
+	var clean []trajsim.Point
+	for _, p := range raw {
+		clean = append(clean, c.Push(p)...)
+	}
+	clean = append(clean, c.Flush()...)
+	dupes, reordered, _ := c.Stats()
+	fmt.Printf("%d clean points (%d duplicates, %d reordered)\n", len(clean), dupes, reordered)
+	// Output: 4 clean points (1 duplicates, 1 reordered)
+}

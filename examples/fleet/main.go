@@ -1,0 +1,50 @@
+// Fleet: compress a whole vehicle fleet concurrently and compare every
+// registered algorithm on ratio, error and wall time — a miniature version
+// of the paper's evaluation on your own workload.
+//
+//	go run trajsim/examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"trajsim"
+)
+
+func main() {
+	const (
+		vehicles = 40
+		points   = 2000
+		zeta     = 40.0
+	)
+	fleet := trajsim.GenerateDataset(trajsim.PresetTruck, vehicles, points, 99)
+	var total int
+	for _, t := range fleet {
+		total += len(t)
+	}
+	fmt.Printf("fleet: %d trucks, %d GPS fixes, ζ=%g m\n\n", vehicles, total, zeta)
+	fmt.Printf("%-12s %10s %8s %10s %10s\n", "algorithm", "segments", "ratio", "avg err", "time")
+
+	for _, a := range trajsim.Algorithms() {
+		start := time.Now()
+		pws, err := trajsim.CompressFleet(fleet, zeta, a.Name, 0)
+		if err != nil {
+			log.Fatalf("%s: %v", a.Name, err)
+		}
+		elapsed := time.Since(start)
+
+		var segs int
+		var errSum float64
+		for i := range fleet {
+			segs += len(pws[i])
+			errSum += trajsim.AvgError(fleet[i], pws[i]) * float64(len(fleet[i]))
+		}
+		fmt.Printf("%-12s %10d %7.1f%% %8.1f m %10s\n",
+			a.Name, segs, 100*float64(segs)/float64(total), errSum/float64(total),
+			elapsed.Round(time.Millisecond))
+	}
+
+	fmt.Println("\nlower ratio = better compression; OPERB-A should lead, OPERB ≈ DP, all within ζ")
+}

@@ -1,0 +1,51 @@
+// Quickstart: compress one synthetic taxi trajectory with OPERB and
+// OPERB-A and compare them with Douglas-Peucker.
+//
+//	go run trajsim/examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trajsim"
+)
+
+func main() {
+	// A taxi sampled once a minute for ~8 hours (the paper's Taxi profile).
+	track := trajsim.GenerateTrajectory(trajsim.PresetTaxi, 500, 42)
+	const zeta = 40.0 // meters, the paper's default error bound
+
+	type result struct {
+		name string
+		fn   func(trajsim.Trajectory, float64) (trajsim.Piecewise, error)
+	}
+	for _, r := range []result{
+		{"Douglas-Peucker", trajsim.DouglasPeucker},
+		{"FBQS", trajsim.FBQS},
+		{"OPERB", trajsim.Simplify},
+		{"OPERB-A", trajsim.SimplifyAggressive},
+	} {
+		pw, err := r.fn(track, zeta)
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		// Every algorithm here is error bounded: no point of the original
+		// track is farther than ζ from the simplified polyline.
+		if err := trajsim.VerifyErrorBound(track, pw, zeta); err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		s := trajsim.Summarize(track, pw)
+		fmt.Printf("%-16s %4d points -> %3d segments (ratio %5.1f%%, avg err %4.1f m, max err %4.1f m)\n",
+			r.name, s.Points, s.Segments, s.Ratio*100, s.AvgError, s.MaxError)
+	}
+
+	// The simplified trajectory is just the segment endpoints:
+	pw, err := trajsim.SimplifyAggressive(track, zeta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec := pw.Decode()
+	fmt.Printf("\nstored trajectory: %d points instead of %d\n", len(dec), len(track))
+	fmt.Printf("first three: %v %v %v\n", dec[0], dec[1], dec[2])
+}

@@ -1,0 +1,75 @@
+// Streaming: the paper's motivating deployment — a vehicle-to-cloud
+// uplink. A device produces GPS fixes with duplicates and out-of-order
+// points; a Cleaner repairs the stream and a one-pass OPERB-A encoder
+// emits line segments as soon as they are final, with O(1) memory.
+//
+//	go run trajsim/examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"trajsim"
+)
+
+func main() {
+	const zeta = 30.0
+	track := trajsim.GenerateTrajectory(trajsim.PresetSerCar, 600, 7)
+
+	// Corrupt the stream the way cellular uplinks do: duplicate some fixes,
+	// swap some adjacent pairs.
+	r := rand.New(rand.NewPCG(1, 2))
+	raw := make([]trajsim.Point, 0, len(track)+30)
+	for i, p := range track {
+		raw = append(raw, p)
+		if r.IntN(20) == 0 {
+			raw = append(raw, p) // duplicate
+		}
+		if i > 0 && r.IntN(25) == 0 {
+			raw[len(raw)-1], raw[len(raw)-2] = raw[len(raw)-2], raw[len(raw)-1]
+		}
+	}
+	fmt.Printf("device emitted %d raw fixes (%d clean samples)\n", len(raw), len(track))
+
+	cleaner := trajsim.NewCleaner(4)
+	enc, err := trajsim.NewAggressiveEncoder(zeta, trajsim.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var transmitted []trajsim.Segment
+	push := func(p trajsim.Point) {
+		for _, seg := range enc.Push(p) {
+			transmitted = append(transmitted, seg)
+			if len(transmitted) <= 5 {
+				fmt.Printf("  uplink segment %d: %d fixes collapsed into %v -> %v\n",
+					len(transmitted), seg.PointCount(), seg.Start, seg.End)
+			}
+		}
+	}
+	for _, p := range raw {
+		for _, q := range cleaner.Push(p) {
+			push(q)
+		}
+	}
+	for _, q := range cleaner.Flush() {
+		push(q)
+	}
+	transmitted = append(transmitted, enc.Flush()...)
+
+	dupes, reordered, dropped := cleaner.Stats()
+	fmt.Printf("\ncleaner: %d duplicates removed, %d reordered, %d stale dropped\n", dupes, reordered, dropped)
+	st := enc.Stats()
+	fmt.Printf("encoder: %d points in, %d segments out, %d absorbed\n", st.PointsIn, st.SegmentsOut, st.Absorbed)
+	ps := enc.PatchStats()
+	fmt.Printf("patching: %d/%d anomalous segments eliminated\n", ps.Patched, ps.Anomalous)
+
+	pw := trajsim.Piecewise(transmitted)
+	if err := trajsim.VerifyErrorBound(track, pw, zeta); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nuplink: %d segments for %d samples (ratio %.1f%%), every sample within ζ=%g m\n",
+		len(pw), len(track), 100*float64(len(pw))/float64(len(track)), zeta)
+}

@@ -1,0 +1,69 @@
+package trajsim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrFleetSize is returned when results and inputs cannot be matched.
+var ErrFleetSize = errors.New("trajsim: fleet compression failed")
+
+// CompressFleet compresses many trajectories concurrently with the named
+// algorithm (e.g. "OPERB-A") under error bound zeta. workers ≤ 0 selects
+// GOMAXPROCS. Results are returned in input order; the first error (if
+// any) aborts the batch.
+//
+// Each trajectory is compressed independently — encoders hold per-stream
+// state — so this parallelizes embarrassingly, which is how a cloud
+// ingestion tier would run the paper's algorithms over a vehicle fleet.
+func CompressFleet(ts []Trajectory, zeta float64, algorithm string, workers int) ([]Piecewise, error) {
+	a, err := AlgorithmByName(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ts) {
+		workers = len(ts)
+	}
+	out := make([]Piecewise, len(ts))
+	if len(ts) == 0 {
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pw, err := a.Fn(ts[i], zeta)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%w: trajectory %d: %v", ErrFleetSize, i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = pw
+			}
+		}()
+	}
+	for i := range ts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+// Package algo provides a uniform registry over every simplification
+// algorithm in this module, so the experiment harness, CLI tools and
+// examples can enumerate and run them by name.
+package algo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"trajsim/internal/bottomup"
+	"trajsim/internal/bqs"
+	"trajsim/internal/core"
+	"trajsim/internal/dp"
+	"trajsim/internal/opw"
+	"trajsim/internal/traj"
+)
+
+// Func compresses a trajectory under error bound zeta (meters).
+type Func func(t traj.Trajectory, zeta float64) (traj.Piecewise, error)
+
+// Algorithm describes one registered simplifier.
+type Algorithm struct {
+	// Name is the paper's name for the algorithm (e.g. "OPERB-A").
+	Name string
+	// OnePass reports whether each input point is processed exactly once.
+	OnePass bool
+	// Batch reports whether the whole trajectory must be resident before
+	// compression starts.
+	Batch bool
+	// SED reports whether the error measure is the time-synchronized
+	// Euclidean distance rather than the perpendicular distance.
+	SED bool
+	// Fn runs the algorithm.
+	Fn Func
+}
+
+// ErrUnknown is returned by Get for unregistered names.
+var ErrUnknown = errors.New("algo: unknown algorithm")
+
+var registry = []Algorithm{
+	{Name: "DP", Batch: true, Fn: dp.Simplify},
+	{Name: "TD-TR", Batch: true, SED: true, Fn: dp.SimplifySED},
+	{Name: "BottomUp", Batch: true, Fn: bottomup.Simplify},
+	{Name: "OPW", Fn: opw.Simplify},
+	{Name: "OPW-TR", SED: true, Fn: opw.SimplifySED},
+	{Name: "BQS", Fn: bqs.Simplify},
+	{Name: "FBQS", Fn: bqs.SimplifyFast},
+	{Name: "OPERB", OnePass: true, Fn: core.Simplify},
+	{Name: "Raw-OPERB", OnePass: true, Fn: func(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+		return core.SimplifyOpts(t, zeta, core.RawOptions())
+	}},
+	{Name: "OPERB-A", OnePass: true, Fn: core.SimplifyAggressive},
+	{Name: "Raw-OPERB-A", OnePass: true, Fn: func(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+		pw, _, err := core.SimplifyAggressiveOpts(t, zeta, core.RawOptions())
+		return pw, err
+	}},
+}
+
+// All returns every registered algorithm in a stable order.
+func All() []Algorithm {
+	out := make([]Algorithm, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the registered names in registry order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, a := range registry {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Get resolves an algorithm by case-insensitive name.
+func Get(name string) (Algorithm, error) {
+	for _, a := range registry {
+		if strings.EqualFold(a.Name, name) {
+			return a, nil
+		}
+	}
+	sorted := Names()
+	sort.Strings(sorted)
+	return Algorithm{}, fmt.Errorf("%w: %q (have %s)", ErrUnknown, name, strings.Join(sorted, ", "))
+}
+
+// Comparison is the four-algorithm lineup of the paper's main experiments.
+func Comparison() []Algorithm {
+	out := make([]Algorithm, 0, 4)
+	for _, n := range []string{"DP", "FBQS", "OPERB", "OPERB-A"} {
+		a, err := Get(n)
+		if err != nil {
+			panic(err) // unreachable: names are registered above
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package algo
+
+import (
+	"errors"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"DP", "TD-TR", "BottomUp", "OPW", "OPW-TR", "BQS", "FBQS",
+		"OPERB", "Raw-OPERB", "OPERB-A", "Raw-OPERB-A",
+	}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d algorithms, want %d: %v", len(names), len(want), names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	a, err := Get("operb-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "OPERB-A" || !a.OnePass {
+		t.Errorf("Get(operb-a) = %+v", a)
+	}
+	if _, err := Get("nope"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown: %v", err)
+	}
+}
+
+func TestAllIsACopy(t *testing.T) {
+	a := All()
+	a[0].Name = "clobbered"
+	b := All()
+	if b[0].Name == "clobbered" {
+		t.Error("All() exposes internal registry storage")
+	}
+}
+
+// Every registered algorithm is error bounded on every preset (the
+// registry-level integration test).
+func TestEveryAlgorithmErrorBounded(t *testing.T) {
+	zeta := 30.0
+	for _, preset := range gen.Presets {
+		tr := gen.One(preset, 400, 77)
+		for _, a := range All() {
+			pw, err := a.Fn(tr, zeta)
+			if err != nil {
+				t.Fatalf("%s on %v: %v", a.Name, preset, err)
+			}
+			if len(pw) == 0 {
+				t.Fatalf("%s on %v: empty output", a.Name, preset)
+			}
+			if a.SED {
+				// SED algorithms bound a different (stricter) error; check
+				// their own measure per segment.
+				for _, s := range pw {
+					for i := s.StartIdx; i <= s.EndIdx; i++ {
+						if d := s.SEDistance(tr[i]); d > zeta+1e-9 {
+							t.Fatalf("%s on %v: point %d SED %v > ζ", a.Name, preset, i, d)
+						}
+					}
+				}
+				continue
+			}
+			if err := metrics.VerifyBound(tr, pw, zeta); err != nil {
+				t.Errorf("%s on %v: %v", a.Name, preset, err)
+			}
+		}
+	}
+}
+
+// The paper's qualitative ordering on compression quality (low-rate urban
+// data, aggregate over trajectories): OPERB-A ≤ OPERB-ish ≤ Raw-OPERB, and
+// every LS algorithm beats "no compression".
+func TestQualitativeOrdering(t *testing.T) {
+	ratio := func(name string) float64 {
+		a, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var segs, pts int
+		for seed := uint64(0); seed < 6; seed++ {
+			tr := gen.One(gen.SerCar, 500, 1000+seed)
+			pw, err := a.Fn(tr, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			segs += len(pw)
+			pts += len(tr)
+		}
+		return float64(segs) / float64(pts)
+	}
+	operbA := ratio("OPERB-A")
+	operb := ratio("OPERB")
+	rawOperb := ratio("Raw-OPERB")
+	dp := ratio("DP")
+	if operbA > operb {
+		t.Errorf("OPERB-A ratio %.4f > OPERB %.4f", operbA, operb)
+	}
+	if operb > rawOperb {
+		t.Errorf("OPERB ratio %.4f > Raw-OPERB %.4f", operb, rawOperb)
+	}
+	if dp > 0.9 || operb > 0.9 {
+		t.Errorf("ratios implausibly high: dp=%.3f operb=%.3f", dp, operb)
+	}
+	t.Logf("ratios: DP=%.4f OPERB=%.4f Raw-OPERB=%.4f OPERB-A=%.4f", dp, operb, rawOperb, operbA)
+}
+
+func TestComparisonLineup(t *testing.T) {
+	lineup := Comparison()
+	if len(lineup) != 4 {
+		t.Fatalf("lineup size %d", len(lineup))
+	}
+	want := []string{"DP", "FBQS", "OPERB", "OPERB-A"}
+	for i, a := range lineup {
+		if a.Name != want[i] {
+			t.Errorf("lineup[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§6) on the synthetic dataset
+// surrogates, at a configurable scale. cmd/trajbench is its CLI and the
+// root bench_test.go exposes each experiment as a testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"trajsim/internal/algo"
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+// Scale sizes the experiments. The paper ran on 498M–1.31G point datasets;
+// these are laptop-scale surrogates preserving the relative comparisons.
+type Scale struct {
+	Name string
+	// SubsetTraj trajectories are used by the "chose 100 trajectories"
+	// experiments (Exp-1.1, Exp-2.3); their length is the largest entry of
+	// SizeSweep.
+	SubsetTraj int
+	// SizeSweep lists the |T| values of Exp-1.1 (Figure 12).
+	SizeSweep []int
+	// WholeTraj × WholePoints sizes the "entire dataset" experiments.
+	WholeTraj   int
+	WholePoints int
+	// Repeats is how often timed runs repeat (the paper repeats 3×).
+	Repeats int
+	// Zetas is the error-bound sweep for ratio/error experiments (m).
+	Zetas []float64
+	// TimeZetas is the sweep for Exp-1.2/1.3 (m).
+	TimeZetas []float64
+	// GammaDegrees is the γm sweep of Exp-4.2.
+	GammaDegrees []float64
+	// Seed anchors dataset generation.
+	Seed uint64
+}
+
+// Predefined scales.
+var (
+	// Quick is for unit tests and -short runs.
+	Quick = Scale{
+		Name:       "quick",
+		SubsetTraj: 2, SizeSweep: []int{500, 1000},
+		WholeTraj: 2, WholePoints: 800,
+		Repeats:      1,
+		Zetas:        []float64{10, 40, 100},
+		TimeZetas:    []float64{40},
+		GammaDegrees: []float64{0, 60, 120, 180},
+		Seed:         1,
+	}
+	// Small is the default CLI scale: minutes, not hours.
+	Small = Scale{
+		Name:       "small",
+		SubsetTraj: 20, SizeSweep: []int{2000, 4000, 6000, 8000, 10000},
+		WholeTraj: 25, WholePoints: 5000,
+		Repeats:      3,
+		Zetas:        []float64{5, 10, 20, 40, 60, 80, 100},
+		TimeZetas:    []float64{10, 20, 40, 60, 80, 100},
+		GammaDegrees: []float64{0, 15, 30, 45, 60, 75, 90, 105, 120, 135, 150, 165, 180},
+		Seed:         1,
+	}
+	// Full mirrors the paper's counts where feasible (100 trajectories per
+	// subset; whole datasets capped at 20k points per trajectory).
+	Full = Scale{
+		Name:       "full",
+		SubsetTraj: 100, SizeSweep: []int{2000, 4000, 6000, 8000, 10000},
+		WholeTraj: 100, WholePoints: 20000,
+		Repeats:      3,
+		Zetas:        []float64{5, 10, 20, 40, 60, 80, 100},
+		TimeZetas:    []float64{10, 20, 40, 60, 80, 100},
+		GammaDegrees: []float64{0, 15, 30, 45, 60, 75, 90, 105, 120, 135, 150, 165, 180},
+		Seed:         1,
+	}
+)
+
+// ScaleByName resolves quick/small/full.
+func ScaleByName(name string) (Scale, error) {
+	for _, s := range []Scale{Quick, Small, Full} {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scale{}, fmt.Errorf("bench: unknown scale %q (quick, small, full)", name)
+}
+
+// Env holds generated datasets so several experiments share them.
+type Env struct {
+	Scale  Scale
+	whole  map[gen.Preset][]traj.Trajectory
+	subset map[gen.Preset][]traj.Trajectory // length = max(SizeSweep)
+}
+
+// NewEnv generates all datasets for the scale.
+func NewEnv(s Scale) *Env {
+	e := &Env{
+		Scale:  s,
+		whole:  make(map[gen.Preset][]traj.Trajectory, len(gen.Presets)),
+		subset: make(map[gen.Preset][]traj.Trajectory, len(gen.Presets)),
+	}
+	maxSize := 0
+	for _, n := range s.SizeSweep {
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	for _, p := range gen.Presets {
+		e.whole[p] = gen.Spec{Preset: p, Trajectories: s.WholeTraj, Points: s.WholePoints, Seed: s.Seed + uint64(p)*1000}.Generate()
+		e.subset[p] = gen.Spec{Preset: p, Trajectories: s.SubsetTraj, Points: maxSize, Seed: s.Seed + 7_000_000 + uint64(p)*1000}.Generate()
+	}
+	return e
+}
+
+// Whole returns the "entire dataset" surrogate for a preset.
+func (e *Env) Whole(p gen.Preset) []traj.Trajectory { return e.whole[p] }
+
+// Subset returns prefixes of the subset trajectories truncated to size.
+func (e *Env) Subset(p gen.Preset, size int) []traj.Trajectory {
+	src := e.subset[p]
+	out := make([]traj.Trajectory, len(src))
+	for i, t := range src {
+		if size > len(t) {
+			size = len(t)
+		}
+		out[i] = t[:size]
+	}
+	return out
+}
+
+// timeAlgorithm measures the best-of-Repeats wall time of compressing all
+// trajectories in ds, matching the paper's methodology ("each test was
+// repeated over 3 times and the average is reported"; best-of is steadier
+// at small scales).
+func (e *Env) timeAlgorithm(fn algo.Func, ds []traj.Trajectory, zeta float64) (time.Duration, error) {
+	best := time.Duration(0)
+	for r := 0; r < e.Scale.Repeats; r++ {
+		start := time.Now()
+		for _, t := range ds {
+			if _, err := fn(t, zeta); err != nil {
+				return 0, err
+			}
+		}
+		el := time.Since(start)
+		if r == 0 || el < best {
+			best = el
+		}
+	}
+	return best, nil
+}
+
+// runAll compresses every trajectory, returning the representations.
+func runAll(fn algo.Func, ds []traj.Trajectory, zeta float64) ([]traj.Piecewise, error) {
+	out := make([]traj.Piecewise, len(ds))
+	for i, t := range ds {
+		pw, err := fn(t, zeta)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pw
+	}
+	return out, nil
+}
+
+func points(ds []traj.Trajectory) int {
+	var n int
+	for _, t := range ds {
+		n += len(t)
+	}
+	return n
+}

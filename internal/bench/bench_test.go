@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trajsim/internal/gen"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "small", "full"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ScaleByName(%s) = %+v, %v", name, s, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale should fail")
+	}
+}
+
+func TestEnvDatasets(t *testing.T) {
+	e := NewEnv(Quick)
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		if len(ds) != Quick.WholeTraj {
+			t.Errorf("%v: %d whole trajectories", p, len(ds))
+		}
+		for _, tr := range ds {
+			if len(tr) != Quick.WholePoints {
+				t.Errorf("%v: %d points", p, len(tr))
+			}
+		}
+		sub := e.Subset(p, 500)
+		if len(sub) != Quick.SubsetTraj {
+			t.Errorf("%v: %d subset trajectories", p, len(sub))
+		}
+		for _, tr := range sub {
+			if len(tr) != 500 {
+				t.Errorf("%v: subset size %d, want 500", p, len(tr))
+			}
+		}
+	}
+}
+
+func TestSubsetClampsToAvailable(t *testing.T) {
+	e := NewEnv(Quick)
+	sub := e.Subset(gen.Taxi, 10_000_000)
+	for _, tr := range sub {
+		if len(tr) != 1000 { // max of Quick.SizeSweep
+			t.Errorf("clamped subset size %d", len(tr))
+		}
+	}
+}
+
+// Every experiment runs end-to-end at quick scale and yields rows.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	e := NewEnv(Quick)
+	for _, id := range ExperimentIDs() {
+		tbl, err := e.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+		if len(tbl.Columns) == 0 {
+			t.Errorf("%s: no columns", id)
+		}
+		for i, r := range tbl.Rows {
+			if len(r) != len(tbl.Columns) {
+				t.Errorf("%s row %d: %d cells for %d columns", id, i, len(r), len(tbl.Columns))
+			}
+		}
+		var buf bytes.Buffer
+		if err := tbl.Format(&buf); err != nil {
+			t.Errorf("%s: format: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), tbl.ID) {
+			t.Errorf("%s: formatted output lacks ID", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	e := NewEnv(Quick)
+	if _, err := e.Run("9.9"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunAllWritesEverything(t *testing.T) {
+	e := NewEnv(Quick)
+	var buf bytes.Buffer
+	if err := e.RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"Table 1", "Figure 12", "Figure 13", "Figure 14", "Figure 15", "Figure 16", "Figure 17", "Figure 18", "Figure 19(1)", "Figure 19(2)"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("output missing %s", id)
+		}
+	}
+}
+
+// Sanity of the headline shape at quick scale: OPERB-A's aggregate ratio
+// beats Raw-OPERB's on every dataset (weaker than the paper's claims, but
+// stable at tiny scale).
+func TestHeadlineShape(t *testing.T) {
+	e := NewEnv(Quick)
+	tbl, err := e.Exp22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		rawOperb := row[2]
+		operbA := row[6]
+		if rawOperb == "0.0%" || operbA == "0.0%" {
+			t.Errorf("degenerate ratios in row %v", row)
+		}
+	}
+}

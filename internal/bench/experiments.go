@@ -1,0 +1,431 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"trajsim/internal/algo"
+	"trajsim/internal/core"
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+// comparisonNames is the four-algorithm lineup of the paper's headline
+// plots.
+var comparisonNames = []string{"DP", "FBQS", "OPERB", "OPERB-A"}
+
+// Table1 reproduces Table 1: the dataset summary.
+func (e *Env) Table1() (Table, error) {
+	t := Table{
+		ID:      "Table 1",
+		Title:   "Synthetic surrogate trajectory datasets",
+		Columns: []string{"Data Set", "Trajectories", "Sampling Rate (s)", "Points/Trajectory", "Total Points"},
+		Notes: []string{
+			"surrogates for the paper's proprietary Taxi/Truck/SerCar and GeoLife data (see DESIGN.md §3)",
+		},
+	}
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		total := points(ds)
+		per := 0
+		if len(ds) > 0 {
+			per = total / len(ds)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.String(), itoa(len(ds)), p.SamplingDescription(), itoa(per), itoa(total),
+		})
+	}
+	return t, nil
+}
+
+// Exp11 reproduces Figure 12: execution time vs trajectory size, ζ=40 m.
+func (e *Env) Exp11() (Table, error) {
+	t := Table{
+		ID:      "Figure 12",
+		Title:   "Efficiency vs trajectory size |T| (ζ=40 m)",
+		Columns: append([]string{"Data Set", "|T|"}, append(colsMS(comparisonNames), "OPERB vs FBQS", "OPERB vs DP")...),
+	}
+	const zeta = 40
+	for _, p := range gen.Presets {
+		for _, size := range e.Scale.SizeSweep {
+			ds := e.Subset(p, size)
+			row := []string{p.String(), itoa(size)}
+			times := make(map[string]float64, len(comparisonNames))
+			for _, name := range comparisonNames {
+				a, err := algo.Get(name)
+				if err != nil {
+					return Table{}, err
+				}
+				d, err := e.timeAlgorithm(a.Fn, ds, zeta)
+				if err != nil {
+					return Table{}, err
+				}
+				times[name] = float64(d.Microseconds()) / 1000
+				row = append(row, ms(times[name]))
+			}
+			row = append(row,
+				speedup(times["FBQS"], times["OPERB"]),
+				speedup(times["DP"], times["OPERB"]))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes, "times in ms over the whole subset; speedups >1 mean OPERB is faster")
+	return t, nil
+}
+
+// Exp12 reproduces Figure 13: execution time vs error bound ζ.
+func (e *Env) Exp12() (Table, error) {
+	t := Table{
+		ID:      "Figure 13",
+		Title:   "Efficiency vs error bound ζ (whole datasets)",
+		Columns: append([]string{"Data Set", "ζ (m)"}, append(colsMS(comparisonNames), "OPERB vs FBQS", "OPERB vs DP")...),
+	}
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, zeta := range e.Scale.TimeZetas {
+			row := []string{p.String(), f64s(zeta)}
+			times := make(map[string]float64, len(comparisonNames))
+			for _, name := range comparisonNames {
+				a, err := algo.Get(name)
+				if err != nil {
+					return Table{}, err
+				}
+				d, err := e.timeAlgorithm(a.Fn, ds, zeta)
+				if err != nil {
+					return Table{}, err
+				}
+				times[name] = float64(d.Microseconds()) / 1000
+				row = append(row, ms(times[name]))
+			}
+			row = append(row,
+				speedup(times["FBQS"], times["OPERB"]),
+				speedup(times["DP"], times["OPERB"]))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Exp13 reproduces Figure 14: the efficiency impact of the §4.4
+// optimization techniques.
+func (e *Env) Exp13() (Table, error) {
+	t := Table{
+		ID:    "Figure 14",
+		Title: "Efficiency of optimization techniques vs ζ",
+		Columns: []string{
+			"Data Set", "ζ (m)",
+			"Raw-OPERB (ms)", "OPERB (ms)", "Raw/Opt",
+			"Raw-OPERB-A (ms)", "OPERB-A (ms)", "Raw-A/Opt-A",
+		},
+	}
+	lineup := []string{"Raw-OPERB", "OPERB", "Raw-OPERB-A", "OPERB-A"}
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, zeta := range e.Scale.TimeZetas {
+			times := make(map[string]float64, len(lineup))
+			for _, name := range lineup {
+				a, err := algo.Get(name)
+				if err != nil {
+					return Table{}, err
+				}
+				d, err := e.timeAlgorithm(a.Fn, ds, zeta)
+				if err != nil {
+					return Table{}, err
+				}
+				times[name] = float64(d.Microseconds()) / 1000
+			}
+			t.Rows = append(t.Rows, []string{
+				p.String(), f64s(zeta),
+				ms(times["Raw-OPERB"]), ms(times["OPERB"]), pct(times["Raw-OPERB"] / times["OPERB"]),
+				ms(times["Raw-OPERB-A"]), ms(times["OPERB-A"]), pct(times["Raw-OPERB-A"] / times["OPERB-A"]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Exp21 reproduces Figure 15: compression ratio vs ζ.
+func (e *Env) Exp21() (Table, error) {
+	t := Table{
+		ID:    "Figure 15",
+		Title: "Compression ratio vs ζ (lower is better)",
+		Columns: []string{
+			"Data Set", "ζ (m)", "DP", "FBQS", "OPERB", "OPERB-A",
+			"OPERB/FBQS", "OPERB/DP", "OPERB-A/DP",
+		},
+	}
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, zeta := range e.Scale.Zetas {
+			ratios := make(map[string]float64, len(comparisonNames))
+			for _, name := range comparisonNames {
+				a, err := algo.Get(name)
+				if err != nil {
+					return Table{}, err
+				}
+				pws, err := runAll(a.Fn, ds, zeta)
+				if err != nil {
+					return Table{}, err
+				}
+				r, err := metrics.DatasetRatio(ds, pws)
+				if err != nil {
+					return Table{}, err
+				}
+				ratios[name] = r
+			}
+			t.Rows = append(t.Rows, []string{
+				p.String(), f64s(zeta),
+				pct(ratios["DP"]), pct(ratios["FBQS"]), pct(ratios["OPERB"]), pct(ratios["OPERB-A"]),
+				pct(ratios["OPERB"] / ratios["FBQS"]),
+				pct(ratios["OPERB"] / ratios["DP"]),
+				pct(ratios["OPERB-A"] / ratios["DP"]),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "relative columns mirror the paper's summary (OPERB ≈ DP/FBQS, OPERB-A < DP)")
+	return t, nil
+}
+
+// Exp22 reproduces Figure 16: the ratio impact of the optimizations.
+func (e *Env) Exp22() (Table, error) {
+	t := Table{
+		ID:    "Figure 16",
+		Title: "Compression-ratio impact of optimization techniques vs ζ",
+		Columns: []string{
+			"Data Set", "ζ (m)",
+			"Raw-OPERB", "OPERB", "Opt/Raw",
+			"Raw-OPERB-A", "OPERB-A", "Opt-A/Raw-A",
+		},
+	}
+	lineup := []string{"Raw-OPERB", "OPERB", "Raw-OPERB-A", "OPERB-A"}
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, zeta := range e.Scale.Zetas {
+			ratios := make(map[string]float64, len(lineup))
+			for _, name := range lineup {
+				a, err := algo.Get(name)
+				if err != nil {
+					return Table{}, err
+				}
+				pws, err := runAll(a.Fn, ds, zeta)
+				if err != nil {
+					return Table{}, err
+				}
+				r, err := metrics.DatasetRatio(ds, pws)
+				if err != nil {
+					return Table{}, err
+				}
+				ratios[name] = r
+			}
+			t.Rows = append(t.Rows, []string{
+				p.String(), f64s(zeta),
+				pct(ratios["Raw-OPERB"]), pct(ratios["OPERB"]), pct(ratios["OPERB"] / ratios["Raw-OPERB"]),
+				pct(ratios["Raw-OPERB-A"]), pct(ratios["OPERB-A"]), pct(ratios["OPERB-A"] / ratios["Raw-OPERB-A"]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Exp23 reproduces Figure 17: the distribution Z(k) of points per line
+// segment at ζ=40 m.
+func (e *Env) Exp23() (Table, error) {
+	t := Table{
+		ID:      "Figure 17",
+		Title:   "Distribution of line segments Z(k) (ζ=40 m, subset trajectories)",
+		Columns: []string{"Data Set", "Algorithm", "k=1", "2", "3", "4", "5", "6-9", "10-19", "20-49", "50-99", "100+"},
+		Notes: []string{
+			"heavy segments (large k) drive low compression ratios; OPERB-A and DP dominate there",
+			"our OPERB emits no degenerate one-point segments (see DESIGN.md §4), so k=1 is 0",
+		},
+	}
+	const zeta = 40
+	size := e.Scale.SizeSweep[len(e.Scale.SizeSweep)-1]
+	for _, p := range gen.Presets {
+		ds := e.Subset(p, size)
+		for _, name := range comparisonNames {
+			a, err := algo.Get(name)
+			if err != nil {
+				return Table{}, err
+			}
+			pws, err := runAll(a.Fn, ds, zeta)
+			if err != nil {
+				return Table{}, err
+			}
+			z := metrics.Distribution(pws)
+			row := []string{p.String(), name}
+			for _, b := range metrics.BucketizeDistribution(z) {
+				row = append(row, itoa(b.Segments))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Exp3 reproduces Figure 18: average error vs ζ.
+func (e *Env) Exp3() (Table, error) {
+	t := Table{
+		ID:      "Figure 18",
+		Title:   "Average error (m) vs ζ",
+		Columns: []string{"Data Set", "ζ (m)", "DP", "FBQS", "OPERB", "OPERB-A"},
+	}
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, zeta := range e.Scale.Zetas {
+			row := []string{p.String(), f64s(zeta)}
+			for _, name := range comparisonNames {
+				a, err := algo.Get(name)
+				if err != nil {
+					return Table{}, err
+				}
+				pws, err := runAll(a.Fn, ds, zeta)
+				if err != nil {
+					return Table{}, err
+				}
+				avg, err := metrics.DatasetAvgError(ds, pws)
+				if err != nil {
+					return Table{}, err
+				}
+				row = append(row, f2(avg))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Exp41 reproduces Figure 19(1): OPERB-A's patching ratio vs ζ.
+func (e *Env) Exp41() (Table, error) {
+	t := Table{
+		ID:      "Figure 19(1)",
+		Title:   "Patching ratio vs ζ (γm=π/3)",
+		Columns: []string{"Data Set", "ζ (m)", "Anomalous (Na)", "Patched (Np)", "Patching Ratio"},
+	}
+	for _, p := range gen.Presets {
+		ds := e.Whole(p)
+		for _, zeta := range e.Scale.TimeZetas {
+			st, err := patchStats(ds, zeta, core.DefaultOptions())
+			if err != nil {
+				return Table{}, err
+			}
+			t.Rows = append(t.Rows, []string{
+				p.String(), f64s(zeta), itoa(st.Anomalous), itoa(st.Patched), pct(st.Ratio()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Exp42 reproduces Figure 19(2): patching ratio vs γm at ζ=40 m.
+func (e *Env) Exp42() (Table, error) {
+	t := Table{
+		ID:      "Figure 19(2)",
+		Title:   "Patching ratio vs γm (ζ=40 m, subset trajectories)",
+		Columns: []string{"Data Set", "γm (deg)", "Anomalous (Na)", "Patched (Np)", "Patching Ratio"},
+	}
+	const zeta = 40
+	size := e.Scale.SizeSweep[len(e.Scale.SizeSweep)-1]
+	for _, p := range gen.Presets {
+		ds := e.Subset(p, size)
+		for _, deg := range e.Scale.GammaDegrees {
+			opts := core.DefaultOptions()
+			opts.Gamma = deg * math.Pi / 180
+			if opts.Gamma == 0 {
+				opts.Gamma = 1e-9 // Options treats exactly 0 as "use default γ"
+			}
+			st, err := patchStats(ds, zeta, opts)
+			if err != nil {
+				return Table{}, err
+			}
+			t.Rows = append(t.Rows, []string{
+				p.String(), f64s(deg), itoa(st.Anomalous), itoa(st.Patched), pct(st.Ratio()),
+			})
+		}
+	}
+	return t, nil
+}
+
+func patchStats(ds []traj.Trajectory, zeta float64, opts core.Options) (core.PatchStats, error) {
+	var total core.PatchStats
+	for _, t := range ds {
+		_, st, err := core.SimplifyAggressiveOpts(t, zeta, opts)
+		if err != nil {
+			return core.PatchStats{}, err
+		}
+		total.Anomalous += st.Anomalous
+		total.Patched += st.Patched
+	}
+	return total, nil
+}
+
+// Experiments maps experiment IDs to runners.
+func (e *Env) Experiments() map[string]func() (Table, error) {
+	return map[string]func() (Table, error){
+		"table1":         e.Table1,
+		"1.1":            e.Exp11,
+		"1.2":            e.Exp12,
+		"1.3":            e.Exp13,
+		"2.1":            e.Exp21,
+		"2.2":            e.Exp22,
+		"2.3":            e.Exp23,
+		"3":              e.Exp3,
+		"4.1":            e.Exp41,
+		"4.2":            e.Exp42,
+		"extra.linear":   e.ExtraLinearity,
+		"extra.sampling": e.ExtraSamplingRate,
+	}
+}
+
+// ExperimentIDs returns the runner keys in presentation order. The two
+// "extra" entries are not paper artifacts; they evidence the paper's
+// complexity and sampling-rate claims directly.
+func ExperimentIDs() []string {
+	return []string{
+		"table1", "1.1", "1.2", "1.3", "2.1", "2.2", "2.3", "3", "4.1", "4.2",
+		"extra.linear", "extra.sampling",
+	}
+}
+
+// Run executes one experiment by ID.
+func (e *Env) Run(id string) (Table, error) {
+	fn, ok := e.Experiments()[id]
+	if !ok {
+		ids := ExperimentIDs()
+		sort.Strings(ids)
+		return Table{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+	}
+	return fn()
+}
+
+// RunAll executes every experiment in order, writing tables to w.
+func (e *Env) RunAll(w io.Writer) error {
+	for _, id := range ExperimentIDs() {
+		t, err := e.Run(id)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if err := t.Format(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func colsMS(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = n + " (ms)"
+	}
+	return out
+}
+
+func speedup(base, fast float64) string {
+	if fast <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", base/fast)
+}

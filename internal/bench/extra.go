@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+
+	"trajsim/internal/algo"
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+// Extra experiments beyond the paper's figures, supporting two of its
+// analytical claims directly.
+
+// ExtraLinearity evidences the complexity claims of §4.3: per-point cost
+// of the one-pass algorithms stays flat as |T| grows, while DP's grows.
+func (e *Env) ExtraLinearity() (Table, error) {
+	t := Table{
+		ID:      "Extra A",
+		Title:   "Per-point cost (ns/point) vs trajectory size — O(n) evidence",
+		Columns: []string{"|T|", "DP", "FBQS", "OPERB", "OPERB-A"},
+		Notes: []string{
+			"one-pass rows should stay flat; DP grows with |T| (deeper recursion over longer ranges)",
+		},
+	}
+	const zeta = 40
+	sizes := e.Scale.SizeSweep
+	for _, size := range sizes {
+		// Use a single dataset (SerCar) so only |T| varies.
+		ds := e.Subset(gen.SerCar, size)
+		pts := points(ds)
+		row := []string{itoa(size)}
+		for _, name := range comparisonNames {
+			a, err := algo.Get(name)
+			if err != nil {
+				return Table{}, err
+			}
+			d, err := e.timeAlgorithm(a.Fn, ds, zeta)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, fmt.Sprintf("%.0f", float64(d.Nanoseconds())/float64(pts)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// ExtraSamplingRate tests the paper's repeated observation that OPERB's
+// relative compression improves on higher sampling rates: one workload,
+// resampled at several fixed intervals, ratio of OPERB's ratio to DP's.
+func (e *Env) ExtraSamplingRate() (Table, error) {
+	t := Table{
+		ID:      "Extra B",
+		Title:   "OPERB vs DP compression across sampling rates (ζ=40 m)",
+		Columns: []string{"Interval (s)", "Points", "DP ratio", "OPERB ratio", "OPERB/DP"},
+		Notes: []string{
+			"the paper: \"OPERB has a better performance on datasets with high sampling rates\"",
+		},
+	}
+	const zeta = 40
+	base := e.Subset(gen.SerCar, e.Scale.SizeSweep[len(e.Scale.SizeSweep)-1])
+	operb, err := algo.Get("OPERB")
+	if err != nil {
+		return Table{}, err
+	}
+	dp, err := algo.Get("DP")
+	if err != nil {
+		return Table{}, err
+	}
+	for _, interval := range []int64{2, 5, 10, 30, 60} {
+		ds := make([]traj.Trajectory, 0, len(base))
+		for _, tr := range base {
+			r, err := traj.Resample(tr, interval*1000)
+			if err != nil {
+				return Table{}, err
+			}
+			if len(r) >= 2 {
+				ds = append(ds, r)
+			}
+		}
+		dpPW, err := runAll(dp.Fn, ds, zeta)
+		if err != nil {
+			return Table{}, err
+		}
+		opPW, err := runAll(operb.Fn, ds, zeta)
+		if err != nil {
+			return Table{}, err
+		}
+		dpRatio, err := metrics.DatasetRatio(ds, dpPW)
+		if err != nil {
+			return Table{}, err
+		}
+		opRatio, err := metrics.DatasetRatio(ds, opPW)
+		if err != nil {
+			return Table{}, err
+		}
+		rel := 0.0
+		if dpRatio > 0 {
+			rel = opRatio / dpRatio
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", interval), itoa(points(ds)),
+			pct(dpRatio), pct(opRatio), pct(rel),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,133 @@
+// Package bottomup implements the bottom-up batch line-simplification
+// class the paper's related work describes (§2, [3][11] — Keogh et al.'s
+// segmentation): start from the finest representation (one segment per
+// adjacent point pair) and repeatedly merge the pair of neighbouring
+// segments whose merged line has the smallest maximum deviation, while
+// that deviation stays within ζ. It is the natural complement to
+// Douglas-Peucker's top-down splitting and serves as an additional
+// error-bounded baseline.
+package bottomup
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"trajsim/internal/traj"
+)
+
+// ErrBadEpsilon is returned for non-positive error bounds.
+var ErrBadEpsilon = errors.New("bottomup: error bound ζ must be positive and finite")
+
+// node is one current segment in the doubly-linked segment chain.
+type node struct {
+	lo, hi     int // inclusive source range
+	prev, next int // neighbour node indices, −1 at the ends
+	alive      bool
+	version    int // bumped on every merge to invalidate stale heap entries
+}
+
+// candidate is a potential merge of node i with its successor.
+type candidate struct {
+	cost     float64
+	n        int // node index
+	version  int // node version the cost was computed for
+	nextVer  int // successor version
+	nextNode int
+}
+
+type pq []candidate
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].cost < p[j].cost }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(candidate)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// Simplify compresses t bottom-up under error bound zeta (meters).
+// O(n log n) merges with O(range) cost evaluation per merge; O(n) space.
+func Simplify(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+	if !(zeta > 0) || math.IsInf(zeta, 1) {
+		return nil, fmt.Errorf("%w: got %g", ErrBadEpsilon, zeta)
+	}
+	n := len(t)
+	if n < 2 {
+		return nil, nil
+	}
+	nodes := make([]node, n-1)
+	for i := range nodes {
+		nodes[i] = node{lo: i, hi: i + 1, prev: i - 1, next: i + 1, alive: true}
+	}
+	nodes[len(nodes)-1].next = -1
+
+	cost := func(a, b *node) float64 {
+		seg := traj.NewSegment(t, a.lo, b.hi)
+		var worst float64
+		for i := a.lo + 1; i < b.hi; i++ {
+			if d := seg.LineDistance(t[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+
+	h := &pq{}
+	for i := 0; i+1 < len(nodes); i++ {
+		heap.Push(h, candidate{
+			cost: cost(&nodes[i], &nodes[i+1]), n: i,
+			version: 0, nextNode: i + 1, nextVer: 0,
+		})
+	}
+	for h.Len() > 0 {
+		c := heap.Pop(h).(candidate)
+		a := &nodes[c.n]
+		if !a.alive || a.version != c.version || a.next != c.nextNode {
+			continue // stale entry
+		}
+		b := &nodes[c.nextNode]
+		if !b.alive || b.version != c.nextVer {
+			continue
+		}
+		if c.cost > zeta {
+			break // cheapest merge already violates the bound
+		}
+		// Merge b into a.
+		a.hi = b.hi
+		a.next = b.next
+		a.version++
+		b.alive = false
+		if b.next >= 0 {
+			nodes[b.next].prev = c.n
+		}
+		// Refresh merge candidates on both sides.
+		if a.next >= 0 {
+			nb := &nodes[a.next]
+			heap.Push(h, candidate{
+				cost: cost(a, nb), n: c.n,
+				version: a.version, nextNode: a.next, nextVer: nb.version,
+			})
+		}
+		if a.prev >= 0 {
+			pa := &nodes[a.prev]
+			heap.Push(h, candidate{
+				cost: cost(pa, a), n: a.prev,
+				version: pa.version, nextNode: c.n, nextVer: a.version,
+			})
+		}
+	}
+
+	out := make(traj.Piecewise, 0, 16)
+	for i := 0; i >= 0; {
+		nd := &nodes[i]
+		out = append(out, traj.NewSegment(t, nd.lo, nd.hi))
+		i = nd.next
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package bottomup
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trajsim/internal/dp"
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+func TestErrorBound(t *testing.T) {
+	workloads := map[string]traj.Trajectory{
+		"line":        gen.Line(200, 15),
+		"noisy-line":  gen.NoisyLine(300, 20, 5, 11),
+		"circle":      gen.Circle(300, 200, 0.05),
+		"zigzag":      gen.Zigzag(300, 10, 60, 7),
+		"random-walk": gen.RandomWalk(400, 25, 3),
+		"turns":       gen.SuddenTurns(300, 30, 9, 13),
+		"taxi":        gen.One(gen.Taxi, 300, 21),
+		"sercar":      gen.One(gen.SerCar, 300, 22),
+	}
+	for name, tr := range workloads {
+		for _, zeta := range []float64{5, 20, 40, 100} {
+			pw, err := Simplify(tr, zeta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := metrics.VerifyBound(tr, pw, zeta); err != nil {
+				t.Errorf("%s ζ=%v: %v", name, zeta, err)
+			}
+			if err := pw.Validate(); err != nil {
+				t.Errorf("%s ζ=%v: %v", name, zeta, err)
+			}
+		}
+	}
+}
+
+// The per-segment invariant is stronger than the ∃-pair bound: every
+// interior point stays within ζ of its own (merged) segment.
+func TestPerSegmentInvariant(t *testing.T) {
+	tr := gen.One(gen.SerCar, 400, 7)
+	zeta := 30.0
+	pw, err := Simplify(tr, zeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pw {
+		for i := s.StartIdx; i <= s.EndIdx; i++ {
+			if d := s.LineDistance(tr[i]); d > zeta+1e-9 {
+				t.Fatalf("point %d deviates %v", i, d)
+			}
+		}
+	}
+}
+
+func TestExactPartition(t *testing.T) {
+	tr := gen.RandomWalk(300, 30, 9)
+	pw, err := Simplify(tr, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw[0].StartIdx != 0 || pw[len(pw)-1].EndIdx != len(tr)-1 {
+		t.Errorf("coverage [%d..%d]", pw[0].StartIdx, pw[len(pw)-1].EndIdx)
+	}
+	for i := 1; i < len(pw); i++ {
+		if pw[i].StartIdx != pw[i-1].EndIdx {
+			t.Errorf("gap at segment %d", i)
+		}
+	}
+}
+
+func TestStraightLineFullMerge(t *testing.T) {
+	pw, err := Simplify(gen.Line(500, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 1 {
+		t.Errorf("collinear input: %d segments, want 1", len(pw))
+	}
+}
+
+// Bottom-up merging is greedy-global; on smooth data it should be in DP's
+// league for compression (within 2× segments).
+func TestComparableToDP(t *testing.T) {
+	tr := gen.One(gen.SerCar, 500, 42)
+	bu, err := Simplify(tr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpPW, err := dp.Simplify(tr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bu) > 2*len(dpPW)+2 {
+		t.Errorf("bottom-up %d segments vs DP %d", len(bu), len(dpPW))
+	}
+	t.Logf("bottom-up=%d DP=%d", len(bu), len(dpPW))
+}
+
+func TestMonotoneInEpsilon(t *testing.T) {
+	tr := gen.One(gen.Taxi, 300, 5)
+	prev := math.MaxInt
+	for _, zeta := range []float64{5, 20, 40, 80} {
+		pw, err := Simplify(tr, zeta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pw) > prev {
+			t.Errorf("ζ=%v: %d segments > previous %d", zeta, len(pw), prev)
+		}
+		prev = len(pw)
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	for n := 0; n <= 1; n++ {
+		pw, err := Simplify(gen.Line(n, 1), 5)
+		if err != nil || len(pw) != 0 {
+			t.Errorf("n=%d: %v %v", n, pw, err)
+		}
+	}
+	pw, err := Simplify(gen.Line(2, 1), 5)
+	if err != nil || len(pw) != 1 {
+		t.Errorf("n=2: %v %v", pw, err)
+	}
+	pw, err = Simplify(gen.Line(3, 1), 5)
+	if err != nil || len(pw) != 1 {
+		t.Errorf("n=3 collinear: %v %v", pw, err)
+	}
+}
+
+func TestBadEpsilon(t *testing.T) {
+	for _, zeta := range []float64{0, -3, math.Inf(1), math.NaN()} {
+		if _, err := Simplify(gen.Line(5, 1), zeta); !errors.Is(err, ErrBadEpsilon) {
+			t.Errorf("ζ=%v: %v", zeta, err)
+		}
+	}
+}
+
+// The defining bottom-up property: it merges the cheapest pair first, so a
+// spike point ends up isolated between two long merged runs.
+func TestSpikeIsolation(t *testing.T) {
+	tr := gen.Line(21, 10)
+	tr[10].Y = 100 // spike in the middle
+	pw, err := Simplify(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for _, s := range pw {
+		if s.StartIdx == 10 || s.EndIdx == 10 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("spike not isolated: %v", pw)
+	}
+	if len(pw) > 4 {
+		t.Errorf("%d segments around one spike, want ≤4", len(pw))
+	}
+}

@@ -1,0 +1,50 @@
+package bqs
+
+import (
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+var sink traj.Piecewise
+
+func BenchmarkFBQS(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		tr := gen.One(gen.SerCar, n, 7)
+		b.Run(size(n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				pw, err := SimplifyFast(tr, 40)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = pw
+			}
+		})
+	}
+}
+
+func BenchmarkBQSFull(b *testing.B) {
+	tr := gen.One(gen.SerCar, 10_000, 7)
+	b.SetBytes(10_000)
+	for i := 0; i < b.N; i++ {
+		pw, err := Simplify(tr, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = pw
+	}
+}
+
+func size(n int) string {
+	switch n {
+	case 1_000:
+		return "1k"
+	case 10_000:
+		return "10k"
+	case 100_000:
+		return "100k"
+	}
+	return "n"
+}

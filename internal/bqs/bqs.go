@@ -1,0 +1,353 @@
+// Package bqs implements the Bounded Quadrant System of Liu et al.
+// (ICDE 2015) as described in §3.2 of the paper, in both flavors:
+//
+//   - BQS: per-quadrant convex hulls (bounding box + two bounding lines)
+//     give an upper and a lower bound on the maximum deviation; uncertain
+//     cases fall back to a full Douglas-Peucker-style scan of the window.
+//     O(n²) worst-case time.
+//   - FBQS: the fast variant, which never falls back — an uncertain case
+//     closes the window — achieving O(n) time and constant state. FBQS is
+//     the fastest previously existing LS algorithm and the paper's primary
+//     efficiency comparator.
+//
+// The per-point check touches at most eight significant (hull) points and
+// six actual extreme points per non-empty quadrant; hulls are cached and
+// rebuilt only when an insertion changes a quadrant's extremes.
+package bqs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"trajsim/internal/geo"
+	"trajsim/internal/traj"
+)
+
+// ErrBadEpsilon is returned for non-positive error bounds.
+var ErrBadEpsilon = errors.New("bqs: error bound ζ must be positive and finite")
+
+// Simplify compresses t with full BQS and error bound zeta (meters).
+func Simplify(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+	return simplify(t, zeta, true)
+}
+
+// SimplifyFast compresses t with FBQS and error bound zeta (meters).
+func SimplifyFast(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+	return simplify(t, zeta, false)
+}
+
+// quadrant accumulates the per-quadrant bounding structures of BQS: the
+// axis-aligned bounding box of the points seen, the actual data points
+// achieving the box extremes, and the two bounding lines through Ps with
+// the least and greatest angles.
+type quadrant struct {
+	count                      int
+	box                        geo.BBox
+	pMinX, pMaxX, pMinY, pMaxY geo.Point
+	loTheta, hiTheta           float64
+	pLo, pHi                   geo.Point
+
+	hullPts [8]geo.Point // cached box∩wedge polygon vertices
+	hullN   int
+	dirty   bool
+}
+
+func (q *quadrant) add(ps, p geo.Point) {
+	theta := geo.AngleOf(p.Sub(ps))
+	changed := false
+	if q.count == 0 {
+		q.box = geo.EmptyBBox()
+		q.loTheta, q.hiTheta = theta, theta
+		q.pLo, q.pHi = p, p
+		changed = true
+	} else {
+		if theta < q.loTheta {
+			q.loTheta, q.pLo = theta, p
+			changed = true
+		}
+		if theta > q.hiTheta {
+			q.hiTheta, q.pHi = theta, p
+			changed = true
+		}
+	}
+	if p.X < q.box.MinX || q.count == 0 {
+		q.pMinX = p
+		changed = true
+	}
+	if p.X > q.box.MaxX || q.count == 0 {
+		q.pMaxX = p
+		changed = true
+	}
+	if p.Y < q.box.MinY || q.count == 0 {
+		q.pMinY = p
+		changed = true
+	}
+	if p.Y > q.box.MaxY || q.count == 0 {
+		q.pMaxY = p
+		changed = true
+	}
+	q.box.Extend(p)
+	q.count++
+	if changed {
+		q.dirty = true
+	}
+}
+
+// hull returns the ≤8 significant (virtual) points: the bounding box
+// clipped to the wedge between the two bounding lines. Distances to a
+// candidate line maximized over these vertices upper-bound the true
+// maximum deviation of every point in the quadrant, because the clipped
+// polygon contains the points' convex hull. The polygon is cached until an
+// insertion changes the box or a bounding line.
+func (q *quadrant) hull(ps geo.Point) []geo.Point {
+	if q.dirty {
+		q.rebuildHull(ps)
+		q.dirty = false
+	}
+	return q.hullPts[:q.hullN]
+}
+
+func (q *quadrant) rebuildHull(ps geo.Point) {
+	corners := q.box.Corners()
+	var tmp [8]geo.Point
+	n := clipFixed(corners[:], ps, q.loTheta, true, tmp[:])
+	n = clipFixed(tmp[:n], ps, q.hiTheta, false, q.hullPts[:])
+	if n == 0 {
+		// Degenerate geometry (e.g. all points collinear with Ps); the box
+		// corners alone are still a valid upper bound.
+		n = copy(q.hullPts[:], corners[:])
+	}
+	q.hullN = n
+}
+
+// clipFixed is an allocation-free Sutherland–Hodgman half-plane clip into
+// a fixed output buffer (the hot path of the per-point check; the generic
+// geo.ClipPolygonHalfPlane is equivalent but allocates).
+func clipFixed(poly []geo.Point, o geo.Point, theta float64, keepLeft bool, out []geo.Point) int {
+	if len(poly) == 0 {
+		return 0
+	}
+	d := geo.Dir(theta)
+	side := func(p geo.Point) float64 {
+		s := d.Cross(p.Sub(o))
+		if !keepLeft {
+			s = -s
+		}
+		return s
+	}
+	n := 0
+	for i := range poly {
+		cur, next := poly[i], poly[(i+1)%len(poly)]
+		sc, sn := side(cur), side(next)
+		if sc >= -geo.Eps {
+			out[n] = cur
+			n++
+		}
+		if (sc > geo.Eps && sn < -geo.Eps) || (sc < -geo.Eps && sn > geo.Eps) {
+			out[n] = geo.Lerp(cur, next, sc/(sc-sn))
+			n++
+		}
+	}
+	return n
+}
+
+// extremes returns the ≤6 actual data points defining the structures;
+// distances over these lower-bound the true maximum deviation.
+func (q *quadrant) extremes() [6]geo.Point {
+	return [6]geo.Point{q.pMinX, q.pMaxX, q.pMinY, q.pMaxY, q.pLo, q.pHi}
+}
+
+// window is the open-window state for one segment.
+type window struct {
+	ps     geo.Point
+	quads  [4]quadrant
+	buf    []geo.Point // interior points; only kept for full BQS
+	keep   bool
+	filled bool
+}
+
+func (w *window) reset(ps geo.Point) {
+	w.ps = ps
+	w.filled = false
+	w.buf = w.buf[:0]
+	for i := range w.quads {
+		w.quads[i] = quadrant{}
+	}
+}
+
+func (w *window) add(p geo.Point) {
+	if p.Dist(w.ps) <= geo.Eps {
+		// Coincident with the start: trivially within any bound; adding it
+		// would make the bounding-line angles meaningless.
+		return
+	}
+	w.quads[quadrantIndex(w.ps, p)].add(w.ps, p)
+	w.filled = true
+	if w.keep {
+		w.buf = append(w.buf, p)
+	}
+}
+
+func quadrantIndex(ps, p geo.Point) int {
+	dx, dy := p.X-ps.X, p.Y-ps.Y
+	switch {
+	case dx >= 0 && dy >= 0:
+		return 0
+	case dx < 0 && dy >= 0:
+		return 1
+	case dx < 0:
+		return 2
+	}
+	return 3
+}
+
+// verdict is the three-way outcome of the significant-point check.
+type verdict int
+
+const (
+	verdictFits      verdict = iota // upper bound ≤ ζ: every point fits
+	verdictFails                    // lower bound > ζ: some point violates
+	verdictUncertain                // bounds straddle ζ
+)
+
+// lineDist measures distances to the candidate line ps→pk without
+// per-point recomputation (and without closure allocation on the hot
+// path).
+type lineDist struct {
+	origin     geo.Point
+	dir        geo.Point
+	inv        float64
+	degenerate bool
+}
+
+func (w *window) distTo(pk geo.Point) lineDist {
+	dir := pk.Sub(w.ps)
+	norm := dir.Norm()
+	if norm <= geo.Eps {
+		return lineDist{origin: w.ps, degenerate: true}
+	}
+	return lineDist{origin: w.ps, dir: dir, inv: 1 / norm}
+}
+
+func (l lineDist) of(p geo.Point) float64 {
+	v := p.Sub(l.origin)
+	if l.degenerate {
+		return v.Norm()
+	}
+	return math.Abs(l.dir.Cross(v)) * l.inv
+}
+
+// checkFast is FBQS's decision: the window fits iff the hull upper bound
+// stays within ζ. FBQS treats both "fails" and "uncertain" as a split, so
+// the lower bound is never needed and the scan exits at the first
+// violating hull vertex.
+func (w *window) checkFast(pk geo.Point, zeta float64) bool {
+	if !w.filled {
+		return true
+	}
+	dist := w.distTo(pk)
+	for i := range w.quads {
+		q := &w.quads[i]
+		if q.count == 0 {
+			continue
+		}
+		for _, v := range q.hull(w.ps) {
+			if dist.of(v) > zeta {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// check classifies the candidate line ps→pk against the quadrant bounds
+// for full BQS: upper bound first, and the lower bound (actual extreme
+// points) only when the upper bound is violated.
+func (w *window) check(pk geo.Point, zeta float64) verdict {
+	if !w.filled {
+		return verdictFits
+	}
+	dist := w.distTo(pk)
+	exceeded := false
+	for i := range w.quads {
+		q := &w.quads[i]
+		if q.count == 0 {
+			continue
+		}
+		for _, v := range q.hull(w.ps) {
+			if dist.of(v) > zeta {
+				exceeded = true
+				break
+			}
+		}
+		if exceeded {
+			break
+		}
+	}
+	if !exceeded {
+		return verdictFits
+	}
+	for i := range w.quads {
+		q := &w.quads[i]
+		if q.count == 0 {
+			continue
+		}
+		ext := q.extremes()
+		for _, v := range ext {
+			if dist.of(v) > zeta {
+				return verdictFails
+			}
+		}
+	}
+	return verdictUncertain
+}
+
+// fullScan is the DP-style fallback over the buffered window.
+func (w *window) fullScan(pk geo.Point, zeta float64) bool {
+	for _, p := range w.buf {
+		if geo.PointLineDistance(p, w.ps, pk) > zeta {
+			return false
+		}
+	}
+	return true
+}
+
+func simplify(t traj.Trajectory, zeta float64, full bool) (traj.Piecewise, error) {
+	if !(zeta > 0) || math.IsInf(zeta, 1) {
+		return nil, fmt.Errorf("%w: got %g", ErrBadEpsilon, zeta)
+	}
+	if len(t) < 2 {
+		return nil, nil
+	}
+	out := make(traj.Piecewise, 0, 16)
+	s := 0
+	w := &window{keep: full}
+	w.reset(t[0].P())
+	for k := 1; k < len(t); k++ {
+		pk := t[k].P()
+		var fits bool
+		if !full {
+			fits = w.checkFast(pk, zeta)
+		} else {
+			switch w.check(pk, zeta) {
+			case verdictFits:
+				fits = true
+			case verdictFails:
+				fits = false
+			case verdictUncertain:
+				fits = w.fullScan(pk, zeta)
+			}
+		}
+		if fits {
+			w.add(pk)
+			continue
+		}
+		out = append(out, traj.NewSegment(t, s, k-1))
+		s = k - 1
+		w.reset(t[s].P())
+		w.add(pk)
+	}
+	out = append(out, traj.NewSegment(t, s, len(t)-1))
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package bqs
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trajsim/internal/dp"
+	"trajsim/internal/gen"
+	"trajsim/internal/geo"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+func workloads() map[string]traj.Trajectory {
+	return map[string]traj.Trajectory{
+		"line":        gen.Line(200, 15),
+		"noisy-line":  gen.NoisyLine(300, 20, 5, 11),
+		"circle":      gen.Circle(300, 200, 0.05),
+		"zigzag":      gen.Zigzag(300, 10, 60, 7),
+		"spiral":      gen.Spiral(300, 5, 3, 0.15),
+		"random-walk": gen.RandomWalk(400, 25, 3),
+		"stationary":  gen.Stationary(200, 2, 5),
+		"turns":       gen.SuddenTurns(300, 30, 9, 13),
+		"taxi":        gen.One(gen.Taxi, 300, 21),
+		"truck":       gen.One(gen.Truck, 300, 23),
+		"sercar":      gen.One(gen.SerCar, 300, 22),
+		"geolife":     gen.One(gen.GeoLife, 300, 24),
+	}
+}
+
+func TestErrorBoundBothVariants(t *testing.T) {
+	for name, tr := range workloads() {
+		for _, zeta := range []float64{5, 20, 40, 100} {
+			for variant, fn := range map[string]func(traj.Trajectory, float64) (traj.Piecewise, error){
+				"BQS": Simplify, "FBQS": SimplifyFast,
+			} {
+				pw, err := fn(tr, zeta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := metrics.VerifyBound(tr, pw, zeta); err != nil {
+					t.Errorf("%s %s ζ=%v: %v", variant, name, zeta, err)
+				}
+				if err := pw.Validate(); err != nil {
+					t.Errorf("%s %s ζ=%v: %v", variant, name, zeta, err)
+				}
+			}
+		}
+	}
+}
+
+// Full BQS falls back to an exact scan, so its windows match OPW-style
+// greedy growth: each emitted window's interior points all fit its line.
+func TestBQSPerWindowInvariant(t *testing.T) {
+	tr := gen.One(gen.SerCar, 500, 7)
+	zeta := 30.0
+	pw, err := Simplify(tr, zeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pw {
+		for i := s.StartIdx; i <= s.EndIdx; i++ {
+			if d := s.LineDistance(tr[i]); d > zeta+1e-9 {
+				t.Fatalf("point %d deviates %v", i, d)
+			}
+		}
+	}
+}
+
+// FBQS can only split more often than BQS (it treats uncertainty as a
+// violation), never less.
+func TestFBQSNeverBeatsBQS(t *testing.T) {
+	for name, tr := range workloads() {
+		full, err := Simplify(tr, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := SimplifyFast(tr, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) < len(full) {
+			t.Errorf("%s: FBQS %d segments < BQS %d", name, len(fast), len(full))
+		}
+	}
+}
+
+// BQS's compression should be in the same league as DP (it performs the
+// same exact check, only windowed greedily): allow 3x slack.
+func TestBQSComparableToDP(t *testing.T) {
+	tr := gen.One(gen.SerCar, 600, 42)
+	bqsPW, err := Simplify(tr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpPW, err := dp.Simplify(tr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bqsPW) > 3*len(dpPW)+3 {
+		t.Errorf("BQS %d segments vs DP %d: window splitting too aggressive", len(bqsPW), len(dpPW))
+	}
+}
+
+// The quadrant hull bound is sound: the hull's max distance to any line
+// upper-bounds every inserted point's distance.
+func TestQuadrantHullUpperBound(t *testing.T) {
+	ps := geo.Pt(0, 0)
+	var q quadrant
+	pts := []geo.Point{
+		{X: 10, Y: 2}, {X: 14, Y: 9}, {X: 22, Y: 5}, {X: 30, Y: 14},
+		{X: 18, Y: 1}, {X: 25, Y: 11}, {X: 40, Y: 3},
+	}
+	for _, p := range pts {
+		q.add(ps, p)
+	}
+	for _, end := range []geo.Point{{X: 50, Y: 0}, {X: 40, Y: 30}, {X: 10, Y: 40}} {
+		var trueMax float64
+		for _, p := range pts {
+			trueMax = math.Max(trueMax, geo.PointLineDistance(p, ps, end))
+		}
+		var ub float64
+		for _, v := range q.hull(ps) {
+			ub = math.Max(ub, geo.PointLineDistance(v, ps, end))
+		}
+		if ub+1e-9 < trueMax {
+			t.Errorf("end=%v: hull UB %v < true max %v", end, ub, trueMax)
+		}
+		var lb float64
+		for _, v := range q.extremes() {
+			lb = math.Max(lb, geo.PointLineDistance(v, ps, end))
+		}
+		if lb > trueMax+1e-9 {
+			t.Errorf("end=%v: extreme-point LB %v > true max %v", end, lb, trueMax)
+		}
+	}
+}
+
+func TestQuadrantIndex(t *testing.T) {
+	ps := geo.Pt(0, 0)
+	cases := []struct {
+		p    geo.Point
+		want int
+	}{
+		{geo.Pt(1, 1), 0},
+		{geo.Pt(1, 0), 0},
+		{geo.Pt(0, 1), 0},
+		{geo.Pt(-1, 1), 1},
+		{geo.Pt(-1, 0), 1},
+		{geo.Pt(-1, -1), 2},
+		{geo.Pt(1, -1), 3},
+		{geo.Pt(0, -1), 3},
+	}
+	for _, c := range cases {
+		if got := quadrantIndex(ps, c.p); got != c.want {
+			t.Errorf("quadrantIndex(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	for _, fn := range []func(traj.Trajectory, float64) (traj.Piecewise, error){Simplify, SimplifyFast} {
+		pw, err := fn(gen.Line(500, 10), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pw) != 1 {
+			t.Errorf("collinear input: %d segments, want 1", len(pw))
+		}
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	for n := 0; n <= 1; n++ {
+		pw, err := SimplifyFast(gen.Line(n, 1), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pw) != 0 {
+			t.Errorf("n=%d: %d segments", n, len(pw))
+		}
+	}
+}
+
+func TestBadEpsilon(t *testing.T) {
+	for _, zeta := range []float64{0, -3, math.Inf(1), math.NaN()} {
+		if _, err := Simplify(gen.Line(5, 1), zeta); !errors.Is(err, ErrBadEpsilon) {
+			t.Errorf("ζ=%v: %v", zeta, err)
+		}
+	}
+}
+
+func TestDuplicatePointsDoNotCrash(t *testing.T) {
+	tr := traj.Trajectory{
+		{X: 0, Y: 0, T: 0},
+		{X: 0, Y: 0, T: 1000},
+		{X: 0, Y: 0, T: 2000},
+		{X: 10, Y: 0, T: 3000},
+		{X: 10, Y: 0, T: 4000},
+		{X: 20, Y: 5, T: 5000},
+	}
+	for _, fn := range []func(traj.Trajectory, float64) (traj.Piecewise, error){Simplify, SimplifyFast} {
+		pw, err := fn(tr, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.VerifyBound(tr, pw, 8); err != nil {
+			t.Error(err)
+		}
+	}
+}

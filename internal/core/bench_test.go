@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+var sinkPW traj.Piecewise
+
+func benchTrajectory(b *testing.B, n int) traj.Trajectory {
+	b.Helper()
+	return gen.One(gen.SerCar, n, 7)
+}
+
+func BenchmarkSimplify(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		tr := benchTrajectory(b, n)
+		b.Run(itoa(n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				pw, err := Simplify(tr, 40)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkPW = pw
+			}
+		})
+	}
+}
+
+func BenchmarkSimplifyRaw(b *testing.B) {
+	tr := benchTrajectory(b, 10_000)
+	for i := 0; i < b.N; i++ {
+		pw, err := SimplifyOpts(tr, 40, RawOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkPW = pw
+	}
+}
+
+func BenchmarkSimplifyAggressive(b *testing.B) {
+	tr := benchTrajectory(b, 10_000)
+	for i := 0; i < b.N; i++ {
+		pw, err := SimplifyAggressive(tr, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkPW = pw
+	}
+}
+
+// Linear scaling evidence: ns/point should stay flat across sizes (read
+// the per-size ns/op divided by SetBytes in BenchmarkSimplify output).
+func BenchmarkFitterUpdate(b *testing.B) {
+	f := &fitter{zeta: 40, opts: DefaultOptions()}
+	f.reset(gen.Line(2, 1)[0].P())
+	tr := gen.One(gen.Taxi, 4096, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			f.reset(tr[0].P())
+		}
+		f.update(tr[i%4096].P())
+	}
+}
+
+func itoa(n int) string {
+	switch n {
+	case 1_000:
+		return "1k"
+	case 10_000:
+		return "10k"
+	case 100_000:
+		return "100k"
+	}
+	return "n"
+}

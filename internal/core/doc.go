@@ -1,0 +1,21 @@
+// Package core implements the paper's primary contribution: one-pass error
+// bounded trajectory simplification.
+//
+//   - The fitting function F (§4.1) dynamically maintains a directed line
+//     segment L — a start point, a length quantized to ζ/2 steps, and an
+//     angle — that fits all points processed so far, enabling *local*
+//     distance checking: each new point is compared against L once, instead
+//     of re-checking earlier points against every candidate segment as
+//     global-checking algorithms (DP, OPW, BQS) do.
+//   - Encoder is the streaming OPERB algorithm (§4.3, Figure 7) with the
+//     five optimization techniques of §4.4 individually controllable via
+//     Options. It runs in O(n) time and O(1) space and touches each input
+//     point exactly once.
+//   - AggressiveEncoder is OPERB-A (§5): it wraps Encoder with the lazy
+//     output policy and interpolates patch points to eliminate anomalous
+//     (two-point) line segments, improving the compression ratio beyond DP
+//     while preserving the error bound.
+//
+// All distances are Euclidean point-to-line distances in meters; the error
+// bound ζ is in meters.
+package core

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"trajsim/internal/traj"
+)
+
+// TestPaperExample4Classification replays §4.1's Example 4: eight points
+// whose radii from P0 walk through zones Z0..Z3, checking which points the
+// fitting function treats as active (incorporated, advancing Pa) and which
+// as inactive. ζ=1, so zone boundaries sit at r = 0.25, 0.75, 1.25, ...
+//
+//	P0 r=0      start, the first "active" point by convention
+//	P1 r=0.20   inactive in Z0                     (|R1| ≤ ζ/4)
+//	P2 r=0.60   active in Z1, sets |L|=0.5         (case 2)
+//	P3 r=0.65   inactive in Z1                     (|R3|−|L2| = 0.15 ≤ ζ/4)
+//	P4 r=1.10   active in Z2, |L|=1.0              (case 3)
+//	P5 r=1.60   active in Z3, |L|=1.5              (case 3)
+//	P6 r=1.30   inactive (|R6|−|L5| = −0.2 ≤ ζ/4; physically in Z2,
+//	            mapped with L's zone 3, the paper's note about P6)
+//	P7 r=1.70   inactive (|R7|−|L5| = 0.2 ≤ ζ/4)
+func TestPaperExample4Classification(t *testing.T) {
+	const zeta = 1.0
+	// Points nearly on the +x axis so every distance check passes and
+	// only the radial logic decides activity.
+	radii := []float64{0, 0.20, 0.60, 0.65, 1.10, 1.60, 1.30, 1.70}
+	wantActive := []bool{false, false, true, false, true, true, false, false}
+
+	tr := make(traj.Trajectory, len(radii))
+	for i, r := range radii {
+		tr[i] = traj.Point{X: r, Y: 0, T: int64(i) * 1000}
+	}
+	enc, err := NewEncoder(zeta, RawOptions()) // no opt 1: first-active radius ζ/4
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range tr {
+		prevPa := enc.paIdx
+		enc.Push(p)
+		gotActive := enc.paIdx != prevPa && enc.paIdx == i
+		if i == 0 {
+			continue // P0 opens the segment
+		}
+		if gotActive != wantActive[i] {
+			t.Errorf("P%d (r=%.2f): active=%v, want %v", i, radii[i], gotActive, wantActive[i])
+		}
+	}
+	// The fitted length after P5 is 3·ζ/2 (zone 3), per the example.
+	if enc.fit.length != 1.5 {
+		t.Errorf("|L| after stream = %v, want 1.5", enc.fit.length)
+	}
+	// All eight points collapse into one segment.
+	pw := enc.Flush()
+	if len(pw) != 1 {
+		t.Fatalf("%d segments, want 1", len(pw))
+	}
+	if pw[0].StartIdx != 0 || pw[0].EndIdx != 7 {
+		t.Errorf("segment range [%d..%d], want [0..7]", pw[0].StartIdx, pw[0].EndIdx)
+	}
+	// The end point is the last *active* point, P5 — trailing inactive
+	// points are represented by the segment's line (§4.3).
+	if pw[0].End != tr[5] {
+		t.Errorf("segment ends at %v, want P5 %v", pw[0].End, tr[5])
+	}
+}
+
+// The zone radii of Figure 5: Z0 (−ζ/4, ζ/4], Z1 (ζ/4, 3ζ/4],
+// Z2 (3ζ/4, 5ζ/4], Z3 (5ζ/4, 7ζ/4] — checked against the fitter's zone
+// index for ζ=1 at the exact boundaries.
+func TestPaperFigure5ZoneBoundaries(t *testing.T) {
+	f := newTestFitter(1.0, RawOptions())
+	boundaries := []struct {
+		r    float64
+		zone int
+	}{
+		{0.25, 0}, {0.250001, 1},
+		{0.75, 1}, {0.750001, 2},
+		{1.25, 2}, {1.250001, 3},
+		{1.75, 3}, {1.750001, 4},
+	}
+	for _, b := range boundaries {
+		if got := f.zone(b.r); got != b.zone {
+			t.Errorf("zone(%v) = %d, want %d", b.r, got, b.zone)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+// The alternative (linear) fitting function keeps the error bound on every
+// workload and option combination.
+func TestLinearFittingErrorBound(t *testing.T) {
+	for name, tr := range testTrajectories() {
+		for _, base := range []Options{DefaultOptions(), RawOptions()} {
+			opts := base
+			opts.LinearFitting = true
+			pw, err := SimplifyOpts(tr, 40, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := metrics.VerifyBound(tr, pw, 40); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			apw, _, err := SimplifyAggressiveOpts(tr, 40, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := metrics.VerifyBound(tr, apw, 40); err != nil {
+				t.Errorf("%s aggressive: %v", name, err)
+			}
+		}
+	}
+}
+
+// Linear fitting rotates less aggressively; on smooth workloads it should
+// stay within a modest factor of the paper's fitting function.
+func TestLinearFittingRatioPenaltyIsBounded(t *testing.T) {
+	var paperSegs, linearSegs int
+	for seed := uint64(0); seed < 8; seed++ {
+		tr := gen.One(gen.SerCar, 600, 500+seed)
+		a, err := SimplifyOpts(tr, 40, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.LinearFitting = true
+		b, err := SimplifyOpts(tr, 40, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paperSegs += len(a)
+		linearSegs += len(b)
+	}
+	if float64(linearSegs) > 1.5*float64(paperSegs) {
+		t.Errorf("linear fitting %d segments vs %d: penalty too large", linearSegs, paperSegs)
+	}
+	t.Logf("segments: arcsin=%d linear=%d", paperSegs, linearSegs)
+}
+
+// quick.Check-driven invariant: arbitrary bounded random polylines are
+// always error bounded and structurally valid under both encoders.
+func TestQuickRandomPolylinesBounded(t *testing.T) {
+	type step struct{ DX, DY int16 }
+	f := func(steps []step, zetaSel uint8) bool {
+		if len(steps) < 2 {
+			return true
+		}
+		if len(steps) > 300 {
+			steps = steps[:300]
+		}
+		zeta := []float64{5, 25, 80}[int(zetaSel)%3]
+		tr := make(traj.Trajectory, len(steps))
+		var x, y float64
+		for i, s := range steps {
+			x += float64(s.DX) / 100
+			y += float64(s.DY) / 100
+			tr[i] = traj.Point{X: x, Y: y, T: int64(i) * 1000}
+		}
+		pw, err := Simplify(tr, zeta)
+		if err != nil || metrics.VerifyBound(tr, pw, zeta) != nil || pw.Validate() != nil {
+			return false
+		}
+		apw, err := SimplifyAggressive(tr, zeta)
+		if err != nil || metrics.VerifyBound(tr, apw, zeta) != nil || apw.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Steady-state streaming must not allocate per point: the one-pass O(1)
+// space claim, checked with the allocator.
+func TestEncoderAllocFree(t *testing.T) {
+	tr := gen.One(gen.SerCar, 20_000, 77)
+	enc, err := NewEncoder(40, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up so the scratch buffer reaches steady capacity.
+	for _, p := range tr[:5000] {
+		enc.Push(p)
+	}
+	i := 5000
+	avg := testing.AllocsPerRun(10_000, func() {
+		enc.Push(tr[i%len(tr)])
+		i++
+	})
+	if avg > 0.01 {
+		t.Errorf("Push allocates %.4f allocs/op in steady state", avg)
+	}
+}
+
+func TestAggressiveEncoderAllocFree(t *testing.T) {
+	tr := gen.One(gen.SerCar, 20_000, 78)
+	enc, err := NewAggressiveEncoder(40, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr[:5000] {
+		enc.Push(p)
+	}
+	i := 5000
+	avg := testing.AllocsPerRun(10_000, func() {
+		enc.Push(tr[i%len(tr)])
+		i++
+	})
+	if avg > 0.01 {
+		t.Errorf("Push allocates %.4f allocs/op in steady state", avg)
+	}
+}
+
+// O(1) space in observable terms: the lazy-output queue never exceeds two
+// pending segments regardless of input length.
+func TestAggressiveQueueBounded(t *testing.T) {
+	tr := gen.SuddenTurns(5000, 30, 6, 3)
+	enc, err := NewAggressiveEncoder(15, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr {
+		enc.Push(p)
+		if len(enc.queue) > 2 {
+			t.Fatalf("lazy queue grew to %d", len(enc.queue))
+		}
+	}
+}

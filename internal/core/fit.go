@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+
+	"trajsim/internal/geo"
+)
+
+// fitter maintains the directed line segment L built by the fitting
+// function F of §4.1: start point Ps (fixed per segment), a length |L|
+// quantized to multiples of the step ζ/2, and an angle θ ∈ [0, 2π). The
+// fitted end point is virtual — it need not be a data point.
+//
+// It also tracks the per-side maximum deviations d⁺max / d⁻max used by
+// optimization techniques (2) and (3), and the zone index of the last
+// active point used by technique (4).
+type fitter struct {
+	zeta float64
+	opts Options
+
+	ps     geo.Point // Ps, the segment start
+	hasL   bool      // |L| > 0, i.e. at least one active point fitted
+	length float64   // |L| = j·ζ/2
+	theta  float64   // L.θ ∈ [0, 2π)
+	dir    geo.Point // unit vector at angle theta (cached for hot paths)
+	lastJ  int       // zone index of the last active point
+
+	dmaxPlus  float64 // max deviation of checked points left of L
+	dmaxMinus float64 // max deviation right of L
+}
+
+func (f *fitter) reset(ps geo.Point) {
+	f.ps = ps
+	f.hasL = false
+	f.length = 0
+	f.theta = 0
+	f.dir = geo.Point{}
+	f.lastJ = 0
+	f.dmaxPlus = 0
+	f.dmaxMinus = 0
+}
+
+// zone returns j = ⌈|R|·2/ζ − 0.5⌉, the index of the ζ/2-wide annulus
+// Z_j = { P : j·ζ/2 − ζ/4 < |PsP| ≤ j·ζ/2 + ζ/4 } containing radius r.
+func (f *fitter) zone(r float64) int {
+	j := int(math.Ceil(r*2/f.zeta - 0.5))
+	if j < 0 {
+		j = 0
+	}
+	return j
+}
+
+// lineDist is d(p, L): the distance to the infinite line through Ps at
+// angle θ, degrading to the distance to Ps while no line exists.
+func (f *fitter) lineDist(p geo.Point) float64 {
+	if !f.hasL {
+		return p.Dist(f.ps)
+	}
+	return math.Abs(f.dir.Cross(p.Sub(f.ps)))
+}
+
+// fsign evaluates the paper's sign function f(R, L) for a point: the
+// direction the fitting function would rotate L to approach it. The d±max
+// trackers of optimizations (2) and (3) group deviations by this sign —
+// rotations with f=+1 can only move L away from points recorded under
+// f=−1, which is what keeps d⁺max + d⁻max ≤ ζ sufficient for the bound.
+//
+// signF's range test is equivalent to sign(sin δ · cos δ), i.e. the sign
+// of cross(L, R)·dot(L, R), which avoids an atan2 per point. (At the
+// measure-zero boundary δ = 3π/2 this rounds toward +1 where signF's
+// half-open interval says −1; the rotation magnitude there is unaffected.)
+func (f *fitter) fsign(p geo.Point) int {
+	if !f.hasL {
+		return +1
+	}
+	v := p.Sub(f.ps)
+	if f.dir.Cross(v)*f.dir.Dot(v) >= 0 {
+		return +1
+	}
+	return -1
+}
+
+// allowed returns the largest deviation permitted for a point on the given
+// side: ζ/2 for the basic algorithm, or ζ − d∓max under optimization (2),
+// which keeps d⁺max + d⁻max ≤ ζ (Theorem 2's relaxed condition).
+func (f *fitter) allowed(side int) float64 {
+	if !f.opts.AdjustedBound {
+		return f.zeta / 2
+	}
+	if side > 0 {
+		return f.zeta - f.dmaxMinus
+	}
+	return f.zeta - f.dmaxPlus
+}
+
+// note records a checked point's deviation in the side trackers.
+func (f *fitter) note(d float64, side int) {
+	if side > 0 {
+		if d > f.dmaxPlus {
+			f.dmaxPlus = d
+		}
+	} else if d > f.dmaxMinus {
+		f.dmaxMinus = d
+	}
+}
+
+// signF is the paper's sign function f(Ri, Li−1): +1 when the included
+// angle δ = Ri.θ − Li−1.θ ∈ (−2π, 2π) falls in (−2π,−3π/2], [−π,−π/2],
+// [0,π/2] or [π,3π/2), and −1 otherwise. Geometrically this rotates L
+// toward the nearest alignment of its (undirected) line with the point:
+// points ahead-left or behind-right rotate L counterclockwise.
+func signF(delta float64) float64 {
+	switch {
+	case delta > -2*math.Pi && delta <= -3*math.Pi/2:
+		return 1
+	case delta >= -math.Pi && delta <= -math.Pi/2:
+		return 1
+	case delta >= 0 && delta <= math.Pi/2:
+		return 1
+	case delta >= math.Pi && delta < 3*math.Pi/2:
+		return 1
+	}
+	return -1
+}
+
+// update applies the fitting function F to incorporate an active point p,
+// implementing cases (2) and (3) of §4.1 plus optimizations (3) and (4).
+// Case (1) — inactive points — leaves the fitter untouched and is handled
+// by the encoder, which never calls update for them.
+func (f *fitter) update(p geo.Point) {
+	r := p.Dist(f.ps)
+	j := f.zone(r)
+	if j < 1 {
+		j = 1 // active points satisfy |R| > ζ/4, so j ≥ 1; guard float edges
+	}
+	jl := float64(j) * f.zeta / 2
+	v := p.Sub(f.ps)
+	if !f.hasL {
+		// Case (2): |L| = j·ζ/2, L.θ = R.θ.
+		f.theta = geo.AngleOf(v)
+		f.dir = geo.Dir(f.theta)
+		f.length = jl
+		f.hasL = true
+		f.lastJ = j
+		return
+	}
+	// Case (3): rotate L toward p by arcsin(d/(j·ζ/2))/j. The linear
+	// fitting variant uses x ≤ arcsin(x), a strictly smaller rotation.
+	arc := math.Asin
+	if f.opts.LinearFitting {
+		arc = func(x float64) float64 { return x }
+	}
+	sign := float64(f.fsign(p))
+	d := math.Abs(f.dir.Cross(v))
+	full := arc(clamp01(d / jl)) // rotation that aligns L's line with p
+
+	dx := d
+	if f.opts.AngleTighten {
+		// Optimization (3): rotate further, justified by the largest
+		// deviation already recorded for this rotation direction.
+		if dm := f.sideMax(int(sign)); dm > dx {
+			dx = dm
+		}
+	}
+	mult := 1.0
+	if f.opts.MissingZones {
+		// Optimization (4): compensate for skipped zones.
+		if dj := j - f.lastJ; dj > 1 {
+			mult = float64(dj)
+		}
+	}
+	mag := arc(clamp01(dx/jl)) * mult / float64(j)
+	if mag > full {
+		// §4.4(3)'s restriction: never rotate past full alignment.
+		mag = full
+	}
+	f.theta = geo.NormalizeAngle(f.theta + sign*mag)
+	f.dir = geo.Dir(f.theta)
+	f.length = jl
+	f.lastJ = j
+}
+
+func (f *fitter) sideMax(side int) float64 {
+	if side > 0 {
+		return f.dmaxPlus
+	}
+	return f.dmaxMinus
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"trajsim/internal/geo"
+)
+
+func newTestFitter(zeta float64, opts Options) *fitter {
+	f := &fitter{zeta: zeta, opts: opts.withDefaults()}
+	f.reset(geo.Point{})
+	return f
+}
+
+// Zone boundaries per §4.1: Z0 = (−ζ/4, ζ/4], Z1 = (ζ/4, 3ζ/4],
+// Z2 = (3ζ/4, 5ζ/4], Z3 = (5ζ/4, 7ζ/4].
+func TestZoneIndex(t *testing.T) {
+	f := newTestFitter(1.0, RawOptions())
+	cases := []struct {
+		r    float64
+		want int
+	}{
+		{0, 0},
+		{0.25, 0}, // boundary of Z0 (inclusive upper edge)
+		{0.2501, 1},
+		{0.5, 1},
+		{0.75, 1},
+		{0.7501, 2},
+		{1.0, 2},
+		{1.25, 2},
+		{1.2501, 3},
+		{1.75, 3},
+		{10.0, 20},
+	}
+	for _, c := range cases {
+		if got := f.zone(c.r); got != c.want {
+			t.Errorf("zone(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+// signF's +1 ranges per the fitting function definition (§4.1(e)).
+func TestSignF(t *testing.T) {
+	pi := math.Pi
+	cases := []struct {
+		delta float64
+		want  float64
+	}{
+		{-1.9 * pi, 1},  // (−2π, −3π/2]
+		{-1.5 * pi, 1},  // boundary −3π/2
+		{-1.2 * pi, -1}, // (−3π/2, −π)
+		{-pi, 1},        // [−π, −π/2]
+		{-0.6 * pi, 1},  //
+		{-0.5 * pi, 1},  // boundary −π/2
+		{-0.3 * pi, -1}, // (−π/2, 0)
+		{0, 1},          // [0, π/2]
+		{0.25 * pi, 1},  //
+		{0.5 * pi, 1},   // boundary π/2
+		{0.75 * pi, -1}, // (π/2, π)
+		{pi, 1},         // [π, 3π/2)
+		{1.25 * pi, 1},  //
+		{1.5 * pi, -1},  // boundary 3π/2 excluded
+		{1.9 * pi, -1},  // [3π/2, 2π)
+	}
+	for _, c := range cases {
+		if got := signF(c.delta); got != c.want {
+			t.Errorf("signF(%vπ) = %v, want %v", c.delta/pi, got, c.want)
+		}
+	}
+}
+
+// Geometric meaning: the rotation direction moves L's (undirected) line
+// toward the point.
+func TestSignFRotatesTowardPoint(t *testing.T) {
+	zeta := 2.0
+	for _, deg := range []float64{10, 40, 80, 100, 170, 190, 260, 350} {
+		f := newTestFitter(zeta, RawOptions())
+		// First active point along +x establishes θ = 0.
+		f.update(geo.Pt(1.0, 0))
+		// Next active point at a shallow offset angle.
+		ang := geo.Radians(deg)
+		p := geo.Dir(ang).Scale(2.0)
+		before := f.lineDist(p)
+		f.update(p)
+		after := f.lineDist(p)
+		if after > before+1e-12 {
+			t.Errorf("deg=%v: distance grew %v -> %v", deg, before, after)
+		}
+	}
+}
+
+// Case (2): the first active point sets the angle exactly and the length to
+// j·ζ/2.
+func TestFitterFirstActive(t *testing.T) {
+	f := newTestFitter(1.0, RawOptions())
+	f.update(geo.Pt(0.6, 0.6)) // r ≈ 0.8485 → zone 2
+	if !f.hasL {
+		t.Fatal("fitter has no line after first active point")
+	}
+	if want := math.Pi / 4; math.Abs(f.theta-want) > 1e-12 {
+		t.Errorf("theta = %v, want π/4", f.theta)
+	}
+	if want := 1.0; math.Abs(f.length-want) > 1e-12 {
+		t.Errorf("length = %v, want %v (zone 2 × ζ/2)", f.length, want)
+	}
+	if f.lastJ != 2 {
+		t.Errorf("lastJ = %d, want 2", f.lastJ)
+	}
+}
+
+// The rotation magnitude is arcsin(d/(jζ/2))/j for the raw algorithm.
+func TestFitterRotationMagnitude(t *testing.T) {
+	zeta := 2.0
+	f := newTestFitter(zeta, RawOptions())
+	f.update(geo.Pt(1.0, 0)) // zone 1, θ=0
+	// Active point in zone 2 at distance d from the x-axis.
+	p := geo.Pt(2.0, 0.3)
+	r := p.Norm()
+	j := f.zone(r)
+	want := math.Asin(0.3/(float64(j)*zeta/2)) / float64(j)
+	f.update(p)
+	if math.Abs(f.theta-want) > 1e-12 {
+		t.Errorf("theta = %v, want %v", f.theta, want)
+	}
+	if f.length != float64(j)*zeta/2 {
+		t.Errorf("length = %v, want %v", f.length, float64(j)*zeta/2)
+	}
+}
+
+// Optimization (4) scales the rotation by ∆j when zones are skipped,
+// capped at full alignment.
+func TestFitterMissingZones(t *testing.T) {
+	zeta := 2.0
+	raw := newTestFitter(zeta, RawOptions())
+	opt := newTestFitter(zeta, Options{MissingZones: true}.withDefaults())
+	for _, f := range []*fitter{raw, opt} {
+		f.update(geo.Pt(1.0, 0))
+	}
+	// Jump from zone 1 to zone 5 (∆j = 4).
+	p := geo.Pt(5.0, 0.4)
+	raw.update(p)
+	opt.update(p)
+	if !(opt.theta > raw.theta) {
+		t.Errorf("missing-zones rotation %v not larger than raw %v", opt.theta, raw.theta)
+	}
+	full := math.Asin(0.4 / p.Norm())
+	if opt.theta > full+1e-9 {
+		t.Errorf("rotation %v exceeds full alignment %v", opt.theta, full)
+	}
+}
+
+// Optimization (3) rotates at least as far as raw, never past alignment.
+func TestFitterAngleTighten(t *testing.T) {
+	zeta := 2.0
+	raw := newTestFitter(zeta, RawOptions())
+	opt := newTestFitter(zeta, Options{AngleTighten: true}.withDefaults())
+	for _, f := range []*fitter{raw, opt} {
+		f.update(geo.Pt(1.0, 0))
+		// Record a large deviation on the + side.
+		f.note(0.9, +1)
+	}
+	p := geo.Pt(2.0, 0.2)
+	raw.update(p)
+	opt.update(p)
+	if opt.theta < raw.theta-1e-12 {
+		t.Errorf("tightened rotation %v smaller than raw %v", opt.theta, raw.theta)
+	}
+	full := math.Asin(0.2 / 2.0)
+	if opt.theta > full+1e-9 {
+		t.Errorf("tightened rotation %v exceeds the §4.4(3) cap %v", opt.theta, full)
+	}
+}
+
+// Optimization (2) widens the allowed deviation on one side by the slack
+// left on the other.
+func TestFitterAllowed(t *testing.T) {
+	zeta := 2.0
+	f := newTestFitter(zeta, RawOptions())
+	f.update(geo.Pt(1.0, 0))
+	if got := f.allowed(+1); got != 1.0 {
+		t.Errorf("raw allowed = %v, want ζ/2", got)
+	}
+	f2 := newTestFitter(zeta, Options{AdjustedBound: true}.withDefaults())
+	f2.update(geo.Pt(1.0, 0))
+	f2.note(0.3, -1)
+	if got := f2.allowed(+1); math.Abs(got-1.7) > 1e-12 {
+		t.Errorf("adjusted allowed(+) = %v, want ζ−0.3 = 1.7", got)
+	}
+	if got := f2.allowed(-1); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("adjusted allowed(−) = %v, want ζ = 2.0", got)
+	}
+	f2.note(0.5, +1)
+	if got := f2.allowed(-1); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("adjusted allowed(−) = %v, want 1.5", got)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	for _, c := range []struct{ in, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {2, 1},
+	} {
+		if got := clamp01(c.in); got != c.want {
+			t.Errorf("clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Lemma 3: the cumulative angle drift Σ arcsin(1/i)/i stays below 0.8123
+// rad; replay the bound numerically the way the proof sums it.
+func TestLemma3AngleBudget(t *testing.T) {
+	var sum float64
+	for i := 2; i <= 4_000_000; i++ {
+		sum += math.Asin(1/float64(i)) / float64(i)
+	}
+	if sum >= 0.8123 {
+		t.Errorf("angle budget = %v, want < 0.8123", sum)
+	}
+	// And it is the bound the paper computes: π/6 + 1/(2√3) ≈ 0.8123.
+	want := math.Pi/6 + 1/(2*math.Sqrt(3))
+	if math.Abs(want-0.8123) > 1e-3 {
+		t.Errorf("closed form = %v, want ≈0.8123", want)
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"trajsim/internal/geo"
+	"trajsim/internal/traj"
+)
+
+// Stats aggregates counters an Encoder maintains while streaming.
+type Stats struct {
+	PointsIn    int // points pushed
+	SegmentsOut int // segments emitted
+	Absorbed    int // points represented by an already-finalized segment (opt. 5)
+	ForcedCaps  int // segments closed by the MaxSegmentPoints guard
+}
+
+// Encoder is the streaming OPERB algorithm (Figure 7). Feed points with
+// Push — each returns the directed line segments finalized by that point,
+// usually none — and call Flush once at the end of the stream.
+//
+// The encoder holds O(1) state: the current segment start Ps, the last
+// incorporated active point Pa, the fitted directed line segment L, and
+// (with optimization 5) one pending finalized segment. Each pushed point is
+// examined exactly once; the one-pass property is tested in operb_test.go.
+//
+// An Encoder is not safe for concurrent use; run one encoder per stream.
+type Encoder struct {
+	zeta float64
+	opts Options
+
+	emit func(traj.Segment) // sink; appends to scratch by default
+
+	started bool
+	n       int // index assigned to the next pushed point
+
+	ps       traj.Point // current segment start
+	psIdx    int
+	pa       traj.Point // last incorporated active point (segment end candidate)
+	paIdx    int
+	raDir    geo.Point // unit vector Ps→Pa (zero while Pa == Ps)
+	fit      fitter
+	segPt    int // points consumed into the current segment after Ps (i − s)
+	consumed int // index of the last point retained by the current segment
+
+	absorbing bool
+	pending   traj.Segment // finalized segment still absorbing points
+	pendDir   geo.Point    // unit direction of the pending segment's line
+
+	last    traj.Point // last pushed point
+	lastIdx int
+
+	stats   Stats
+	scratch []traj.Segment
+}
+
+// NewEncoder returns a streaming OPERB encoder with error bound zeta
+// (meters) and the given options.
+func NewEncoder(zeta float64, opts Options) (*Encoder, error) {
+	if err := checkEpsilon(zeta); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	e := &Encoder{zeta: zeta, opts: opts.withDefaults()}
+	e.fit = fitter{zeta: zeta, opts: e.opts}
+	e.emit = func(s traj.Segment) {
+		e.stats.SegmentsOut++
+		e.scratch = append(e.scratch, s)
+	}
+	return e, nil
+}
+
+// Stats returns the counters accumulated so far.
+func (e *Encoder) Stats() Stats { return e.stats }
+
+// Push feeds the next trajectory point and returns any segments finalized
+// by it. The returned slice is reused by subsequent calls.
+func (e *Encoder) Push(p traj.Point) []traj.Segment {
+	e.scratch = e.scratch[:0]
+	idx := e.n
+	e.n++
+	e.stats.PointsIn++
+	e.last, e.lastIdx = p, idx
+	if !e.started {
+		e.started = true
+		e.open(p, idx)
+		return nil
+	}
+	e.process(p, idx)
+	return e.scratch
+}
+
+// Flush finalizes the open segment(s) at end of stream and returns them.
+func (e *Encoder) Flush() []traj.Segment {
+	e.scratch = e.scratch[:0]
+	if e.absorbing {
+		e.emit(e.pending)
+		e.absorbing = false
+		return e.scratch
+	}
+	if !e.started {
+		return nil
+	}
+	switch {
+	case e.paIdx > e.psIdx:
+		if e.opts.ForceTail && e.consumed > e.paIdx {
+			e.emit(traj.Segment{Start: e.ps, End: e.pa, StartIdx: e.psIdx, EndIdx: e.paIdx})
+			e.emit(traj.Segment{Start: e.pa, End: e.last, StartIdx: e.paIdx, EndIdx: e.consumed})
+		} else {
+			// Trailing inactive points stay represented by this segment's
+			// line; they passed the d ≤ ζ check against it (§4.3).
+			e.emit(traj.Segment{Start: e.ps, End: e.pa, StartIdx: e.psIdx, EndIdx: e.consumed})
+		}
+	case e.lastIdx > e.psIdx:
+		// No active point was ever found: every point stayed within the
+		// first-active radius of Ps, so any line through Ps (in
+		// particular the one to the last point) is within ζ of them all.
+		e.emit(traj.Segment{Start: e.ps, End: e.last, StartIdx: e.psIdx, EndIdx: e.lastIdx})
+	}
+	return e.scratch
+}
+
+// open starts a new segment at point p with source index idx.
+func (e *Encoder) open(p traj.Point, idx int) {
+	e.ps, e.psIdx = p, idx
+	e.pa, e.paIdx = p, idx
+	e.raDir = geo.Point{}
+	e.fit.reset(p.P())
+	e.segPt = 0
+	e.consumed = idx
+}
+
+// process routes one point through absorption and the fitting machine.
+func (e *Encoder) process(p traj.Point, idx int) {
+	if e.absorbing {
+		// Optimization (5): the finalized segment keeps representing
+		// points while they stay within ζ of its line.
+		var d float64
+		if e.pendDir.IsZero() {
+			d = p.P().Dist(e.pending.Start.P())
+		} else {
+			d = abs(e.pendDir.Cross(p.P().Sub(e.pending.Start.P())))
+		}
+		if d <= e.zeta {
+			e.pending.EndIdx = idx
+			e.stats.Absorbed++
+			return
+		}
+		e.absorbing = false
+		e.emit(e.pending)
+	}
+	e.consume(p, idx)
+}
+
+// consume implements one step of getActivePoint + the OPERB main loop for
+// the current segment.
+func (e *Encoder) consume(p traj.Point, idx int) {
+	e.segPt++
+	if e.segPt > e.opts.MaxSegmentPoints {
+		// The (i − s) ≤ 4×10⁵ guard of Figure 7: force the segment closed.
+		e.stats.ForcedCaps++
+		if e.paIdx == e.psIdx {
+			// Degenerate stationary run: close it through this point so
+			// the output stays continuous.
+			e.incorporate(p, idx)
+			e.closeSegment()
+			return
+		}
+		e.closeSegment()
+		e.process(p, idx)
+		return
+	}
+
+	gp := p.P()
+	r := gp.Dist(e.fit.ps)
+
+	if !e.fit.hasL {
+		// Before the first active point. Optimization (1) widens the
+		// first-active radius from ζ/4 to ζ: every point within ζ of Ps is
+		// within ζ of *any* line through Ps, so the bound is unaffected.
+		thr := e.zeta / 4
+		if e.opts.FirstActive {
+			thr = e.zeta
+		}
+		if r <= thr {
+			e.consumed = idx
+			return // inactive around Ps, inherently safe
+		}
+		e.incorporate(p, idx)
+		e.consumed = idx
+		return
+	}
+
+	if r-e.fit.length <= e.zeta/4 {
+		// Inactive point (case 1 of F): check it against L and against
+		// Ra = PsPa (lines 2–5 of getActivePoint).
+		dL := e.fit.lineDist(gp)
+		side := e.fit.fsign(gp)
+		if dL > e.fit.allowed(side) || e.raDist(gp) > e.zeta {
+			// The rejected point is itself a candidate for absorption by
+			// the finalized segment (optimization 5), so it re-enters via
+			// process, not consume.
+			e.closeSegment()
+			e.process(p, idx)
+			return
+		}
+		e.fit.note(dL, side)
+		e.consumed = idx
+		return
+	}
+
+	// Active candidate: line 6 of getActivePoint checks it against L only.
+	dL := e.fit.lineDist(gp)
+	side := e.fit.fsign(gp)
+	if dL > e.fit.allowed(side) {
+		e.closeSegment()
+		e.process(p, idx)
+		return
+	}
+	e.fit.note(dL, side)
+	e.incorporate(p, idx)
+	e.consumed = idx
+}
+
+// incorporate folds an active point into the fit and advances the segment
+// end candidate (the examples' Pe := Pa).
+func (e *Encoder) incorporate(p traj.Point, idx int) {
+	e.fit.update(p.P())
+	e.pa, e.paIdx = p, idx
+	e.raDir = p.P().Sub(e.ps.P()).Unit()
+}
+
+// closeSegment finalizes PsPa and opens the next segment at Pa. The range
+// extends over trailing inactive points consumed after Pa: they passed the
+// d(·, Ra) ≤ ζ check against this segment's line, and the next segment
+// makes no promise about them. With optimization (5) the finalized segment
+// first enters absorbing state.
+func (e *Encoder) closeSegment() {
+	end := e.paIdx
+	if e.consumed > end {
+		end = e.consumed
+	}
+	seg := traj.Segment{Start: e.ps, End: e.pa, StartIdx: e.psIdx, EndIdx: end}
+	if e.opts.Absorb {
+		e.pending = seg
+		e.pendDir = seg.End.P().Sub(seg.Start.P()).Unit()
+		e.absorbing = true
+	} else {
+		e.emit(seg)
+	}
+	e.open(e.pa, e.paIdx)
+}
+
+// raDist is d(p, Ra): the distance to the line from Ps through the current
+// active point Pa, degrading to the distance to Ps while Pa == Ps.
+func (e *Encoder) raDist(p geo.Point) float64 {
+	if e.raDir.IsZero() {
+		return p.Dist(e.ps.P())
+	}
+	return abs(e.raDir.Cross(p.Sub(e.ps.P())))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Simplify runs OPERB with DefaultOptions over a whole trajectory.
+func Simplify(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+	return SimplifyOpts(t, zeta, DefaultOptions())
+}
+
+// SimplifyOpts runs OPERB with explicit options over a whole trajectory.
+// Trajectories with fewer than two points yield an empty representation.
+func SimplifyOpts(t traj.Trajectory, zeta float64, opts Options) (traj.Piecewise, error) {
+	e, err := NewEncoder(zeta, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make(traj.Piecewise, 0, 16)
+	for _, p := range t {
+		out = append(out, e.Push(p)...)
+	}
+	return append(out, e.Flush()...), nil
+}

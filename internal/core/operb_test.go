@@ -1,0 +1,375 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+// optionCombos enumerates all 32 on/off combinations of the five §4.4
+// optimization techniques.
+func optionCombos() []Options {
+	out := make([]Options, 0, 32)
+	for mask := 0; mask < 32; mask++ {
+		out = append(out, Options{
+			FirstActive:   mask&1 != 0,
+			AdjustedBound: mask&2 != 0,
+			AngleTighten:  mask&4 != 0,
+			MissingZones:  mask&8 != 0,
+			Absorb:        mask&16 != 0,
+		})
+	}
+	return out
+}
+
+func testTrajectories() map[string]traj.Trajectory {
+	return map[string]traj.Trajectory{
+		"line":        gen.Line(200, 15),
+		"noisy-line":  gen.NoisyLine(300, 20, 5, 11),
+		"circle":      gen.Circle(300, 200, 0.05),
+		"zigzag":      gen.Zigzag(300, 10, 60, 7),
+		"spiral":      gen.Spiral(300, 5, 3, 0.15),
+		"random-walk": gen.RandomWalk(400, 25, 3),
+		"stationary":  gen.Stationary(200, 2, 5),
+		"turns":       gen.SuddenTurns(300, 30, 9, 13),
+		"taxi":        gen.One(gen.Taxi, 400, 21),
+		"sercar":      gen.One(gen.SerCar, 400, 22),
+		"truck":       gen.One(gen.Truck, 400, 23),
+		"geolife":     gen.One(gen.GeoLife, 400, 24),
+	}
+}
+
+// The central invariant: OPERB is error bounded by ζ for every option
+// combination on every workload shape.
+func TestSimplifyErrorBoundAllOptionCombos(t *testing.T) {
+	zeta := 40.0
+	for name, tr := range testTrajectories() {
+		for _, opts := range optionCombos() {
+			pw, err := SimplifyOpts(tr, zeta, opts)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, opts, err)
+			}
+			if err := metrics.VerifyBound(tr, pw, zeta); err != nil {
+				t.Errorf("%s opts=%+v: %v", name, opts, err)
+			}
+			if err := pw.Validate(); err != nil {
+				t.Errorf("%s opts=%+v: invalid output: %v", name, opts, err)
+			}
+		}
+	}
+}
+
+// The bound must hold across ζ scales, not just one magnitude.
+func TestSimplifyErrorBoundAcrossEpsilons(t *testing.T) {
+	tr := gen.RandomWalk(600, 30, 17)
+	for _, zeta := range []float64{0.5, 5, 10, 20, 40, 80, 160, 1000} {
+		pw, err := Simplify(tr, zeta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.VerifyBound(tr, pw, zeta); err != nil {
+			t.Errorf("ζ=%v: %v", zeta, err)
+		}
+	}
+}
+
+func TestStraightLineCompressesToOneSegment(t *testing.T) {
+	tr := gen.Line(1000, 10)
+	pw, err := Simplify(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 1 {
+		t.Fatalf("collinear points produced %d segments, want 1", len(pw))
+	}
+	s := pw[0]
+	if s.StartIdx != 0 || s.EndIdx != len(tr)-1 {
+		t.Errorf("segment range [%d..%d], want [0..%d]", s.StartIdx, s.EndIdx, len(tr)-1)
+	}
+}
+
+func TestStreamingMatchesBatch(t *testing.T) {
+	tr := gen.One(gen.SerCar, 500, 99)
+	for _, opts := range []Options{DefaultOptions(), RawOptions()} {
+		want, err := SimplifyOpts(tr, 30, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEncoder(30, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got traj.Piecewise
+		for _, p := range tr {
+			got = append(got, e.Push(p)...)
+		}
+		got = append(got, e.Flush()...)
+		if len(got) != len(want) {
+			t.Fatalf("streaming %d segments, batch %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("segment %d: streaming %v, batch %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Every source index must be represented by at least one segment, with the
+// first range starting at 0 and the last ending at n−1.
+func TestRangesCoverEveryPoint(t *testing.T) {
+	for name, tr := range testTrajectories() {
+		pw, err := Simplify(tr, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pw) == 0 {
+			t.Fatalf("%s: empty output", name)
+		}
+		if pw[0].StartIdx != 0 {
+			t.Errorf("%s: first range starts at %d", name, pw[0].StartIdx)
+		}
+		covered := make([]bool, len(tr))
+		for _, s := range pw {
+			for i := s.StartIdx; i <= s.EndIdx && i < len(tr); i++ {
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("%s: point %d uncovered", name, i)
+			}
+		}
+		last := pw[len(pw)-1]
+		if last.EndIdx != len(tr)-1 {
+			t.Errorf("%s: last range ends at %d, want %d", name, last.EndIdx, len(tr)-1)
+		}
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	for n := 0; n <= 1; n++ {
+		tr := gen.Line(n, 10)
+		pw, err := Simplify(tr, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pw) != 0 {
+			t.Errorf("n=%d: got %d segments, want 0", n, len(pw))
+		}
+	}
+	tr := gen.Line(2, 10)
+	pw, err := Simplify(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 1 || pw[0].StartIdx != 0 || pw[0].EndIdx != 1 {
+		t.Errorf("n=2: got %v", pw)
+	}
+}
+
+func TestBadParameters(t *testing.T) {
+	for _, zeta := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := Simplify(gen.Line(10, 1), zeta); !errors.Is(err, ErrBadEpsilon) {
+			t.Errorf("ζ=%v: err = %v, want ErrBadEpsilon", zeta, err)
+		}
+	}
+	if _, err := NewEncoder(1, Options{Gamma: 4}); !errors.Is(err, ErrBadGamma) {
+		t.Errorf("gamma=4: %v", err)
+	}
+	if _, err := NewEncoder(1, Options{MaxSegmentPoints: -1}); !errors.Is(err, ErrBadCap) {
+		t.Errorf("cap=−1: %v", err)
+	}
+}
+
+func TestForceTailEndsAtLastPoint(t *testing.T) {
+	// A long straight run followed by a couple of points that stay
+	// inactive (within ζ/4 of the fitted length) leaves a tail.
+	tr := gen.One(gen.Taxi, 300, 5)
+	opts := DefaultOptions()
+	opts.ForceTail = true
+	pw, err := SimplifyOpts(tr, 40, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pw[len(pw)-1]
+	if last.EndIdx != len(tr)-1 {
+		t.Fatalf("last range ends at %d, want %d", last.EndIdx, len(tr)-1)
+	}
+	if last.End != tr[len(tr)-1] {
+		t.Errorf("ForceTail: representation ends at %v, want %v", last.End, tr[len(tr)-1])
+	}
+	if err := metrics.VerifyBound(tr, pw, 40); err != nil {
+		t.Errorf("ForceTail violates bound: %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	tr := gen.One(gen.SerCar, 300, 42)
+	e, err := NewEncoder(20, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs int
+	for _, p := range tr {
+		segs += len(e.Push(p))
+	}
+	segs += len(e.Flush())
+	st := e.Stats()
+	if st.PointsIn != len(tr) {
+		t.Errorf("PointsIn = %d, want %d", st.PointsIn, len(tr))
+	}
+	if st.SegmentsOut != segs {
+		t.Errorf("SegmentsOut = %d, emitted %d", st.SegmentsOut, segs)
+	}
+}
+
+func TestMaxSegmentPointsCap(t *testing.T) {
+	tr := gen.Stationary(1000, 1, 9) // parked vehicle: nothing ever activates
+	opts := RawOptions()
+	opts.MaxSegmentPoints = 100
+	pw, err := SimplifyOpts(tr, 50, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The (i−s) ≤ cap guard bounds how many points a single *fit* may
+	// consume (Lemma 4's validity window).
+	if len(pw) < 9 {
+		t.Errorf("cap=100 over 1000 points produced %d segments, want ≥9", len(pw))
+	}
+	for _, s := range pw {
+		if s.PointCount() > 105 {
+			t.Errorf("segment represents %d points, cap 100", s.PointCount())
+		}
+	}
+	if err := metrics.VerifyBound(tr, pw, 50); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxSegmentPointsCapWithAbsorb(t *testing.T) {
+	// With optimization (5) on, a stationary cloud may legally collapse to
+	// very few segments: absorption uses the exact d ≤ ζ check against a
+	// concrete line, not the fitting function, so the Lemma-4 cap does not
+	// apply to absorbed points. The bound must still hold.
+	tr := gen.Stationary(1000, 1, 9)
+	opts := DefaultOptions()
+	opts.MaxSegmentPoints = 100
+	pw, err := SimplifyOpts(tr, 50, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.VerifyBound(tr, pw, 50); err != nil {
+		t.Error(err)
+	}
+	if len(pw) == 0 {
+		t.Error("no output segments")
+	}
+}
+
+// The §4.4 techniques exist to improve compression: with everything on,
+// the segment count should not exceed the raw algorithm's on realistic
+// workloads (allowing a small tolerance for individual trajectories).
+func TestOptimizationsImproveRatio(t *testing.T) {
+	var rawSegs, optSegs int
+	for seed := uint64(0); seed < 10; seed++ {
+		tr := gen.One(gen.SerCar, 600, 100+seed)
+		raw, err := SimplifyOpts(tr, 40, RawOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := SimplifyOpts(tr, 40, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawSegs += len(raw)
+		optSegs += len(opt)
+	}
+	if optSegs > rawSegs {
+		t.Errorf("optimized OPERB used %d segments vs %d raw; expected improvement", optSegs, rawSegs)
+	}
+	t.Logf("segments: raw=%d optimized=%d (%.1f%%)", rawSegs, optSegs, 100*float64(optSegs)/float64(rawSegs))
+}
+
+// Each individual optimization must keep the bound when toggled alone
+// at several error bounds (regression guard for opts 2/3 interplay).
+func TestSingleOptimizationBounds(t *testing.T) {
+	tr := gen.RandomWalk(800, 35, 77)
+	for bit := 0; bit < 5; bit++ {
+		opts := Options{
+			FirstActive:   bit == 0,
+			AdjustedBound: bit == 1,
+			AngleTighten:  bit == 2,
+			MissingZones:  bit == 3,
+			Absorb:        bit == 4,
+		}
+		for _, zeta := range []float64{10, 40, 120} {
+			pw, err := SimplifyOpts(tr, zeta, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := metrics.VerifyBound(tr, pw, zeta); err != nil {
+				t.Errorf("opt bit %d ζ=%v: %v", bit, zeta, err)
+			}
+		}
+	}
+}
+
+// Figure 9's scenario: a trajectory with crossroad turns produces
+// anomalous segments under OPERB (they are what OPERB-A later patches).
+func TestAnomalousSegmentsAppearAtCrossroads(t *testing.T) {
+	tr := gen.SuddenTurns(200, 30, 7, 3)
+	pw, err := Simplify(tr, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomalous := 0
+	for _, s := range pw {
+		if s.Anomalous() {
+			anomalous++
+		}
+	}
+	if anomalous == 0 {
+		t.Error("expected anomalous segments on a crossroad-heavy trajectory")
+	}
+}
+
+func TestPushReturnsReusedSlice(t *testing.T) {
+	// Documented contract: the Push/Flush result is only valid until the
+	// next call. Verify the encoder actually reuses the buffer so callers
+	// notice if they depend on it.
+	e, err := NewEncoder(5, RawOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.Zigzag(100, 10, 50, 3)
+	var first []traj.Segment
+	for _, p := range tr {
+		if out := e.Push(p); len(out) > 0 && first == nil {
+			first = out
+		}
+	}
+	if first == nil {
+		t.Skip("no mid-stream segment emitted")
+	}
+	_ = e.Flush()
+	// No assertion on contents: this is a usage demonstration; the
+	// streaming-vs-batch test covers correctness.
+}
+
+func ExampleSimplify() {
+	tr := traj.Trajectory{
+		{X: 0, Y: 0, T: 0},
+		{X: 10, Y: 0.1, T: 1000},
+		{X: 20, Y: -0.1, T: 2000},
+		{X: 30, Y: 0, T: 3000},
+	}
+	pw, _ := Simplify(tr, 1.0)
+	fmt.Println(len(pw), "segment")
+	// Output: 1 segment
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+
+	"trajsim/internal/geo"
+	"trajsim/internal/traj"
+)
+
+// PatchStats reports OPERB-A's trajectory-interpolation activity. The
+// paper's patching ratio (Exp-4.1) is Patched/Anomalous.
+type PatchStats struct {
+	// Anomalous counts line segments that represented only their own two
+	// end points when they were determined (before interpolation), the
+	// paper's Na.
+	Anomalous int
+	// Patched counts anomalous segments eliminated by interpolating a
+	// patch point, the paper's Np.
+	Patched int
+}
+
+// Ratio returns Patched/Anomalous, or 0 when no anomalous segment was seen.
+func (s PatchStats) Ratio() float64 {
+	if s.Anomalous == 0 {
+		return 0
+	}
+	return float64(s.Patched) / float64(s.Anomalous)
+}
+
+// AggressiveEncoder is the streaming OPERB-A algorithm (§5): OPERB plus the
+// lazy output policy and patch-point interpolation. Determined segments are
+// withheld (at most two at a time) until the following segment's direction
+// is known; when the middle segment is anomalous and the §5.1 conditions
+// hold, the surrounding lines are extended to their intersection G, the
+// first segment is emitted as PsG, and GPt replaces the following segment.
+//
+// Angles of emitted lines are never changed, so OPERB-A inherits OPERB's
+// error bound, remains one-pass, and keeps O(1) space (the queue holds at
+// most two segments).
+type AggressiveEncoder struct {
+	enc   *Encoder
+	zeta  float64
+	gamma float64
+
+	queue   []traj.Segment // 0: previous segment; 1: pending anomalous segment
+	stats   PatchStats
+	scratch []traj.Segment
+}
+
+// NewAggressiveEncoder returns a streaming OPERB-A encoder with error bound
+// zeta (meters). opts.Gamma controls the included-angle restriction γm.
+func NewAggressiveEncoder(zeta float64, opts Options) (*AggressiveEncoder, error) {
+	enc, err := NewEncoder(zeta, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &AggressiveEncoder{
+		enc:   enc,
+		zeta:  zeta,
+		gamma: enc.opts.Gamma,
+		queue: make([]traj.Segment, 0, 2),
+	}, nil
+}
+
+// Stats returns the underlying OPERB counters.
+func (a *AggressiveEncoder) Stats() Stats { return a.enc.Stats() }
+
+// PatchStats returns interpolation counters.
+func (a *AggressiveEncoder) PatchStats() PatchStats { return a.stats }
+
+// Push feeds the next point; returned segments are final (already patched).
+// The returned slice is reused by subsequent calls.
+func (a *AggressiveEncoder) Push(p traj.Point) []traj.Segment {
+	a.scratch = a.scratch[:0]
+	for _, s := range a.enc.Push(p) {
+		a.route(s)
+	}
+	return a.scratch
+}
+
+// Flush drains the underlying encoder and the lazy-output queue.
+func (a *AggressiveEncoder) Flush() []traj.Segment {
+	a.scratch = a.scratch[:0]
+	for _, s := range a.enc.Flush() {
+		a.route(s)
+	}
+	for _, s := range a.queue {
+		a.out(s)
+	}
+	a.queue = a.queue[:0]
+	return a.scratch
+}
+
+func (a *AggressiveEncoder) out(s traj.Segment) { a.scratch = append(a.scratch, s) }
+
+// route applies the lazy output policy of §5.2 to one determined segment.
+func (a *AggressiveEncoder) route(s traj.Segment) {
+	if s.Anomalous() {
+		a.stats.Anomalous++
+	}
+	switch len(a.queue) {
+	case 0:
+		a.queue = append(a.queue, s)
+	case 1:
+		if s.Anomalous() {
+			// Hold both: the next determined segment decides the patch.
+			a.queue = append(a.queue, s)
+			return
+		}
+		a.out(a.queue[0])
+		a.queue[0] = s
+	default: // [prev, anomalous]
+		prev, anom := a.queue[0], a.queue[1]
+		if g, ok := a.patchPoint(prev, anom, s); ok {
+			a.stats.Patched++
+			ext := prev
+			ext.End = g
+			ext.VirtualEnd = true
+			if anom.StartIdx > ext.EndIdx {
+				// The anomalous segment's start point lies on prev's line.
+				ext.EndIdx = anom.StartIdx
+			}
+			a.out(ext)
+			s.Start = g
+			s.VirtualStart = true
+		} else {
+			a.out(prev)
+			a.out(anom)
+		}
+		a.queue = a.queue[:1]
+		a.queue[0] = s
+	}
+}
+
+// patchPoint computes the patch point G w.r.t. the anomalous segment anom,
+// checking the three conditions of §5.1:
+//
+//  1. G lies on the line of prev (forward from its start) and on the line
+//     of next (behind its start, so that G→next.Start has next's angle);
+//  2. |PsG| ≥ |PsPe| − ζ/2, where PsPe is prev;
+//  3. the included angle from prev to next stays at least γm away from a
+//     reversal: |∠| ≤ π − γm.
+func (a *AggressiveEncoder) patchPoint(prev, anom, next traj.Segment) (traj.Point, bool) {
+	lenPrev := prev.Length()
+	lenNext := next.Length()
+	if lenPrev <= geo.Eps || lenNext <= geo.Eps {
+		return traj.Point{}, false
+	}
+	thetaPrev := prev.Theta()
+	thetaNext := next.Theta()
+	// Condition (3).
+	if geo.AngleDiff(thetaPrev, thetaNext) > math.Pi-a.gamma+geo.Eps {
+		return traj.Point{}, false
+	}
+	t1, t2, ok := geo.SegmentLineIntersectionParams(prev.Start.P(), thetaPrev, next.Start.P(), thetaNext)
+	if !ok {
+		return traj.Point{}, false // parallel lines
+	}
+	// Condition (2): G does not retract prev's end by more than ζ/2, and
+	// lies forward of prev's start.
+	if t1 < lenPrev-a.zeta/2 || t1 <= geo.Eps {
+		return traj.Point{}, false
+	}
+	// Condition (1), direction part: G precedes next's start on its line.
+	if t2 > geo.Eps {
+		return traj.Point{}, false
+	}
+	g := prev.Start.P().Add(geo.Dir(thetaPrev).Scale(t1))
+	// The patch point replaces the anomalous corner; give it the midpoint
+	// of the corner's timestamps so decoded trajectories stay monotone.
+	gt := anom.Start.T + (anom.End.T-anom.Start.T)/2
+	return traj.Point{X: g.X, Y: g.Y, T: gt}, true
+}
+
+// SimplifyAggressive runs OPERB-A with DefaultOptions over a trajectory.
+func SimplifyAggressive(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+	pw, _, err := SimplifyAggressiveOpts(t, zeta, DefaultOptions())
+	return pw, err
+}
+
+// SimplifyAggressiveOpts runs OPERB-A with explicit options and returns the
+// patching statistics alongside the representation.
+func SimplifyAggressiveOpts(t traj.Trajectory, zeta float64, opts Options) (traj.Piecewise, PatchStats, error) {
+	a, err := NewAggressiveEncoder(zeta, opts)
+	if err != nil {
+		return nil, PatchStats{}, err
+	}
+	out := make(traj.Piecewise, 0, 16)
+	for _, p := range t {
+		out = append(out, a.Push(p)...)
+	}
+	out = append(out, a.Flush()...)
+	return out, a.PatchStats(), nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxSegmentPointsDefault is the paper's k ≤ 4×10⁵ restriction on the
+// number of points a single directed line segment may represent (§4.2
+// Remarks); the angle-drift bound of Lemma 4 is proven up to this length.
+const MaxSegmentPointsDefault = 400000
+
+// DefaultGamma is the default γm = π/3 for OPERB-A's included-angle
+// restriction on patch points (§5.1, Exp-4.2).
+const DefaultGamma = math.Pi / 3
+
+// Options selects the optimization techniques of §4.4 and practical knobs.
+// The zero value is the paper's Raw-OPERB (all optimizations off);
+// DefaultOptions enables everything, matching the paper's OPERB.
+type Options struct {
+	// FirstActive is optimization (1): start a segment's fit at the first
+	// point farther than ζ from Ps instead of ζ/4, so the initial angle is
+	// estimated from a longer baseline.
+	FirstActive bool
+
+	// AdjustedBound is optimization (2): replace the per-point condition
+	// d(Pi, L) ≤ ζ/2 with d⁺max + d⁻max ≤ ζ, tracking the maximum
+	// deviation on each side of L separately.
+	AdjustedBound bool
+
+	// AngleTighten is optimization (3): when rotating L toward an active
+	// point, use a distance dx up to the recorded d±max of that side
+	// (instead of the point's own distance), bounded so the rotation never
+	// exceeds full alignment with the point.
+	AngleTighten bool
+
+	// MissingZones is optimization (4): when an active point skips zones
+	// (∆j > 1), scale the rotation by ∆j to compensate for the missing
+	// active points.
+	MissingZones bool
+
+	// Absorb is optimization (5): after a segment PsPe is finalized, keep
+	// representing subsequent points with it while they stay within ζ of
+	// its line.
+	Absorb bool
+
+	// LinearFitting selects an alternative form of the fitting function
+	// (the paper's conclusion lists such variants as future work): the
+	// rotation magnitude arcsin(x)/j is replaced by its linear lower bound
+	// x/j. Rotations are strictly smaller than the paper's, so every bound
+	// argument still applies; the arcsin disappears from the hot path at
+	// the cost of slightly slower alignment (a small ratio penalty).
+	LinearFitting bool
+
+	// ForceTail emits an explicit final segment to the last input point
+	// when trailing inactive points follow the last active point. The
+	// paper leaves such points represented by the final segment's line
+	// (its error-bound definition only requires *some* consecutive output
+	// pair within ζ); enable this when the representation must end at Pn.
+	ForceTail bool
+
+	// MaxSegmentPoints caps the points per segment ((i−s) ≤ 4×10⁵ in
+	// Figure 7). Zero means MaxSegmentPointsDefault.
+	MaxSegmentPoints int
+
+	// Gamma is OPERB-A's γm ∈ [0, π]: a patch point is only interpolated
+	// when the included angle between the surrounding segments stays at
+	// least γm away from a U-turn (§5.1 condition 3). Zero means
+	// DefaultGamma. Ignored by plain OPERB.
+	Gamma float64
+}
+
+// DefaultOptions returns the paper's OPERB configuration: all five
+// optimization techniques enabled.
+func DefaultOptions() Options {
+	return Options{
+		FirstActive:      true,
+		AdjustedBound:    true,
+		AngleTighten:     true,
+		MissingZones:     true,
+		Absorb:           true,
+		MaxSegmentPoints: MaxSegmentPointsDefault,
+		Gamma:            DefaultGamma,
+	}
+}
+
+// RawOptions returns the paper's Raw-OPERB configuration: the basic
+// algorithm of Figure 7 with no optimizations.
+func RawOptions() Options {
+	return Options{
+		MaxSegmentPoints: MaxSegmentPointsDefault,
+		Gamma:            DefaultGamma,
+	}
+}
+
+// Errors returned when constructing encoders.
+var (
+	ErrBadEpsilon = errors.New("core: error bound ζ must be positive and finite")
+	ErrBadGamma   = errors.New("core: γm must be in [0, π]")
+	ErrBadCap     = errors.New("core: MaxSegmentPoints must be ≥ 0")
+)
+
+func (o Options) validate() error {
+	if o.Gamma < 0 || o.Gamma > math.Pi {
+		return fmt.Errorf("%w: got %g", ErrBadGamma, o.Gamma)
+	}
+	if o.MaxSegmentPoints < 0 {
+		return fmt.Errorf("%w: got %d", ErrBadCap, o.MaxSegmentPoints)
+	}
+	return nil
+}
+
+// withDefaults fills zero knobs.
+func (o Options) withDefaults() Options {
+	if o.MaxSegmentPoints == 0 {
+		o.MaxSegmentPoints = MaxSegmentPointsDefault
+	}
+	if o.Gamma == 0 {
+		o.Gamma = DefaultGamma
+	}
+	return o
+}
+
+func checkEpsilon(zeta float64) error {
+	if !(zeta > 0) || math.IsInf(zeta, 1) {
+		return fmt.Errorf("%w: got %g", ErrBadEpsilon, zeta)
+	}
+	return nil
+}

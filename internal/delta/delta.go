@@ -1,0 +1,121 @@
+// Package delta implements the lossless delta-compression baseline the
+// paper's related work discusses ([19], Trajic's simple ancestor): each
+// point is stored as the zigzag-varint difference from its predecessor
+// after fixed-point quantization. It reconstructs the quantized trajectory
+// exactly and achieves modest byte-level compression — the property the
+// paper cites ("zero error ... compression ratio is relatively poor").
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"trajsim/internal/enc"
+	"trajsim/internal/traj"
+)
+
+// Codec holds the quantization parameters.
+type Codec struct {
+	// QuantXY is the spatial resolution in meters per unit. The default
+	// (zero value) is 1 mm, far below GPS noise.
+	QuantXY float64
+	// QuantT is the temporal resolution in milliseconds per unit. The
+	// default (zero value) is 1 ms.
+	QuantT int64
+}
+
+const (
+	defaultQuantXY = 0.001
+	defaultQuantT  = 1
+	magic          = 0x544a44 // "TJD"
+)
+
+// Errors returned by Decode.
+var (
+	ErrBadMagic  = errors.New("delta: bad magic")
+	ErrTruncated = errors.New("delta: truncated stream")
+)
+
+func (c Codec) params() (float64, int64) {
+	q, qt := c.QuantXY, c.QuantT
+	if q <= 0 {
+		q = defaultQuantXY
+	}
+	if qt <= 0 {
+		qt = defaultQuantT
+	}
+	return q, qt
+}
+
+// Encode compresses t losslessly (up to quantization).
+func (c Codec) Encode(t traj.Trajectory) []byte {
+	q, qt := c.params()
+	b := make([]byte, 0, 16+len(t)*6)
+	b = enc.AppendUvarint(b, magic)
+	b = enc.AppendUvarint(b, uint64(len(t)))
+	var px, py, pt int64
+	for i, p := range t {
+		x := int64(math.Round(p.X / q))
+		y := int64(math.Round(p.Y / q))
+		tm := p.T / qt
+		if i == 0 {
+			b = enc.AppendVarint(b, x)
+			b = enc.AppendVarint(b, y)
+			b = enc.AppendVarint(b, tm)
+		} else {
+			b = enc.AppendVarint(b, x-px)
+			b = enc.AppendVarint(b, y-py)
+			b = enc.AppendVarint(b, tm-pt)
+		}
+		px, py, pt = x, y, tm
+	}
+	return b
+}
+
+// Decode reconstructs the quantized trajectory.
+func (c Codec) Decode(b []byte) (traj.Trajectory, error) {
+	q, qt := c.params()
+	m, n, err := enc.Uvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	b = b[n:]
+	count, n, err := enc.Uvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	b = b[n:]
+	out := make(traj.Trajectory, 0, count)
+	var x, y, tm int64
+	for i := uint64(0); i < count; i++ {
+		var dx, dy, dt int64
+		for _, dst := range []*int64{&dx, &dy, &dt} {
+			v, n, err := enc.Varint(b)
+			if err != nil {
+				return nil, fmt.Errorf("%w at point %d: %v", ErrTruncated, i, err)
+			}
+			*dst = v
+			b = b[n:]
+		}
+		x, y, tm = x+dx, y+dy, tm+dt
+		out = append(out, traj.Point{X: float64(x) * q, Y: float64(y) * q, T: tm * qt})
+	}
+	return out, nil
+}
+
+// RawSize returns the uncompressed size of t in bytes (two float64
+// coordinates plus an int64 timestamp per point), the denominator of
+// ByteRatio.
+func RawSize(t traj.Trajectory) int { return len(t) * 24 }
+
+// ByteRatio returns encoded size / raw size; lower is better.
+func (c Codec) ByteRatio(t traj.Trajectory) float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	return float64(len(c.Encode(t))) / float64(RawSize(t))
+}

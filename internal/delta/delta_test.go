@@ -1,0 +1,122 @@
+package delta
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+func TestRoundTripExactAtQuantization(t *testing.T) {
+	c := Codec{}
+	tr := gen.One(gen.SerCar, 500, 3)
+	dec, err := c.Decode(c.Encode(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(tr) {
+		t.Fatalf("decoded %d points, want %d", len(dec), len(tr))
+	}
+	for i := range tr {
+		if math.Abs(dec[i].X-tr[i].X) > 0.0005+1e-12 || math.Abs(dec[i].Y-tr[i].Y) > 0.0005+1e-12 {
+			t.Fatalf("point %d drifted: %v vs %v", i, dec[i], tr[i])
+		}
+		if dec[i].T != tr[i].T {
+			t.Fatalf("point %d time drifted: %d vs %d", i, dec[i].T, tr[i].T)
+		}
+	}
+	// Lossless at quantized resolution: re-encoding the decode is identical.
+	dec2, err := c.Decode(c.Encode(dec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		if dec[i] != dec2[i] {
+			t.Fatalf("point %d not stable: %v vs %v", i, dec[i], dec2[i])
+		}
+	}
+}
+
+func TestCompressionBeatsRaw(t *testing.T) {
+	c := Codec{QuantXY: 0.01} // 1 cm, below GPS noise
+	for _, preset := range gen.Presets {
+		tr := gen.One(preset, 1000, 9)
+		r := c.ByteRatio(tr)
+		if r >= 1 {
+			t.Errorf("%v: byte ratio %v ≥ 1", preset, r)
+		}
+		// The paper's point: lossless ratios are modest, nothing like the
+		// 2–20%% of LS algorithms.
+		if r < 0.05 {
+			t.Errorf("%v: byte ratio %v implausibly small for lossless", preset, r)
+		}
+	}
+}
+
+func TestCustomQuantization(t *testing.T) {
+	c := Codec{QuantXY: 1.0, QuantT: 1000}
+	tr := gen.One(gen.Taxi, 200, 4)
+	dec, err := c.Decode(c.Encode(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr {
+		if math.Abs(dec[i].X-tr[i].X) > 0.5+1e-9 {
+			t.Fatalf("point %d x drift %v at 1 m quantization", i, dec[i].X-tr[i].X)
+		}
+		if d := dec[i].T - tr[i].T; d < -1000 || d > 1000 {
+			t.Fatalf("point %d t drift %d at 1 s quantization", i, d)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	c := Codec{}
+	if _, err := c.Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := c.Decode([]byte{0x01}); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	good := c.Encode(gen.Line(10, 5))
+	if _, err := c.Decode(good[:len(good)-3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestEmptyTrajectory(t *testing.T) {
+	c := Codec{}
+	dec, err := c.Decode(c.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Errorf("decoded %d points from empty input", len(dec))
+	}
+	if RawSize(traj.Trajectory{}) != 0 {
+		t.Error("RawSize of empty should be 0")
+	}
+	if c.ByteRatio(nil) != 0 {
+		t.Error("ByteRatio of empty should be 0")
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	c := Codec{}
+	tr := traj.Trajectory{
+		{X: -1000.123, Y: -2000.456, T: 0},
+		{X: -999.5, Y: -2001.25, T: 1500},
+		{X: 500.75, Y: -1999, T: 2750},
+	}
+	dec, err := c.Decode(c.Encode(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr {
+		if math.Abs(dec[i].X-tr[i].X) > 0.001 || math.Abs(dec[i].Y-tr[i].Y) > 0.001 {
+			t.Errorf("point %d: %v vs %v", i, dec[i], tr[i])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package dp implements the Douglas-Peucker batch line-simplification
+// algorithm (Figure 3 of the paper; Douglas & Peucker 1973), the baseline
+// with the best compression ratio among existing LS algorithms, plus the
+// TD-TR variant of Meratnia & de By that replaces the Euclidean distance
+// with the time-synchronized Euclidean distance (SED).
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"trajsim/internal/traj"
+)
+
+// ErrBadEpsilon is returned for non-positive error bounds.
+var ErrBadEpsilon = errors.New("dp: error bound ζ must be positive and finite")
+
+// Simplify compresses t with the basic Douglas-Peucker algorithm and error
+// bound zeta (meters): recursively split at the point of maximum distance
+// to the line through the range endpoints until every range fits. O(n²)
+// time worst case, O(n) space. Trajectories with fewer than two points
+// yield an empty representation.
+func Simplify(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+	return simplify(t, zeta, euclideanMax)
+}
+
+// SimplifySED is TD-TR: Douglas-Peucker with the synchronized Euclidean
+// distance, which accounts for where the object should be at each point's
+// timestamp.
+func SimplifySED(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+	return simplify(t, zeta, sedMax)
+}
+
+// maxDistFunc returns the index and value of the maximum distance of the
+// interior points of t[lo..hi] to the line segment (t[lo], t[hi]).
+type maxDistFunc func(t traj.Trajectory, lo, hi int) (int, float64)
+
+func simplify(t traj.Trajectory, zeta float64, maxDist maxDistFunc) (traj.Piecewise, error) {
+	if !(zeta > 0) || math.IsInf(zeta, 1) {
+		return nil, fmt.Errorf("%w: got %g", ErrBadEpsilon, zeta)
+	}
+	if len(t) < 2 {
+		return nil, nil
+	}
+	type span struct{ lo, hi int }
+	// Explicit stack; pushing the right half first yields in-order output.
+	stack := make([]span, 0, 64)
+	stack = append(stack, span{0, len(t) - 1})
+	out := make(traj.Piecewise, 0, 16)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo <= 1 {
+			out = append(out, traj.NewSegment(t, s.lo, s.hi))
+			continue
+		}
+		k, d := maxDist(t, s.lo, s.hi)
+		if d <= zeta {
+			out = append(out, traj.NewSegment(t, s.lo, s.hi))
+			continue
+		}
+		stack = append(stack, span{k, s.hi}, span{s.lo, k})
+	}
+	return out, nil
+}
+
+func euclideanMax(t traj.Trajectory, lo, hi int) (int, float64) {
+	seg := traj.NewSegment(t, lo, hi)
+	best, bestD := lo, -1.0
+	for i := lo + 1; i < hi; i++ {
+		if d := seg.LineDistance(t[i]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+func sedMax(t traj.Trajectory, lo, hi int) (int, float64) {
+	seg := traj.NewSegment(t, lo, hi)
+	best, bestD := lo, -1.0
+	for i := lo + 1; i < hi; i++ {
+		if d := seg.SEDistance(t[i]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

@@ -1,0 +1,195 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+func workloads() map[string]traj.Trajectory {
+	return map[string]traj.Trajectory{
+		"line":        gen.Line(200, 15),
+		"noisy-line":  gen.NoisyLine(300, 20, 5, 11),
+		"circle":      gen.Circle(300, 200, 0.05),
+		"zigzag":      gen.Zigzag(300, 10, 60, 7),
+		"random-walk": gen.RandomWalk(400, 25, 3),
+		"turns":       gen.SuddenTurns(300, 30, 9, 13),
+		"taxi":        gen.One(gen.Taxi, 300, 21),
+		"geolife":     gen.One(gen.GeoLife, 300, 24),
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	for name, tr := range workloads() {
+		for _, zeta := range []float64{5, 20, 40, 100} {
+			pw, err := Simplify(tr, zeta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := metrics.VerifyBound(tr, pw, zeta); err != nil {
+				t.Errorf("%s ζ=%v: %v", name, zeta, err)
+			}
+			if err := pw.Validate(); err != nil {
+				t.Errorf("%s ζ=%v: %v", name, zeta, err)
+			}
+		}
+	}
+}
+
+// DP's defining structure: ranges partition [0..n−1] exactly, sharing only
+// endpoints, and the representation starts at P0 and ends at Pn.
+func TestExactPartition(t *testing.T) {
+	tr := gen.RandomWalk(500, 30, 9)
+	pw, err := Simplify(tr, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw[0].StartIdx != 0 {
+		t.Errorf("first segment starts at %d", pw[0].StartIdx)
+	}
+	if pw[len(pw)-1].EndIdx != len(tr)-1 {
+		t.Errorf("last segment ends at %d", pw[len(pw)-1].EndIdx)
+	}
+	for i := 1; i < len(pw); i++ {
+		if pw[i].StartIdx != pw[i-1].EndIdx {
+			t.Errorf("segment %d starts at %d, previous ends at %d", i, pw[i].StartIdx, pw[i-1].EndIdx)
+		}
+	}
+}
+
+// Every interior point of every emitted segment is within ζ of its line —
+// DP's invariant is per-assigned-segment (stronger than the ∃-pair bound).
+func TestPerSegmentInvariant(t *testing.T) {
+	tr := gen.One(gen.SerCar, 500, 77)
+	zeta := 30.0
+	pw, err := Simplify(tr, zeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pw {
+		for i := s.StartIdx; i <= s.EndIdx; i++ {
+			if d := s.LineDistance(tr[i]); d > zeta+1e-9 {
+				t.Fatalf("point %d deviates %v from its segment", i, d)
+			}
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	pw, err := Simplify(gen.Line(1000, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 1 {
+		t.Errorf("collinear input: %d segments, want 1", len(pw))
+	}
+}
+
+// Larger ζ never yields more segments on the same input.
+func TestMonotoneInEpsilon(t *testing.T) {
+	tr := gen.One(gen.Taxi, 400, 5)
+	prev := math.MaxInt
+	for _, zeta := range []float64{5, 10, 20, 40, 80} {
+		pw, err := Simplify(tr, zeta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pw) > prev {
+			t.Errorf("ζ=%v: %d segments > previous %d", zeta, len(pw), prev)
+		}
+		prev = len(pw)
+	}
+}
+
+func TestSEDVariantBoundsSynchronizedError(t *testing.T) {
+	tr := gen.One(gen.GeoLife, 400, 8)
+	zeta := 25.0
+	pw, err := SimplifySED(tr, zeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pw {
+		for i := s.StartIdx; i <= s.EndIdx; i++ {
+			if d := s.SEDistance(tr[i]); d > zeta+1e-9 {
+				t.Fatalf("point %d SED %v > ζ", i, d)
+			}
+		}
+	}
+}
+
+// TD-TR is at least as strict as DP: bounding SED implies bounding the
+// perpendicular distance, so it cannot produce fewer segments than DP on
+// the same input... (SED ≥ perpendicular distance pointwise).
+func TestSEDStricterThanEuclidean(t *testing.T) {
+	tr := gen.One(gen.SerCar, 400, 12)
+	zeta := 30.0
+	dpPW, err := Simplify(tr, zeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sedPW, err := SimplifySED(tr, zeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sedPW) < len(dpPW) {
+		t.Errorf("TD-TR %d segments < DP %d; SED bounds are stricter", len(sedPW), len(dpPW))
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	for n := 0; n <= 1; n++ {
+		pw, err := Simplify(gen.Line(n, 1), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pw) != 0 {
+			t.Errorf("n=%d: %d segments", n, len(pw))
+		}
+	}
+	pw, err := Simplify(gen.Line(2, 1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 1 {
+		t.Errorf("n=2: %d segments", len(pw))
+	}
+}
+
+func TestBadEpsilon(t *testing.T) {
+	for _, zeta := range []float64{0, -3, math.Inf(1), math.NaN()} {
+		if _, err := Simplify(gen.Line(5, 1), zeta); !errors.Is(err, ErrBadEpsilon) {
+			t.Errorf("ζ=%v: %v", zeta, err)
+		}
+	}
+}
+
+// The recursive split point is the max-distance point; splitting there is
+// what Figure 3 prescribes. Verify on the worked Example 2 shape: a peak in
+// the middle splits first.
+func TestSplitsAtFarthestPoint(t *testing.T) {
+	tr := traj.Trajectory{
+		{X: 0, Y: 0, T: 0},
+		{X: 10, Y: 1, T: 1000},
+		{X: 20, Y: 30, T: 2000}, // the spike
+		{X: 30, Y: 1, T: 3000},
+		{X: 40, Y: 0, T: 4000},
+	}
+	pw, err := Simplify(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spike must be a segment endpoint.
+	found := false
+	for _, s := range pw {
+		if s.StartIdx == 2 || s.EndIdx == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("spike point not an endpoint: %v", pw)
+	}
+}

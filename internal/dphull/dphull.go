@@ -1,0 +1,105 @@
+// Package dphull studies the idea behind Hershberger & Snoeyink's
+// O(n log n) Douglas-Peucker ([8] in the paper): the point of a range
+// farthest from the chord is always a vertex of the range's convex hull,
+// so the max-distance query can be answered from the hull alone.
+//
+// This implementation rebuilds the hull per recursion node, which is the
+// honest baseline for the idea — and, as BenchmarkHullVsPlainDP records,
+// it is *slower* than the plain scan at GPS-fleet parameters: the per-node
+// O(k log k) sort dwarfs the 3-flop distance scan it saves, and realistic
+// ζ values keep ranges too small for the hull to amortize. [8]'s actual
+// speedup comes from path-hull bookkeeping with undo stacks that amortizes
+// hull construction across the recursion, which this package does not
+// attempt. The package therefore serves as (a) a correctness cross-check
+// for dp.Simplify (their outputs coincide) and (b) a measured negative
+// result justifying why the reproduction's DP baseline is the plain scan.
+package dphull
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"trajsim/internal/geo"
+	"trajsim/internal/traj"
+)
+
+// ErrBadEpsilon is returned for non-positive error bounds.
+var ErrBadEpsilon = errors.New("dphull: error bound ζ must be positive and finite")
+
+// bruteThreshold is the range size under which a direct scan beats hull
+// construction.
+const bruteThreshold = 48
+
+// Simplify compresses t with hull-accelerated Douglas-Peucker under error
+// bound zeta (meters). Output semantics match dp.Simplify (split at the
+// farthest point until every range fits); tie-breaking between equally
+// distant points may differ.
+func Simplify(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+	if !(zeta > 0) || math.IsInf(zeta, 1) {
+		return nil, fmt.Errorf("%w: got %g", ErrBadEpsilon, zeta)
+	}
+	if len(t) < 2 {
+		return nil, nil
+	}
+	pts := make([]geo.Point, len(t))
+	for i, p := range t {
+		pts[i] = p.P()
+	}
+	type span struct{ lo, hi int }
+	stack := []span{{0, len(t) - 1}}
+	out := make(traj.Piecewise, 0, 16)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo <= 1 {
+			out = append(out, traj.NewSegment(t, s.lo, s.hi))
+			continue
+		}
+		k, d := farthest(pts, s.lo, s.hi)
+		if d <= zeta {
+			out = append(out, traj.NewSegment(t, s.lo, s.hi))
+			continue
+		}
+		stack = append(stack, span{k, s.hi}, span{s.lo, k})
+	}
+	return out, nil
+}
+
+// farthest returns the interior index of [lo..hi] with maximum distance to
+// the chord pts[lo]→pts[hi], using the convex hull for large ranges.
+func farthest(pts []geo.Point, lo, hi int) (int, float64) {
+	a, b := pts[lo], pts[hi]
+	if hi-lo < bruteThreshold {
+		best, bestD := lo, -1.0
+		for i := lo + 1; i < hi; i++ {
+			if d := geo.PointLineDistance(pts[i], a, b); d > bestD {
+				best, bestD = i, d
+			}
+		}
+		return best, bestD
+	}
+	hull := geo.ConvexHullIndices(pts[lo : hi+1])
+	best, bestD := lo, -1.0
+	for _, rel := range hull {
+		i := lo + rel
+		if i == lo || i == hi {
+			continue
+		}
+		if d := geo.PointLineDistance(pts[i], a, b); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	if best == lo {
+		// Every hull vertex was an endpoint (range collinear with the
+		// chord, or chord endpoints dominate the hull): the true maximum
+		// still lies among interior points, at distance ≤ any hull
+		// distance; fall back to the scan for exactness.
+		for i := lo + 1; i < hi; i++ {
+			if d := geo.PointLineDistance(pts[i], a, b); d > bestD {
+				best, bestD = i, d
+			}
+		}
+	}
+	return best, bestD
+}

@@ -1,0 +1,151 @@
+package dphull
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trajsim/internal/dp"
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+func workloads() map[string]traj.Trajectory {
+	return map[string]traj.Trajectory{
+		"line":        gen.Line(500, 15),
+		"noisy-line":  gen.NoisyLine(500, 20, 5, 11),
+		"circle":      gen.Circle(500, 200, 0.05),
+		"zigzag":      gen.Zigzag(500, 10, 60, 7),
+		"spiral":      gen.Spiral(500, 5, 3, 0.15),
+		"random-walk": gen.RandomWalk(600, 25, 3),
+		"turns":       gen.SuddenTurns(500, 30, 9, 13),
+		"taxi":        gen.One(gen.Taxi, 600, 21),
+		"sercar":      gen.One(gen.SerCar, 600, 22),
+		"geolife":     gen.One(gen.GeoLife, 600, 24),
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	for name, tr := range workloads() {
+		for _, zeta := range []float64{5, 20, 40, 100} {
+			pw, err := Simplify(tr, zeta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := metrics.VerifyBound(tr, pw, zeta); err != nil {
+				t.Errorf("%s ζ=%v: %v", name, zeta, err)
+			}
+			if err := pw.Validate(); err != nil {
+				t.Errorf("%s ζ=%v: %v", name, zeta, err)
+			}
+		}
+	}
+}
+
+// The hull acceleration must not change what DP computes: identical
+// segment boundaries on every workload (both split at the max-distance
+// point; tie-breaks could differ in theory, so allow a tiny count slack
+// and verify the per-segment invariant instead of exact equality).
+func TestMatchesPlainDP(t *testing.T) {
+	for name, tr := range workloads() {
+		for _, zeta := range []float64{10, 40} {
+			hull, err := Simplify(tr, zeta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := dp.Simplify(tr, zeta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff := len(hull) - len(plain)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > len(plain)/50+1 {
+				t.Errorf("%s ζ=%v: hull DP %d segments vs plain %d", name, zeta, len(hull), len(plain))
+			}
+			for _, s := range hull {
+				for i := s.StartIdx; i <= s.EndIdx; i++ {
+					if d := s.LineDistance(tr[i]); d > zeta+1e-9 {
+						t.Fatalf("%s: point %d deviates %v from its segment", name, i, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// On most inputs the outputs are exactly identical (no distance ties).
+func TestExactMatchTypicalInput(t *testing.T) {
+	tr := gen.One(gen.SerCar, 2000, 5)
+	hull, err := Simplify(tr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := dp.Simplify(tr, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hull) != len(plain) {
+		t.Fatalf("segment counts differ: %d vs %d", len(hull), len(plain))
+	}
+	for i := range plain {
+		if hull[i] != plain[i] {
+			t.Fatalf("segment %d differs: %v vs %v", i, hull[i], plain[i])
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	pw, err := Simplify(gen.Line(1000, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 1 {
+		t.Errorf("collinear input: %d segments, want 1", len(pw))
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	for n := 0; n <= 1; n++ {
+		pw, err := Simplify(gen.Line(n, 1), 5)
+		if err != nil || len(pw) != 0 {
+			t.Errorf("n=%d: %v %v", n, pw, err)
+		}
+	}
+}
+
+func TestBadEpsilon(t *testing.T) {
+	for _, zeta := range []float64{0, -3, math.Inf(1), math.NaN()} {
+		if _, err := Simplify(gen.Line(5, 1), zeta); !errors.Is(err, ErrBadEpsilon) {
+			t.Errorf("ζ=%v: %v", zeta, err)
+		}
+	}
+}
+
+var sink traj.Piecewise
+
+func BenchmarkHullVsPlainDP(b *testing.B) {
+	tr := gen.One(gen.Taxi, 50_000, 7)
+	b.Run("hull", func(b *testing.B) {
+		b.SetBytes(int64(len(tr)))
+		for i := 0; i < b.N; i++ {
+			pw, err := Simplify(tr, 40)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = pw
+		}
+	})
+	b.Run("plain", func(b *testing.B) {
+		b.SetBytes(int64(len(tr)))
+		for i := 0; i < b.N; i++ {
+			pw, err := dp.Simplify(tr, 40)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = pw
+		}
+	})
+}

@@ -1,0 +1,50 @@
+// Package enc provides zigzag/varint primitives shared by the delta
+// compressor and the binary trajectory codec. It wraps encoding/binary
+// with append-style helpers and explicit error reporting.
+package enc
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrShortBuffer is returned when a decode runs out of input.
+var ErrShortBuffer = errors.New("enc: short buffer")
+
+// ErrOverflow is returned when a varint is malformed.
+var ErrOverflow = errors.New("enc: varint overflows 64 bits")
+
+// AppendUvarint appends the unsigned varint encoding of v to b.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends the zigzag-encoded signed varint of v to b.
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// Uvarint decodes an unsigned varint from b, returning the value and the
+// number of bytes consumed.
+func Uvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	switch {
+	case n == 0:
+		return 0, 0, ErrShortBuffer
+	case n < 0:
+		return 0, 0, ErrOverflow
+	}
+	return v, n, nil
+}
+
+// Varint decodes a zigzag-encoded signed varint from b.
+func Varint(b []byte) (int64, int, error) {
+	v, n := binary.Varint(b)
+	switch {
+	case n == 0:
+		return 0, 0, ErrShortBuffer
+	case n < 0:
+		return 0, 0, ErrOverflow
+	}
+	return v, n, nil
+}

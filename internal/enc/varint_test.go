@@ -1,0 +1,78 @@
+package enc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := AppendUvarint(nil, v)
+		got, n, err := Uvarint(b)
+		return err == nil && n == len(b) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		b := AppendVarint(nil, v)
+		got, n, err := Varint(b)
+		return err == nil && n == len(b) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintExtremes(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, math.MaxInt64, math.MinInt64} {
+		b := AppendVarint(nil, v)
+		got, _, err := Varint(b)
+		if err != nil || got != v {
+			t.Errorf("round trip %d: got %d err %v", v, got, err)
+		}
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	if _, _, err := Uvarint(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, _, err := Varint(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("empty: %v", err)
+	}
+	// A long run of continuation bytes overflows.
+	b := make([]byte, 11)
+	for i := range b {
+		b[i] = 0x80
+	}
+	b[10] = 0x02
+	if _, _, err := Uvarint(b); !errors.Is(err, ErrOverflow) {
+		t.Errorf("overflow: %v", err)
+	}
+}
+
+func TestAppendChains(t *testing.T) {
+	b := AppendUvarint(nil, 300)
+	b = AppendVarint(b, -42)
+	b = AppendUvarint(b, 7)
+	u, n, err := Uvarint(b)
+	if err != nil || u != 300 {
+		t.Fatalf("first: %d %v", u, err)
+	}
+	b = b[n:]
+	v, n, err := Varint(b)
+	if err != nil || v != -42 {
+		t.Fatalf("second: %d %v", v, err)
+	}
+	b = b[n:]
+	u, _, err = Uvarint(b)
+	if err != nil || u != 7 {
+		t.Fatalf("third: %d %v", u, err)
+	}
+}

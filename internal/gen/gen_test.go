@@ -1,0 +1,234 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"trajsim/internal/traj"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, p := range Presets {
+		a := One(p, 200, 42)
+		b := One(p, 200, 42)
+		if len(a) != len(b) {
+			t.Fatalf("%v: lengths differ", p)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: point %d differs: %v vs %v", p, i, a[i], b[i])
+			}
+		}
+		c := One(p, 200, 43)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%v: different seeds produced identical trajectories", p)
+		}
+	}
+}
+
+func TestValidTrajectories(t *testing.T) {
+	for _, p := range Presets {
+		tr := One(p, 500, 7)
+		if len(tr) != 500 {
+			t.Fatalf("%v: %d points, want 500", p, len(tr))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestSamplingIntervals(t *testing.T) {
+	cases := []struct {
+		p      Preset
+		lo, hi float64 // expected mean interval bounds, seconds
+	}{
+		{Taxi, 59, 61},
+		{Truck, 1, 61},
+		{SerCar, 3, 5},
+		{GeoLife, 1, 5},
+	}
+	for _, c := range cases {
+		tr := One(c.p, 400, 11)
+		mean := float64(tr.Duration()) / 1000 / float64(len(tr)-1)
+		if mean < c.lo-0.5 || mean > c.hi+0.5 {
+			t.Errorf("%v: mean sampling interval %.2f s outside [%v, %v]", c.p, mean, c.lo, c.hi)
+		}
+	}
+}
+
+// Speeds implied by consecutive samples must be physically plausible for
+// each mode. GPS spike outliers (deliberate, see spikeProb) can imply
+// absurd instantaneous speeds, so the check uses the 99th percentile.
+func TestPlausibleSpeeds(t *testing.T) {
+	limits := map[Preset]float64{Taxi: 25, Truck: 40, SerCar: 30, GeoLife: 30}
+	for _, p := range Presets {
+		tr := One(p, 500, 3)
+		speeds := make([]float64, 0, len(tr)-1)
+		for i := 1; i < len(tr); i++ {
+			dt := float64(tr[i].T-tr[i-1].T) / 1000
+			speeds = append(speeds, tr[i].Dist(tr[i-1])/dt)
+		}
+		sort.Float64s(speeds)
+		p99 := speeds[len(speeds)*99/100]
+		if p99 > limits[p] {
+			t.Errorf("%v: p99 implied speed %.1f m/s exceeds %v", p, p99, limits[p])
+		}
+		if tr.PathLength() < 100 {
+			t.Errorf("%v: vehicle barely moved (%.1f m)", p, tr.PathLength())
+		}
+	}
+}
+
+// Spike outliers exist (they are what makes high-rate data produce
+// anomalous segments) but are rare.
+func TestSpikesArePresentButRare(t *testing.T) {
+	tr := One(SerCar, 5000, 31)
+	spikes := 0
+	for i := 1; i < len(tr)-1; i++ {
+		prev, next := tr[i-1], tr[i+1]
+		mid := traj.Point{X: (prev.X + next.X) / 2, Y: (prev.Y + next.Y) / 2}
+		if tr[i].Dist(mid) > 25 {
+			spikes++
+		}
+	}
+	frac := float64(spikes) / float64(len(tr))
+	if frac == 0 {
+		t.Error("no spike outliers found; high-rate anomalies need them")
+	}
+	if frac > 0.05 {
+		t.Errorf("spike fraction %.3f implausibly high", frac)
+	}
+}
+
+func TestSpecGenerate(t *testing.T) {
+	s := Spec{Preset: SerCar, Trajectories: 5, Points: 100, Seed: 1}
+	ds := s.Generate()
+	if len(ds) != 5 {
+		t.Fatalf("%d trajectories", len(ds))
+	}
+	for i, tr := range ds {
+		if len(tr) != 100 {
+			t.Errorf("trajectory %d: %d points", i, len(tr))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("trajectory %d: %v", i, err)
+		}
+	}
+	// Trajectories must differ from each other.
+	if ds[0][0] == ds[1][0] && ds[0][50] == ds[1][50] {
+		t.Error("trajectories 0 and 1 look identical")
+	}
+}
+
+func TestParsePreset(t *testing.T) {
+	for _, p := range Presets {
+		got, err := ParsePreset(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePreset(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if got, err := ParsePreset("taxi"); err != nil || got != Taxi {
+		t.Errorf("case-insensitive parse failed: %v %v", got, err)
+	}
+	if _, err := ParsePreset("bogus"); err == nil {
+		t.Error("bogus preset should fail")
+	}
+}
+
+func TestPresetStrings(t *testing.T) {
+	if Taxi.String() != "Taxi" || GeoLife.String() != "GeoLife" {
+		t.Error("preset names changed")
+	}
+	if Preset(99).String() == "" {
+		t.Error("unknown preset should still stringify")
+	}
+	for _, p := range Presets {
+		if p.SamplingDescription() == "?" {
+			t.Errorf("%v missing sampling description", p)
+		}
+	}
+}
+
+func TestShapes(t *testing.T) {
+	if tr := Line(10, 5); len(tr) != 10 || tr[9].X != 45 {
+		t.Errorf("Line: %v", tr)
+	}
+	if tr := NoisyLine(50, 10, 2, 1); len(tr) != 50 {
+		t.Errorf("NoisyLine len %d", len(tr))
+	}
+	tr := Circle(100, 50, 0.1)
+	for i, p := range tr {
+		r := math.Hypot(p.X, p.Y)
+		if math.Abs(r-50) > 1e-9 {
+			t.Fatalf("Circle point %d radius %v", i, r)
+		}
+	}
+	if tr := Zigzag(20, 5, 10, 3); len(tr) != 20 {
+		t.Errorf("Zigzag len %d", len(tr))
+	}
+	if tr := Spiral(100, 1, 2, 0.1); len(tr) != 100 {
+		t.Errorf("Spiral len %d", len(tr))
+	}
+	if tr := RandomWalk(100, 5, 2); len(tr) != 100 {
+		t.Errorf("RandomWalk len %d", len(tr))
+	}
+	if tr := Stationary(50, 3, 2); len(tr) != 50 {
+		t.Errorf("Stationary len %d", len(tr))
+	}
+	for _, shape := range [][]int{{100, 7}} {
+		st := SuddenTurns(shape[0], 30, shape[1], 5)
+		if len(st) != shape[0] {
+			t.Errorf("SuddenTurns len %d", len(st))
+		}
+		if err := st.Validate(); err != nil {
+			t.Errorf("SuddenTurns: %v", err)
+		}
+	}
+}
+
+// The Stationary shape stays near the origin; the grid vehicle does not.
+func TestShapeCharacter(t *testing.T) {
+	st := Stationary(200, 2, 9)
+	b := st.Bounds()
+	if b.MaxX-b.MinX > 30 || b.MaxY-b.MinY > 30 {
+		t.Errorf("stationary cloud too wide: %+v", b)
+	}
+	walk := RandomWalk(500, 20, 9)
+	wb := walk.Bounds()
+	if wb.MaxX-wb.MinX < 50 && wb.MaxY-wb.MinY < 50 {
+		t.Errorf("random walk suspiciously confined: %+v", wb)
+	}
+}
+
+// Urban presets should hug a grid: most displacement vectors are close to
+// axis-aligned (after subtracting GPS noise effects, a loose check).
+func TestGridCharacter(t *testing.T) {
+	tr := One(SerCar, 800, 15)
+	axis, total := 0, 0
+	for i := 1; i < len(tr); i++ {
+		dx := math.Abs(tr[i].X - tr[i-1].X)
+		dy := math.Abs(tr[i].Y - tr[i-1].Y)
+		if dx+dy < 20 {
+			continue // stopped or noise-dominated
+		}
+		total++
+		if dx < (dx+dy)/5 || dy < (dx+dy)/5 {
+			axis++
+		}
+	}
+	if total == 0 {
+		t.Fatal("vehicle never moved")
+	}
+	if frac := float64(axis) / float64(total); frac < 0.5 {
+		t.Errorf("only %.0f%% of moves are axis-dominated; grid driver broken?", frac*100)
+	}
+}

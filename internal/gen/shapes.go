@@ -1,0 +1,154 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"trajsim/internal/geo"
+	"trajsim/internal/traj"
+)
+
+// Geometric shape generators used by tests, examples and ablation benches.
+// All emit one point per second starting at t=0 unless noted.
+
+// Line returns n collinear points spaced step meters apart along +x.
+func Line(n int, step float64) traj.Trajectory {
+	out := make(traj.Trajectory, n)
+	for i := range out {
+		out[i] = traj.Point{X: float64(i) * step, T: int64(i) * 1000}
+	}
+	return out
+}
+
+// NoisyLine is Line with Gaussian cross-track and along-track noise.
+func NoisyLine(n int, step, noise float64, seed uint64) traj.Trajectory {
+	r := rand.New(rand.NewPCG(seed, seed+1))
+	out := make(traj.Trajectory, n)
+	for i := range out {
+		out[i] = traj.Point{
+			X: float64(i)*step + r.NormFloat64()*noise,
+			Y: r.NormFloat64() * noise,
+			T: int64(i) * 1000,
+		}
+	}
+	return out
+}
+
+// Circle returns n points on a circle of the given radius, advancing
+// stepAngle radians per point.
+func Circle(n int, radius, stepAngle float64) traj.Trajectory {
+	out := make(traj.Trajectory, n)
+	for i := range out {
+		a := stepAngle * float64(i)
+		out[i] = traj.Point{
+			X: radius * math.Cos(a),
+			Y: radius * math.Sin(a),
+			T: int64(i) * 1000,
+		}
+	}
+	return out
+}
+
+// Zigzag returns n points alternating between y=0 and y=amplitude every
+// period points, advancing step meters in x per point — a worst case for
+// window-based algorithms.
+func Zigzag(n int, step, amplitude float64, period int) traj.Trajectory {
+	if period < 1 {
+		period = 1
+	}
+	out := make(traj.Trajectory, n)
+	for i := range out {
+		y := 0.0
+		if (i/period)%2 == 1 {
+			y = amplitude
+		}
+		out[i] = traj.Point{X: float64(i) * step, Y: y, T: int64(i) * 1000}
+	}
+	return out
+}
+
+// Spiral returns an Archimedean spiral r = a + b·θ sampled at fixed angle
+// increments — constantly turning, never revisiting.
+func Spiral(n int, a, b, stepAngle float64) traj.Trajectory {
+	out := make(traj.Trajectory, n)
+	for i := range out {
+		th := stepAngle * float64(i)
+		r := a + b*th
+		out[i] = traj.Point{
+			X: r * math.Cos(th),
+			Y: r * math.Sin(th),
+			T: int64(i) * 1000,
+		}
+	}
+	return out
+}
+
+// RandomWalk returns n points where each step has exponential length with
+// the given mean and uniform direction — an adversarial, road-free mover.
+func RandomWalk(n int, stepMean float64, seed uint64) traj.Trajectory {
+	r := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	out := make(traj.Trajectory, n)
+	var x, y float64
+	for i := range out {
+		out[i] = traj.Point{X: x, Y: y, T: int64(i) * 1000}
+		dir := r.Float64() * 2 * math.Pi
+		d := -math.Log(1-r.Float64()) * stepMean
+		x += d * math.Cos(dir)
+		y += d * math.Sin(dir)
+	}
+	return out
+}
+
+// Stationary returns n points jittering around the origin — a parked
+// vehicle with GPS noise, the degenerate case for segment caps.
+func Stationary(n int, jitter float64, seed uint64) traj.Trajectory {
+	r := rand.New(rand.NewPCG(seed, seed^0x1234567))
+	out := make(traj.Trajectory, n)
+	for i := range out {
+		out[i] = traj.Point{
+			X: r.NormFloat64() * jitter,
+			Y: r.NormFloat64() * jitter,
+			T: int64(i) * 1000,
+		}
+	}
+	return out
+}
+
+// SuddenTurns returns a polyline with sharp direction changes roughly every
+// leg samples — the crossroad pattern of Figure 9. Crucially, turns happen
+// *between* samples (a crossroad is crossed mid-sampling-interval), which
+// is what produces the short diagonal jogs that become anomalous line
+// segments under every LS algorithm.
+func SuddenTurns(n int, step float64, leg int, seed uint64) traj.Trajectory {
+	if leg < 2 {
+		leg = 2
+	}
+	r := rand.New(rand.NewPCG(seed, seed^0x777))
+	out := make(traj.Trajectory, n)
+	var pos geo.Point
+	heading := 0.0
+	legLen := float64(leg) * step
+	toTurn := legLen * (0.5 + r.Float64())
+	for i := range out {
+		out[i] = traj.Point{X: pos.X, Y: pos.Y, T: int64(i) * 1000}
+		remaining := step
+		for remaining > 0 {
+			if remaining < toTurn {
+				pos = pos.Add(geo.Dir(heading).Scale(remaining))
+				toTurn -= remaining
+				remaining = 0
+				continue
+			}
+			pos = pos.Add(geo.Dir(heading).Scale(toTurn))
+			remaining -= toTurn
+			// Turn sharply at the crossroad: ±(60°..110°).
+			turn := math.Pi/3 + r.Float64()*math.Pi*5/18
+			if r.IntN(2) == 0 {
+				turn = -turn
+			}
+			heading += turn
+			toTurn = legLen * (0.6 + 0.8*r.Float64())
+		}
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"trajsim/internal/geo"
+)
+
+// gridVehicle drives a Manhattan-style road grid: axis-aligned headings,
+// turns at intersections, traffic stops. It models the urban movement of
+// the Taxi and SerCar surrogates, producing the crossroad track changes
+// that motivate OPERB-A's patch points (§5.1, Figure 9).
+type gridVehicle struct {
+	r       *rand.Rand
+	p       gridParams
+	pos     geo.Point
+	heading float64 // one of 0, π/2, π, 3π/2
+	speed   float64
+	toNext  float64 // meters until the next intersection
+	stopped float64 // seconds of stop remaining
+}
+
+type gridParams struct {
+	meanSpeed float64 // m/s
+	maxSpeed  float64
+	block     float64 // nominal block length, meters
+	straight  float64 // probability of continuing straight at an intersection
+	stopRate  float64 // stop events per second of driving
+	meanStop  float64 // mean stop duration, seconds
+}
+
+func newGridVehicle(r *rand.Rand, p gridParams) *gridVehicle {
+	return &gridVehicle{
+		r:       r,
+		p:       p,
+		heading: float64(r.IntN(4)) * math.Pi / 2,
+		speed:   p.meanSpeed,
+		toNext:  p.block * (0.4 + r.Float64()),
+	}
+}
+
+func (v *gridVehicle) step(dt float64) geo.Point {
+	if dt <= 0 {
+		return v.pos
+	}
+	if v.stopped > 0 {
+		v.stopped -= dt
+		return v.pos
+	}
+	if v.r.Float64() < v.p.stopRate*dt {
+		v.stopped = -math.Log(1-v.r.Float64()) * v.p.meanStop
+		return v.pos
+	}
+	v.speed = ouSpeed(v.r, v.speed, v.p.meanSpeed, v.p.maxSpeed, dt)
+	dist := v.speed * dt
+	for dist > 0 {
+		if dist < v.toNext {
+			v.advance(dist)
+			v.toNext -= dist
+			break
+		}
+		v.advance(v.toNext)
+		dist -= v.toNext
+		v.turn()
+		v.toNext = v.p.block * (0.7 + 0.6*v.r.Float64())
+	}
+	return v.pos
+}
+
+func (v *gridVehicle) advance(d float64) {
+	v.pos = v.pos.Add(geo.Dir(v.heading).Scale(d))
+}
+
+// turn picks the next road at an intersection. The straight-through
+// probability controls how far heading persists, which in turn controls
+// how compressible the workload is — arterial-heavy fleets (Taxi) go
+// straight most of the time.
+func (v *gridVehicle) turn() {
+	s := v.p.straight
+	if s <= 0 {
+		s = 0.5
+	}
+	u := v.r.Float64()
+	turnSpan := 1 - s
+	switch {
+	case u < s: // straight
+	case u < s+turnSpan*0.46: // right
+		v.heading = geo.NormalizeAngle(v.heading - math.Pi/2)
+	case u < s+turnSpan*0.92: // left
+		v.heading = geo.NormalizeAngle(v.heading + math.Pi/2)
+	default: // U-turn
+		v.heading = geo.NormalizeAngle(v.heading + math.Pi)
+	}
+}
+
+// highwayVehicle models long-haul movement: a continuous heading with
+// gentle curvature noise, occasional interchange ramps (sharper bounded
+// turns), high speeds and rare long stops. Used by the Truck surrogate.
+type highwayVehicle struct {
+	r        *rand.Rand
+	p        highwayParams
+	pos      geo.Point
+	heading  float64
+	speed    float64
+	stopped  float64
+	rampLeft float64 // remaining ramp turn, radians (signed)
+}
+
+type highwayParams struct {
+	meanSpeed  float64
+	maxSpeed   float64
+	curveSigma float64 // heading noise, radians per meter travelled
+	rampRate   float64 // interchanges per second of driving
+	stopRate   float64
+	meanStop   float64
+}
+
+func newHighwayVehicle(r *rand.Rand, p highwayParams) *highwayVehicle {
+	return &highwayVehicle{
+		r:       r,
+		p:       p,
+		heading: r.Float64() * 2 * math.Pi,
+		speed:   p.meanSpeed,
+	}
+}
+
+func (v *highwayVehicle) step(dt float64) geo.Point {
+	if dt <= 0 {
+		return v.pos
+	}
+	if v.stopped > 0 {
+		v.stopped -= dt
+		return v.pos
+	}
+	if v.r.Float64() < v.p.stopRate*dt {
+		v.stopped = -math.Log(1-v.r.Float64()) * v.p.meanStop
+		return v.pos
+	}
+	if v.rampLeft == 0 && v.r.Float64() < v.p.rampRate*dt {
+		// Enter an interchange: a bounded turn of up to ±120° spread over
+		// the next stretch of road.
+		v.rampLeft = (v.r.Float64()*2 - 1) * (2 * math.Pi / 3)
+	}
+	v.speed = ouSpeed(v.r, v.speed, v.p.meanSpeed, v.p.maxSpeed, dt)
+	dist := v.speed * dt
+	turn := v.r.NormFloat64() * v.p.curveSigma * dist
+	if v.rampLeft != 0 {
+		// Ramps bend at ~1°/10 m until the turn is spent.
+		step := math.Copysign(math.Min(math.Abs(v.rampLeft), 0.0018*dist), v.rampLeft)
+		v.rampLeft -= step
+		if math.Abs(v.rampLeft) < 1e-6 {
+			v.rampLeft = 0
+		}
+		turn += step
+	}
+	v.heading = geo.NormalizeAngle(v.heading + turn)
+	v.pos = v.pos.Add(geo.Dir(v.heading).Scale(dist))
+	return v.pos
+}
+
+// mixedMover alternates transport modes the way the GeoLife users did:
+// stretches of walking (slow, wandering), cycling and driving, with mode
+// changes every few minutes.
+type mixedMover struct {
+	r        *rand.Rand
+	mode     int // 0 walk, 1 bike, 2 drive
+	modeLeft float64
+	walk     *highwayVehicle // reused as a generic heading-noise mover
+	bike     *highwayVehicle
+	drive    *gridVehicle
+	pos      geo.Point
+}
+
+func newMixedMover(r *rand.Rand) *mixedMover {
+	m := &mixedMover{
+		r: r,
+		walk: newHighwayVehicle(r, highwayParams{
+			meanSpeed: 1.4, maxSpeed: 2.5, curveSigma: 0.05,
+			stopRate: 0.01, meanStop: 20,
+		}),
+		bike: newHighwayVehicle(r, highwayParams{
+			meanSpeed: 4.5, maxSpeed: 8, curveSigma: 0.012,
+			rampRate: 0.01, stopRate: 0.006, meanStop: 25,
+		}),
+		drive: newGridVehicle(r, gridParams{
+			meanSpeed: 11, maxSpeed: 20, block: 240,
+			stopRate: 0.004, meanStop: 40,
+		}),
+	}
+	m.pickMode()
+	return m
+}
+
+func (m *mixedMover) pickMode() {
+	m.mode = m.r.IntN(3)
+	m.modeLeft = 180 + m.r.Float64()*720 // 3–15 minutes
+}
+
+func (m *mixedMover) step(dt float64) geo.Point {
+	if dt <= 0 {
+		return m.pos
+	}
+	m.modeLeft -= dt
+	if m.modeLeft <= 0 {
+		m.pickMode()
+		// Keep the trajectory continuous across mode switches.
+		m.walk.pos, m.bike.pos, m.drive.pos = m.pos, m.pos, m.pos
+	}
+	switch m.mode {
+	case 0:
+		m.pos = m.walk.step(dt)
+	case 1:
+		m.pos = m.bike.step(dt)
+	default:
+		m.pos = m.drive.step(dt)
+	}
+	return m.pos
+}

@@ -1,0 +1,65 @@
+package geo
+
+import "math"
+
+// Angle conventions follow the paper (§3.1): a directed line segment
+// L = PsPe has an angle L.θ ∈ [0, 2π) with the x-axis, and the included
+// angle from L1 to L2 (same start point) is ∠(L1,L2) = L2.θ − L1.θ, which
+// lies in (−2π, 2π).
+
+// NormalizeAngle maps any angle onto [0, 2π).
+func NormalizeAngle(theta float64) float64 {
+	theta = math.Mod(theta, 2*math.Pi)
+	if theta < 0 {
+		theta += 2 * math.Pi
+	}
+	// math.Mod can return exactly 2π−ulp negatives folding to 2π; clamp.
+	if theta >= 2*math.Pi {
+		theta -= 2 * math.Pi
+	}
+	return theta
+}
+
+// NormalizeSigned maps any angle onto (−π, π].
+func NormalizeSigned(theta float64) float64 {
+	theta = math.Mod(theta, 2*math.Pi)
+	switch {
+	case theta > math.Pi:
+		theta -= 2 * math.Pi
+	case theta <= -math.Pi:
+		theta += 2 * math.Pi
+	}
+	return theta
+}
+
+// AngleOf returns the angle of the vector v with the +x axis, in [0, 2π).
+// The zero vector yields 0.
+func AngleOf(v Point) float64 {
+	if v.IsZero() {
+		return 0
+	}
+	return NormalizeAngle(math.Atan2(v.Y, v.X))
+}
+
+// SegmentAngle returns the angle θ ∈ [0, 2π) of the directed segment from
+// a to b. Coincident points yield 0.
+func SegmentAngle(a, b Point) float64 { return AngleOf(b.Sub(a)) }
+
+// IncludedAngle returns the included angle from a segment with angle
+// theta1 to one with angle theta2, per the paper's definition:
+// ∠(L1,L2) = L2.θ − L1.θ ∈ (−2π, 2π), with both inputs in [0, 2π).
+func IncludedAngle(theta1, theta2 float64) float64 {
+	return NormalizeAngle(theta2) - NormalizeAngle(theta1)
+}
+
+// AngleDiff returns the magnitude of the smallest rotation between two
+// angles, in [0, π].
+func AngleDiff(theta1, theta2 float64) float64 {
+	return math.Abs(NormalizeSigned(theta2 - theta1))
+}
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }

@@ -1,0 +1,150 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * math.Pi, math.Pi},
+		{-7 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAngleRangeProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if bad(x) {
+			return true
+		}
+		a := NormalizeAngle(x)
+		return a >= 0 && a < 2*math.Pi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeSigned(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi / 2, -math.Pi / 2},
+		{-3 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeSigned(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormalizeSigned(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeSignedRangeProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if bad(x) {
+			return true
+		}
+		a := NormalizeSigned(x)
+		return a > -math.Pi-1e-12 && a <= math.Pi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleOf(t *testing.T) {
+	cases := []struct {
+		v    Point
+		want float64
+	}{
+		{Pt(1, 0), 0},
+		{Pt(0, 1), math.Pi / 2},
+		{Pt(-1, 0), math.Pi},
+		{Pt(0, -1), 3 * math.Pi / 2},
+		{Pt(1, 1), math.Pi / 4},
+		{Point{}, 0},
+	}
+	for _, c := range cases {
+		if got := AngleOf(c.v); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("AngleOf(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSegmentAngle(t *testing.T) {
+	if got := SegmentAngle(Pt(1, 1), Pt(2, 2)); !almostEq(got, math.Pi/4, 1e-12) {
+		t.Errorf("SegmentAngle = %v", got)
+	}
+}
+
+// The paper's Figure 2 worked examples: ∠(L1,L2) = −19π/12 in case (1) and
+// 3π/4 in case (2).
+func TestIncludedAnglePaperExamples(t *testing.T) {
+	// Case (1): L1 at 7π/12... reconstruct from the answer: choose
+	// θ1 = 19π/12 + θ2 − 2π·k such that the included angle is −19π/12.
+	theta1 := NormalizeAngle(Radians(100)) // arbitrary L1
+	theta2 := NormalizeAngle(theta1 - 19*math.Pi/12)
+	got := IncludedAngle(theta1, theta2)
+	// θ2−θ1 computed in [0,2π) space: −19π/12 + 2π = 5π/12 when θ2 wraps.
+	if !(got > -2*math.Pi && got < 2*math.Pi) {
+		t.Fatalf("included angle out of (−2π, 2π): %v", got)
+	}
+	// The two representations differ by 2π; both describe the same turn.
+	if !almostEq(NormalizeAngle(got), NormalizeAngle(-19*math.Pi/12), 1e-9) {
+		t.Errorf("case 1: got %v, want −19π/12 mod 2π", got)
+	}
+
+	if got := IncludedAngle(0, 3*math.Pi/4); !almostEq(got, 3*math.Pi/4, 1e-12) {
+		t.Errorf("case 2: got %v, want 3π/4", got)
+	}
+}
+
+func TestIncludedAngleRangeProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if bad(a) || bad(b) {
+			return true
+		}
+		d := IncludedAngle(a, b)
+		return d > -2*math.Pi && d < 2*math.Pi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, math.Pi / 2, math.Pi / 2},
+		{0, 3 * math.Pi / 2, math.Pi / 2}, // wraps the short way
+		{math.Pi / 4, 7 * math.Pi / 4, math.Pi / 2},
+		{0, math.Pi, math.Pi},
+	}
+	for _, c := range cases {
+		if got := AngleDiff(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("AngleDiff(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDegreesRadiansRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if bad(x) {
+			return true
+		}
+		return almostEq(Degrees(Radians(x)), x, 1e-9*(1+math.Abs(x)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+var sinkF float64
+var sinkP Point
+var sinkI int
+
+func BenchmarkPointLineDistance(b *testing.B) {
+	p, s, e := Pt(3, 7), Pt(0, 0), Pt(100, 40)
+	for i := 0; i < b.N; i++ {
+		sinkF = PointLineDistance(p, s, e)
+	}
+}
+
+func BenchmarkPointRayDistance(b *testing.B) {
+	p, o := Pt(3, 7), Pt(0, 0)
+	for i := 0; i < b.N; i++ {
+		sinkF = PointRayDistance(p, o, 0.5)
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	p := Pt(3.123, -7.456)
+	for i := 0; i < b.N; i++ {
+		sinkF = p.Norm()
+	}
+}
+
+func BenchmarkAngleOf(b *testing.B) {
+	p := Pt(3.123, -7.456)
+	for i := 0; i < b.N; i++ {
+		sinkF = AngleOf(p)
+	}
+}
+
+func BenchmarkNormalizeAngle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkF = NormalizeAngle(float64(i) * 0.37)
+	}
+}
+
+func BenchmarkLineIntersection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkP, _ = LineIntersection(Pt(0, 0), 0.3, Pt(10, -5), 2.1)
+	}
+}
+
+func BenchmarkClipPolygonHalfPlane(b *testing.B) {
+	square := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	for i := 0; i < b.N; i++ {
+		out := ClipPolygonHalfPlane(square, Pt(1, 0), math.Pi/2, true)
+		sinkI = len(out)
+	}
+}
+
+func BenchmarkProjection(b *testing.B) {
+	pr := NewProjection(116.4, 39.9)
+	for i := 0; i < b.N; i++ {
+		sinkP = pr.ToPlane(116.41, 39.91)
+	}
+}

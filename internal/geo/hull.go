@@ -1,0 +1,74 @@
+package geo
+
+import "sort"
+
+// ConvexHullIndices returns the indices of pts forming the convex hull in
+// counterclockwise order (Andrew's monotone chain). Collinear points on
+// hull edges are excluded. Inputs with fewer than three distinct points
+// return all distinct point indices.
+//
+// The useful property for line simplification: the point of a set farthest
+// from any line is always a hull vertex, so a max-distance query needs
+// only the hull (Hershberger & Snoeyink's speedup of Douglas-Peucker
+// builds on exactly this).
+func ConvexHullIndices(pts []Point) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	// Deduplicate coincident points.
+	uniq := idx[:0]
+	for i, id := range idx {
+		if i == 0 || !pts[id].Eq(pts[uniq[len(uniq)-1]]) {
+			uniq = append(uniq, id)
+		}
+	}
+	idx = uniq
+	if len(idx) < 3 {
+		out := make([]int, len(idx))
+		copy(out, idx)
+		return out
+	}
+	cross := func(o, a, b int) float64 {
+		return pts[a].Sub(pts[o]).Cross(pts[b].Sub(pts[o]))
+	}
+	hull := make([]int, 0, 2*len(idx))
+	// Lower hull.
+	for _, id := range idx {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], id) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, id)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(idx) - 2; i >= 0; i-- {
+		id := idx[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], id) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, id)
+	}
+	return hull[:len(hull)-1] // last point repeats the first
+}
+
+// ConvexHull returns the hull vertices themselves, counterclockwise.
+func ConvexHull(pts []Point) []Point {
+	idx := ConvexHullIndices(pts)
+	out := make([]Point, len(idx))
+	for i, id := range idx {
+		out[i] = pts[id]
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2), // corners
+		Pt(1, 1), Pt(0.5, 0.5), Pt(1.5, 0.3), // interior
+	}
+	hull := ConvexHullIndices(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull has %d vertices, want 4: %v", len(hull), hull)
+	}
+	seen := map[int]bool{}
+	for _, id := range hull {
+		seen[id] = true
+	}
+	for id := 0; id < 4; id++ {
+		if !seen[id] {
+			t.Errorf("corner %d missing from hull %v", id, hull)
+		}
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHullIndices(nil); h != nil {
+		t.Errorf("empty: %v", h)
+	}
+	if h := ConvexHullIndices([]Point{Pt(1, 1)}); len(h) != 1 {
+		t.Errorf("single: %v", h)
+	}
+	if h := ConvexHullIndices([]Point{Pt(1, 1), Pt(2, 2)}); len(h) != 2 {
+		t.Errorf("pair: %v", h)
+	}
+	// All coincident.
+	if h := ConvexHullIndices([]Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}); len(h) != 1 {
+		t.Errorf("coincident: %v", h)
+	}
+	// Collinear run: hull is the two extremes.
+	col := []Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)}
+	if h := ConvexHullIndices(col); len(h) != 2 {
+		t.Errorf("collinear: %v", h)
+	}
+}
+
+func TestConvexHullIsCCW(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Pt(r.Float64()*100, r.Float64()*100)
+	}
+	hull := ConvexHull(pts)
+	if len(hull) < 3 {
+		t.Fatalf("hull too small: %d", len(hull))
+	}
+	// Signed area must be positive for CCW.
+	var area float64
+	for i := range hull {
+		j := (i + 1) % len(hull)
+		area += hull[i].Cross(hull[j])
+	}
+	if area <= 0 {
+		t.Errorf("hull not counterclockwise (area %v)", area)
+	}
+}
+
+// The property the DP speedup relies on: the farthest point from any line
+// is a hull vertex.
+func TestFarthestPointIsOnHull(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		pts := make([]Point, 50+r.Intn(100))
+		for i := range pts {
+			pts[i] = Pt(r.Float64()*1000, r.Float64()*1000)
+		}
+		hullSet := map[int]bool{}
+		for _, id := range ConvexHullIndices(pts) {
+			hullSet[id] = true
+		}
+		a := Pt(r.Float64()*1000, r.Float64()*1000)
+		b := Pt(r.Float64()*1000, r.Float64()*1000)
+		best, bestD := -1, -1.0
+		for i, p := range pts {
+			if d := PointLineDistance(p, a, b); d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if !hullSet[best] {
+			// Ties can put an equal-distance interior point first; accept
+			// if a hull vertex achieves the same distance.
+			ok := false
+			for id := range hullSet {
+				if math.Abs(PointLineDistance(pts[id], a, b)-bestD) < 1e-9 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("trial %d: farthest point %d not on hull", trial, best)
+			}
+		}
+	}
+}
+
+// Every input point lies inside or on the hull.
+func TestHullContainsAllPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Pt(r.NormFloat64()*50, r.NormFloat64()*50)
+	}
+	hull := ConvexHull(pts)
+	for _, p := range pts {
+		for i := range hull {
+			j := (i + 1) % len(hull)
+			if hull[j].Sub(hull[i]).Cross(p.Sub(hull[i])) < -1e-9 {
+				t.Fatalf("point %v outside hull edge %d", p, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package geo
+
+import "math"
+
+// PointLineDistance returns the Euclidean distance from p to the infinite
+// line through a and b. This is the distance function d(P, L) used by the
+// paper and by DP, OPW, BQS and OPERB alike. When a and b coincide the
+// distance degrades to the point distance |p − a|.
+func PointLineDistance(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	n := ab.Norm()
+	if n <= Eps {
+		return p.Dist(a)
+	}
+	return math.Abs(ab.Cross(p.Sub(a))) / n
+}
+
+// PointRayDistance returns the distance from p to the infinite line through
+// origin o with direction angle theta. Used for distances to the fitted
+// directed line segment L, whose end point is virtual (a length and an
+// angle, not a data point).
+func PointRayDistance(p, o Point, theta float64) float64 {
+	return math.Abs(Dir(theta).Cross(p.Sub(o)))
+}
+
+// PointSegmentDistance returns the distance from p to the closed segment ab.
+func PointSegmentDistance(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	n2 := ab.Norm2()
+	if n2 <= Eps*Eps {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / n2
+	switch {
+	case t <= 0:
+		return p.Dist(a)
+	case t >= 1:
+		return p.Dist(b)
+	}
+	return p.Dist(Lerp(a, b, t))
+}
+
+// SideOfLine reports which side of the directed line through o at angle
+// theta the point p lies on: +1 for the left (counterclockwise) side, −1
+// for the right side, and +1 for points on the line (a deterministic
+// convention used by the adjusted-distance optimization).
+func SideOfLine(p, o Point, theta float64) int {
+	if Dir(theta).Cross(p.Sub(o)) < 0 {
+		return -1
+	}
+	return +1
+}
+
+// ProjectOnLine returns the scalar position t of the orthogonal projection
+// of p onto the directed line through o at angle theta (t is in meters
+// along the direction; negative means behind o).
+func ProjectOnLine(p, o Point, theta float64) float64 {
+	return Dir(theta).Dot(p.Sub(o))
+}
+
+// LineIntersection returns the intersection of the line through o1 at angle
+// theta1 with the line through o2 at angle theta2. ok is false when the
+// lines are parallel within Eps (including coincident lines).
+func LineIntersection(o1 Point, theta1 float64, o2 Point, theta2 float64) (p Point, ok bool) {
+	d1, d2 := Dir(theta1), Dir(theta2)
+	den := d1.Cross(d2)
+	if math.Abs(den) <= Eps {
+		return Point{}, false
+	}
+	t := o2.Sub(o1).Cross(d2) / den
+	return o1.Add(d1.Scale(t)), true
+}
+
+// SegmentLineIntersectionParams returns the parameters (t1, t2) such that
+// o1 + t1·dir(theta1) == o2 + t2·dir(theta2), with ok=false for parallel
+// lines. Used by the patching method, which constrains where the patch
+// point may lie on each line.
+func SegmentLineIntersectionParams(o1 Point, theta1 float64, o2 Point, theta2 float64) (t1, t2 float64, ok bool) {
+	d1, d2 := Dir(theta1), Dir(theta2)
+	den := d1.Cross(d2)
+	if math.Abs(den) <= Eps {
+		return 0, 0, false
+	}
+	w := o2.Sub(o1)
+	t1 = w.Cross(d2) / den
+	t2 = w.Cross(d1) / den
+	return t1, t2, true
+}
+
+// MaxDistanceToLine returns the maximum of PointLineDistance(p, a, b) over
+// pts, along with the index of the farthest point. Empty input returns
+// (−1, 0).
+func MaxDistanceToLine(pts []Point, a, b Point) (idx int, dist float64) {
+	idx = -1
+	for i, p := range pts {
+		if d := PointLineDistance(p, a, b); d > dist {
+			idx, dist = i, d
+		}
+	}
+	return idx, dist
+}
+
+// BBox is an axis-aligned bounding box.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyBBox returns a bounding box that contains nothing; extending it with
+// any point makes it valid.
+func EmptyBBox() BBox {
+	return BBox{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// Extend grows the box to include p.
+func (b *BBox) Extend(p Point) {
+	b.MinX = math.Min(b.MinX, p.X)
+	b.MinY = math.Min(b.MinY, p.Y)
+	b.MaxX = math.Max(b.MaxX, p.X)
+	b.MaxY = math.Max(b.MaxY, p.Y)
+}
+
+// Empty reports whether the box contains no points.
+func (b BBox) Empty() bool { return b.MinX > b.MaxX }
+
+// Corners returns the four corners of the box in counterclockwise order.
+func (b BBox) Corners() [4]Point {
+	return [4]Point{
+		{b.MinX, b.MinY},
+		{b.MaxX, b.MinY},
+		{b.MaxX, b.MaxY},
+		{b.MinX, b.MaxY},
+	}
+}
+
+// Contains reports whether p lies inside or on the boundary of the box.
+func (b BBox) Contains(p Point) bool {
+	return p.X >= b.MinX-Eps && p.X <= b.MaxX+Eps && p.Y >= b.MinY-Eps && p.Y <= b.MaxY+Eps
+}
+
+// ClipPolygonHalfPlane clips a convex polygon against the half-plane of
+// points p with dir(theta)×(p−o) ≥ 0 when keepLeft is true (the left side
+// of the directed line), or ≤ 0 otherwise. This is one Sutherland–Hodgman
+// step; BQS uses two such steps to intersect a bounding box with the wedge
+// between its two bounding lines.
+func ClipPolygonHalfPlane(poly []Point, o Point, theta float64, keepLeft bool) []Point {
+	if len(poly) == 0 {
+		return nil
+	}
+	d := Dir(theta)
+	side := func(p Point) float64 {
+		s := d.Cross(p.Sub(o))
+		if !keepLeft {
+			s = -s
+		}
+		return s
+	}
+	out := make([]Point, 0, len(poly)+2)
+	for i := range poly {
+		cur, next := poly[i], poly[(i+1)%len(poly)]
+		sc, sn := side(cur), side(next)
+		if sc >= -Eps {
+			out = append(out, cur)
+		}
+		if (sc > Eps && sn < -Eps) || (sc < -Eps && sn > Eps) {
+			t := sc / (sc - sn)
+			out = append(out, Lerp(cur, next, t))
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointLineDistance(t *testing.T) {
+	cases := []struct {
+		p, a, b Point
+		want    float64
+	}{
+		{Pt(0, 5), Pt(-10, 0), Pt(10, 0), 5},
+		{Pt(3, 3), Pt(0, 0), Pt(10, 0), 3},
+		// Distance is to the infinite line, not the segment: a point far
+		// past b still measures perpendicular distance.
+		{Pt(100, 4), Pt(0, 0), Pt(1, 0), 4},
+		// Degenerate: coincident endpoints degrade to point distance.
+		{Pt(3, 4), Pt(0, 0), Pt(0, 0), 5},
+		// Point on the line.
+		{Pt(5, 5), Pt(0, 0), Pt(10, 10), 0},
+	}
+	for _, c := range cases {
+		if got := PointLineDistance(c.p, c.a, c.b); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("PointLineDistance(%v,%v,%v) = %v, want %v", c.p, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPointRayDistanceMatchesLineDistance(t *testing.T) {
+	f := func(px, py, ox, oy, theta float64) bool {
+		if bad(px) || bad(py) || bad(ox) || bad(oy) || bad(theta) {
+			return true
+		}
+		p, o := Pt(px, py), Pt(ox, oy)
+		b := o.Add(Dir(theta).Scale(1000))
+		d1 := PointRayDistance(p, o, theta)
+		d2 := PointLineDistance(p, o, b)
+		return almostEq(d1, d2, 1e-6*(1+d1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointSegmentDistance(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 0)
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(5, 3), 3},   // interior projection
+		{Pt(-3, 4), 5},  // clamps to a
+		{Pt(13, 4), 5},  // clamps to b
+		{Pt(10, 0), 0},  // endpoint
+		{Pt(20, 0), 10}, // collinear past b
+	}
+	for _, c := range cases {
+		if got := PointSegmentDistance(c.p, a, b); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("PointSegmentDistance(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Segment distance is never less than line distance.
+	f := func(px, py, ax, ay, bx, by float64) bool {
+		if bad(px) || bad(py) || bad(ax) || bad(ay) || bad(bx) || bad(by) {
+			return true
+		}
+		p, a, b := Pt(px, py), Pt(ax, ay), Pt(bx, by)
+		return PointSegmentDistance(p, a, b) >= PointLineDistance(p, a, b)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSideOfLine(t *testing.T) {
+	if got := SideOfLine(Pt(0, 1), Pt(0, 0), 0); got != +1 {
+		t.Errorf("left side = %d, want +1", got)
+	}
+	if got := SideOfLine(Pt(0, -1), Pt(0, 0), 0); got != -1 {
+		t.Errorf("right side = %d, want −1", got)
+	}
+	if got := SideOfLine(Pt(5, 0), Pt(0, 0), 0); got != +1 {
+		t.Errorf("on-line convention = %d, want +1", got)
+	}
+}
+
+func TestProjectOnLine(t *testing.T) {
+	if got := ProjectOnLine(Pt(3, 7), Pt(0, 0), 0); got != 3 {
+		t.Errorf("ProjectOnLine = %v, want 3", got)
+	}
+	if got := ProjectOnLine(Pt(-2, 7), Pt(0, 0), 0); got != -2 {
+		t.Errorf("ProjectOnLine = %v, want −2", got)
+	}
+}
+
+func TestLineIntersection(t *testing.T) {
+	// x-axis and the vertical line x=3.
+	p, ok := LineIntersection(Pt(0, 0), 0, Pt(3, -5), math.Pi/2)
+	if !ok || !p.Eq(Pt(3, 0)) {
+		t.Errorf("intersection = %v ok=%v, want (3,0)", p, ok)
+	}
+	// Parallel lines do not intersect.
+	if _, ok := LineIntersection(Pt(0, 0), 0, Pt(0, 1), 0); ok {
+		t.Error("parallel lines should not intersect")
+	}
+	// Antiparallel (same line, opposite direction) is also parallel.
+	if _, ok := LineIntersection(Pt(0, 0), 0, Pt(0, 1), math.Pi); ok {
+		t.Error("antiparallel lines should not intersect")
+	}
+}
+
+func TestSegmentLineIntersectionParams(t *testing.T) {
+	t1, t2, ok := SegmentLineIntersectionParams(Pt(0, 0), 0, Pt(5, 5), -math.Pi/2)
+	if !ok {
+		t.Fatal("expected intersection")
+	}
+	// Intersection at (5, 0): 5 units along the x-axis; from (5,5) moving
+	// at −π/2 (downward), 5 units.
+	if !almostEq(t1, 5, 1e-9) || !almostEq(t2, 5, 1e-9) {
+		t.Errorf("params = (%v, %v), want (5, 5)", t1, t2)
+	}
+	// The params reconstruct the same point from both lines.
+	f := func(ox, oy, th1, qx, qy, th2 float64) bool {
+		if bad(ox) || bad(oy) || bad(th1) || bad(qx) || bad(qy) || bad(th2) {
+			return true
+		}
+		o1, o2 := Pt(ox, oy), Pt(qx, qy)
+		t1, t2, ok := SegmentLineIntersectionParams(o1, th1, o2, th2)
+		if !ok {
+			return true
+		}
+		if math.Abs(t1) > 1e12 || math.Abs(t2) > 1e12 {
+			return true // nearly parallel: numerically meaningless
+		}
+		p1 := o1.Add(Dir(th1).Scale(t1))
+		p2 := o2.Add(Dir(th2).Scale(t2))
+		return p1.Dist(p2) <= 1e-4*(1+math.Abs(t1)+math.Abs(t2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDistanceToLine(t *testing.T) {
+	pts := []Point{Pt(1, 1), Pt(2, -3), Pt(3, 2)}
+	idx, d := MaxDistanceToLine(pts, Pt(0, 0), Pt(10, 0))
+	if idx != 1 || !almostEq(d, 3, 1e-12) {
+		t.Errorf("MaxDistanceToLine = (%d, %v), want (1, 3)", idx, d)
+	}
+	if idx, d := MaxDistanceToLine(nil, Pt(0, 0), Pt(1, 0)); idx != -1 || d != 0 {
+		t.Errorf("empty input = (%d, %v)", idx, d)
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := EmptyBBox()
+	if !b.Empty() {
+		t.Error("EmptyBBox should be empty")
+	}
+	b.Extend(Pt(1, 2))
+	b.Extend(Pt(-3, 5))
+	if b.Empty() {
+		t.Error("extended box should not be empty")
+	}
+	want := BBox{MinX: -3, MinY: 2, MaxX: 1, MaxY: 5}
+	if b != want {
+		t.Errorf("box = %+v, want %+v", b, want)
+	}
+	if !b.Contains(Pt(0, 3)) || b.Contains(Pt(2, 3)) {
+		t.Error("Contains misclassifies")
+	}
+	c := b.Corners()
+	if c[0] != Pt(-3, 2) || c[2] != Pt(1, 5) {
+		t.Errorf("Corners = %v", c)
+	}
+}
+
+func TestClipPolygonHalfPlane(t *testing.T) {
+	square := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	// Keep the left of the upward line x=1: x ≤ 1.
+	got := ClipPolygonHalfPlane(square, Pt(1, 0), math.Pi/2, true)
+	for _, p := range got {
+		if p.X > 1+1e-9 {
+			t.Errorf("clipped vertex %v on wrong side", p)
+		}
+	}
+	if len(got) != 4 {
+		t.Errorf("clip returned %d vertices, want 4", len(got))
+	}
+	// Keep the right instead: x ≥ 1.
+	got = ClipPolygonHalfPlane(square, Pt(1, 0), math.Pi/2, false)
+	for _, p := range got {
+		if p.X < 1-1e-9 {
+			t.Errorf("clipped vertex %v on wrong side", p)
+		}
+	}
+	// Clipping away everything yields empty.
+	got = ClipPolygonHalfPlane(square, Pt(10, 0), math.Pi/2, false)
+	if len(got) != 0 {
+		t.Errorf("expected empty clip, got %v", got)
+	}
+	// Clipping with a line that misses the polygon keeps all 4 corners.
+	got = ClipPolygonHalfPlane(square, Pt(-5, 0), math.Pi/2, false)
+	if len(got) != 4 {
+		t.Errorf("no-op clip returned %d vertices", len(got))
+	}
+	if got := ClipPolygonHalfPlane(nil, Pt(0, 0), 0, true); got != nil {
+		t.Errorf("nil polygon should clip to nil, got %v", got)
+	}
+}

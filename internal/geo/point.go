@@ -1,0 +1,98 @@
+// Package geo provides the planar geometry kernel shared by every
+// trajectory-simplification algorithm in this module: 2-D vectors, angle
+// arithmetic on directed line segments, point-to-line distances, line
+// intersection, and a local lon/lat projection.
+//
+// All coordinates are planar and expressed in meters, matching the paper's
+// Euclidean distance model ("the distance of Pi to L ... is the Euclidean
+// distance from Pi to the line PsPe"). Latitude/longitude data is converted
+// at the module boundary with Projection.
+package geo
+
+import "math"
+
+// Eps is the tolerance used for degenerate-geometry decisions (zero-length
+// vectors, parallel lines). It is deliberately small relative to ζ values
+// (meters); callers needing different tolerances compare explicitly.
+const Eps = 1e-9
+
+// Point is a location in the local planar frame, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p×q. Positive when q
+// is counterclockwise from p.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p viewed as a vector. Coordinates
+// are meters in a local frame, so the plain sqrt is safe (no overflow
+// concerns) and considerably faster than math.Hypot on hot paths.
+func (p Point) Norm() float64 { return math.Sqrt(p.X*p.X + p.Y*p.Y) }
+
+// Norm2 returns the squared Euclidean length of p viewed as a vector.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 { return p.Sub(q).Norm2() }
+
+// Eq reports whether p and q coincide within Eps in both coordinates.
+func (p Point) Eq(q Point) bool {
+	return math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// IsZero reports whether p is the zero vector within Eps.
+func (p Point) IsZero() bool {
+	return math.Abs(p.X) <= Eps && math.Abs(p.Y) <= Eps
+}
+
+// Unit returns the unit vector in the direction of p. The zero vector is
+// returned unchanged.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n <= Eps {
+		return Point{}
+	}
+	return Point{p.X / n, p.Y / n}
+}
+
+// Rotate returns p rotated counterclockwise by theta radians about the
+// origin.
+func (p Point) Rotate(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{p.X*c - p.Y*s, p.X*s + p.Y*c}
+}
+
+// Lerp linearly interpolates between p and q: t=0 yields p, t=1 yields q.
+func Lerp(p, q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Dir returns the unit vector at angle theta (radians from the +x axis).
+func Dir(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{c, s}
+}
+
+// Midpoint returns the midpoint of p and q.
+func Midpoint(p, q Point) Point {
+	return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2}
+}

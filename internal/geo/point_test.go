@@ -1,0 +1,160 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorOps(t *testing.T) {
+	p, q := Pt(3, 4), Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 10 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Pt(0, 0).Dist(Pt(3, 4)); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := Pt(1, 1).Dist2(Pt(4, 5)); d != 25 {
+		t.Errorf("Dist2 = %v, want 25", d)
+	}
+}
+
+func TestEqAndIsZero(t *testing.T) {
+	if !Pt(1, 2).Eq(Pt(1+Eps/2, 2-Eps/2)) {
+		t.Error("Eq should tolerate sub-Eps differences")
+	}
+	if Pt(1, 2).Eq(Pt(1.1, 2)) {
+		t.Error("Eq should reject distinct points")
+	}
+	if !(Point{}).IsZero() {
+		t.Error("zero value should be zero")
+	}
+	if Pt(0.1, 0).IsZero() {
+		t.Error("0.1 is not zero")
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Pt(3, 4).Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if got := (Point{}).Unit(); !got.IsZero() {
+		t.Errorf("Unit of zero = %v", got)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	got := Pt(1, 0).Rotate(math.Pi / 2)
+	if !got.Eq(Pt(0, 1)) {
+		t.Errorf("Rotate(π/2) = %v, want (0,1)", got)
+	}
+	got = Pt(1, 0).Rotate(math.Pi)
+	if !got.Eq(Pt(-1, 0)) {
+		t.Errorf("Rotate(π) = %v, want (−1,0)", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := Lerp(a, b, 0); !got.Eq(a) {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := Lerp(a, b, 1); !got.Eq(b) {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := Lerp(a, b, 0.5); !got.Eq(Pt(5, 10)) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestDir(t *testing.T) {
+	if got := Dir(0); !got.Eq(Pt(1, 0)) {
+		t.Errorf("Dir(0) = %v", got)
+	}
+	if got := Dir(math.Pi / 2); !got.Eq(Pt(0, 1)) {
+		t.Errorf("Dir(π/2) = %v", got)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	if got := Midpoint(Pt(0, 0), Pt(4, 6)); !got.Eq(Pt(2, 3)) {
+		t.Errorf("Midpoint = %v", got)
+	}
+}
+
+// Property: rotation preserves norms and pairwise distances.
+func TestRotatePreservesDistance(t *testing.T) {
+	f := func(ax, ay, bx, by, theta float64) bool {
+		if bad(ax) || bad(ay) || bad(bx) || bad(by) || bad(theta) {
+			return true
+		}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		d0 := a.Dist(b)
+		d1 := a.Rotate(theta).Dist(b.Rotate(theta))
+		return almostEq(d0, d1, 1e-6*(1+d0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unit always yields norm 1 for nonzero vectors.
+func TestUnitNormProperty(t *testing.T) {
+	f := func(x, y float64) bool {
+		if bad(x) || bad(y) {
+			return true
+		}
+		p := Pt(x, y)
+		if p.Norm() <= Eps {
+			return true
+		}
+		return almostEq(p.Unit().Norm(), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cross product is antisymmetric, dot is symmetric.
+func TestCrossDotSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if bad(ax) || bad(ay) || bad(bx) || bad(by) {
+			return true
+		}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.Cross(b) == -b.Cross(a) && a.Dot(b) == b.Dot(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// bad filters quick-generated values that make float comparisons
+// meaningless.
+func bad(x float64) bool {
+	return math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9
+}

@@ -1,0 +1,53 @@
+package geo
+
+import "math"
+
+// EarthRadiusMeters is the mean Earth radius used by the projection and by
+// HaversineDistance.
+const EarthRadiusMeters = 6371000.0
+
+// Projection converts WGS84 lon/lat coordinates to a local planar frame in
+// meters using an equirectangular projection about a reference point. For
+// city-scale trajectories the distortion is far below GPS noise, which is
+// why LS implementations (including the evaluation code of the paper's
+// comparators) commonly use it.
+type Projection struct {
+	// RefLon, RefLat anchor the local frame; (RefLon, RefLat) maps to (0,0).
+	RefLon, RefLat float64
+	cosLat         float64
+}
+
+// NewProjection returns a projection anchored at (refLon, refLat) degrees.
+func NewProjection(refLon, refLat float64) *Projection {
+	return &Projection{
+		RefLon: refLon,
+		RefLat: refLat,
+		cosLat: math.Cos(Radians(refLat)),
+	}
+}
+
+// ToPlane converts lon/lat in degrees to planar meters.
+func (pr *Projection) ToPlane(lon, lat float64) Point {
+	return Point{
+		X: Radians(lon-pr.RefLon) * pr.cosLat * EarthRadiusMeters,
+		Y: Radians(lat-pr.RefLat) * EarthRadiusMeters,
+	}
+}
+
+// ToLonLat converts planar meters back to lon/lat degrees.
+func (pr *Projection) ToLonLat(p Point) (lon, lat float64) {
+	lon = pr.RefLon + Degrees(p.X/(EarthRadiusMeters*pr.cosLat))
+	lat = pr.RefLat + Degrees(p.Y/EarthRadiusMeters)
+	return lon, lat
+}
+
+// HaversineDistance returns the great-circle distance in meters between two
+// lon/lat points in degrees.
+func HaversineDistance(lon1, lat1, lon2, lat2 float64) float64 {
+	phi1, phi2 := Radians(lat1), Radians(lat2)
+	dPhi := phi2 - phi1
+	dLam := Radians(lon2 - lon1)
+	a := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLam/2)*math.Sin(dLam/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(a)))
+}

@@ -1,0 +1,62 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(116.4, 39.9) // Beijing
+	cases := [][2]float64{
+		{116.4, 39.9},
+		{116.5, 39.95},
+		{116.3, 39.8},
+	}
+	for _, c := range cases {
+		p := pr.ToPlane(c[0], c[1])
+		lon, lat := pr.ToLonLat(p)
+		if !almostEq(lon, c[0], 1e-9) || !almostEq(lat, c[1], 1e-9) {
+			t.Errorf("round trip (%v,%v) -> (%v,%v)", c[0], c[1], lon, lat)
+		}
+	}
+}
+
+func TestProjectionOrigin(t *testing.T) {
+	pr := NewProjection(10, 50)
+	if p := pr.ToPlane(10, 50); !p.IsZero() {
+		t.Errorf("reference maps to %v, want origin", p)
+	}
+}
+
+func TestProjectionMatchesHaversineLocally(t *testing.T) {
+	pr := NewProjection(116.4, 39.9)
+	// ~1 km east at this latitude.
+	p := pr.ToPlane(116.41, 39.9)
+	h := HaversineDistance(116.4, 39.9, 116.41, 39.9)
+	if math.Abs(p.Norm()-h) > 1 { // within 1 m over 1 km
+		t.Errorf("planar %v vs haversine %v", p.Norm(), h)
+	}
+	// ~1 km north.
+	p = pr.ToPlane(116.4, 39.91)
+	h = HaversineDistance(116.4, 39.9, 116.4, 39.91)
+	if math.Abs(p.Norm()-h) > 1 {
+		t.Errorf("planar %v vs haversine %v", p.Norm(), h)
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// One degree of latitude ≈ 111.19 km on the sphere.
+	d := HaversineDistance(0, 0, 0, 1)
+	if math.Abs(d-111195) > 100 {
+		t.Errorf("1° latitude = %v m, want ≈111195", d)
+	}
+	if d := HaversineDistance(5, 5, 5, 5); d != 0 {
+		t.Errorf("zero distance = %v", d)
+	}
+	// Symmetric.
+	a := HaversineDistance(10, 20, 30, 40)
+	b := HaversineDistance(30, 40, 10, 20)
+	if !almostEq(a, b, 1e-6) {
+		t.Errorf("asymmetric haversine: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"trajsim/internal/traj"
+)
+
+// ErrorDistribution summarizes how per-point deviations are spread — the
+// information behind "OPERB keeps most points far below ζ" style analyses
+// and trajc's reporting.
+type ErrorDistribution struct {
+	Count int
+	Mean  float64
+	P50   float64
+	P90   float64
+	P99   float64
+	Max   float64
+	// Buckets counts points whose deviation falls in [i·ζ/10, (i+1)·ζ/10)
+	// for i in 0..9, with the last bucket absorbing anything ≥ ζ (which a
+	// correct error-bounded algorithm never produces beyond float noise).
+	Buckets [10]int
+	Zeta    float64
+}
+
+// NewErrorDistribution computes the deviation distribution of a
+// compression run relative to the bound zeta.
+func NewErrorDistribution(t traj.Trajectory, pw traj.Piecewise, zeta float64) ErrorDistribution {
+	d := ErrorDistribution{Zeta: zeta}
+	if len(t) == 0 || len(pw) == 0 || !(zeta > 0) {
+		return d
+	}
+	errs := PerPointErrors(t, pw)
+	sort.Float64s(errs)
+	d.Count = len(errs)
+	var sum float64
+	for _, e := range errs {
+		sum += e
+		i := int(e / zeta * 10)
+		if i > 9 {
+			i = 9
+		}
+		d.Buckets[i]++
+	}
+	d.Mean = sum / float64(len(errs))
+	d.P50 = quantile(errs, 0.50)
+	d.P90 = quantile(errs, 0.90)
+	d.P99 = quantile(errs, 0.99)
+	d.Max = errs[len(errs)-1]
+	return d
+}
+
+// quantile interpolates the q-th quantile of sorted xs.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	pos := q * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// String renders a compact one-line summary.
+func (d ErrorDistribution) String() string {
+	return fmt.Sprintf("n=%d mean=%.2fm p50=%.2fm p90=%.2fm p99=%.2fm max=%.2fm (ζ=%g)",
+		d.Count, d.Mean, d.P50, d.P90, d.P99, d.Max, d.Zeta)
+}
+
+// Histogram renders an ASCII histogram of the deviation buckets, one row
+// per ζ/10 band.
+func (d ErrorDistribution) Histogram() string {
+	var b strings.Builder
+	maxN := 0
+	for _, n := range d.Buckets {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN == 0 {
+		return "(empty)\n"
+	}
+	for i, n := range d.Buckets {
+		bar := strings.Repeat("#", n*40/maxN)
+		fmt.Fprintf(&b, "%4.0f%%-%3.0f%% ζ |%-40s| %d\n", float64(i)*10, float64(i+1)*10, bar, n)
+	}
+	return b.String()
+}

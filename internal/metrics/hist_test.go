@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestErrorDistributionCollinear(t *testing.T) {
+	tr := line(50, 10)
+	pw := repr(tr, 0, 49)
+	d := NewErrorDistribution(tr, pw, 20)
+	if d.Count != 50 {
+		t.Errorf("count %d", d.Count)
+	}
+	if d.Max > 1e-9 || d.Mean > 1e-9 {
+		t.Errorf("collinear distribution: %+v", d)
+	}
+	if d.Buckets[0] != 50 {
+		t.Errorf("all points should be in bucket 0: %v", d.Buckets)
+	}
+}
+
+func TestErrorDistributionKnownSpread(t *testing.T) {
+	tr := line(4, 10)
+	tr[1].Y = 5  // 25% of ζ=20
+	tr[2].Y = 19 // 95% of ζ=20
+	pw := repr(tr, 0, 3)
+	d := NewErrorDistribution(tr, pw, 20)
+	if d.Buckets[2] != 1 || d.Buckets[9] != 1 || d.Buckets[0] != 2 {
+		t.Errorf("buckets: %v", d.Buckets)
+	}
+	if math.Abs(d.Max-19) > 1e-9 {
+		t.Errorf("max %v", d.Max)
+	}
+	if math.Abs(d.Mean-6) > 1e-9 {
+		t.Errorf("mean %v", d.Mean)
+	}
+	if d.P50 <= 0 || d.P50 > 5 {
+		t.Errorf("p50 %v", d.P50)
+	}
+	if d.P99 < d.P90 || d.Max < d.P99 {
+		t.Errorf("quantiles not monotone: %+v", d)
+	}
+}
+
+func TestErrorDistributionEmpty(t *testing.T) {
+	d := NewErrorDistribution(nil, nil, 10)
+	if d.Count != 0 {
+		t.Errorf("empty count %d", d.Count)
+	}
+	if got := d.Histogram(); got != "(empty)\n" {
+		t.Errorf("empty histogram: %q", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Error("nil quantile")
+	}
+	if quantile([]float64{7}, 0.9) != 7 {
+		t.Error("single quantile")
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	tr := line(100, 10)
+	for i := range tr {
+		tr[i].Y = float64(i % 10)
+	}
+	pw := repr(tr, 0, 99)
+	d := NewErrorDistribution(tr, pw, 10)
+	h := d.Histogram()
+	if !strings.Contains(h, "#") {
+		t.Errorf("histogram has no bars:\n%s", h)
+	}
+	if lines := strings.Count(h, "\n"); lines != 10 {
+		t.Errorf("%d histogram rows, want 10", lines)
+	}
+	if d.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,210 @@
+// Package metrics implements the paper's evaluation measures: compression
+// ratio (§6.2.2), average error (§6.2.3), the error-bound check (§3.2),
+// and the line-segment point distribution Z(k) (Exp-2.3).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"trajsim/internal/traj"
+)
+
+// ErrMismatch is returned when a representation does not belong to the
+// trajectory it is evaluated against.
+var ErrMismatch = errors.New("metrics: representation does not match trajectory")
+
+// PointError returns the deviation of source point i: the minimum distance
+// from the point to the lines of the segments covering its index. (A point
+// on a boundary shared by two segments, or covered by both a segment and
+// its absorbed extension, takes the smaller distance — the paper's bound
+// definition only requires *some* consecutive output pair within ζ.)
+func PointError(t traj.Trajectory, pw traj.Piecewise, i int) float64 {
+	best := math.Inf(1)
+	for _, k := range pw.CoveringSegments(i) {
+		if d := pw[k].LineDistance(t[i]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// PerPointErrors returns the deviation of every source point.
+func PerPointErrors(t traj.Trajectory, pw traj.Piecewise) []float64 {
+	out := make([]float64, len(t))
+	for i := range t {
+		out[i] = PointError(t, pw, i)
+	}
+	return out
+}
+
+// MaxError returns the largest per-point deviation; 0 for empty inputs.
+func MaxError(t traj.Trajectory, pw traj.Piecewise) float64 {
+	var worst float64
+	if len(pw) == 0 {
+		return 0
+	}
+	for i := range t {
+		if d := PointError(t, pw, i); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// AvgError returns the paper's average error (§6.2.3): the mean over all
+// source points of the distance to the containing line segment.
+func AvgError(t traj.Trajectory, pw traj.Piecewise) float64 {
+	if len(t) == 0 || len(pw) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range t {
+		sum += PointError(t, pw, i)
+	}
+	return sum / float64(len(t))
+}
+
+// BoundSlack is the multiplicative tolerance the verifier allows for
+// floating-point accumulation in the fitting function's trigonometry.
+const BoundSlack = 1e-9
+
+// VerifyBound checks that pw is error bounded by zeta for t, returning a
+// descriptive error naming the worst offending point otherwise.
+func VerifyBound(t traj.Trajectory, pw traj.Piecewise, zeta float64) error {
+	if len(t) < 2 {
+		return nil
+	}
+	if len(pw) == 0 {
+		return fmt.Errorf("%w: empty representation for %d points", ErrMismatch, len(t))
+	}
+	limit := zeta * (1 + BoundSlack)
+	worstIdx, worst := -1, 0.0
+	for i := range t {
+		if d := PointError(t, pw, i); d > worst {
+			worstIdx, worst = i, d
+		}
+	}
+	if worst > limit {
+		return fmt.Errorf("error bound violated: point %d deviates %.6f m > ζ=%.6f m", worstIdx, worst, zeta)
+	}
+	return nil
+}
+
+// Ratio returns the paper's compression ratio for one trajectory:
+// |T| / |Ṫ|, the number of output line segments over the number of input
+// points. Lower is better.
+func Ratio(t traj.Trajectory, pw traj.Piecewise) float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	return float64(len(pw)) / float64(len(t))
+}
+
+// DatasetRatio aggregates the ratio over a set of trajectories, matching
+// the paper's (Σ|Tj|) / (Σ|Ṫj|).
+func DatasetRatio(ts []traj.Trajectory, pws []traj.Piecewise) (float64, error) {
+	if len(ts) != len(pws) {
+		return 0, fmt.Errorf("%w: %d trajectories, %d representations", ErrMismatch, len(ts), len(pws))
+	}
+	var segs, pts int
+	for i := range ts {
+		segs += len(pws[i])
+		pts += len(ts[i])
+	}
+	if pts == 0 {
+		return 0, nil
+	}
+	return float64(segs) / float64(pts), nil
+}
+
+// DatasetAvgError aggregates the average error over a set of trajectories
+// (point-weighted, matching the paper's definition).
+func DatasetAvgError(ts []traj.Trajectory, pws []traj.Piecewise) (float64, error) {
+	if len(ts) != len(pws) {
+		return 0, fmt.Errorf("%w: %d trajectories, %d representations", ErrMismatch, len(ts), len(pws))
+	}
+	var sum float64
+	var pts int
+	for i := range ts {
+		if len(pws[i]) == 0 {
+			continue
+		}
+		for j := range ts[i] {
+			sum += PointError(ts[i], pws[i], j)
+		}
+		pts += len(ts[i])
+	}
+	if pts == 0 {
+		return 0, nil
+	}
+	return sum / float64(pts), nil
+}
+
+// Distribution returns Z(k): for each point count k, the number of line
+// segments representing exactly k data points (Exp-2.3, Figure 17;
+// endpoints shared by adjacent segments are double-counted).
+func Distribution(pws []traj.Piecewise) map[int]int {
+	z := make(map[int]int)
+	for _, pw := range pws {
+		for _, s := range pw {
+			z[s.PointCount()]++
+		}
+	}
+	return z
+}
+
+// DistributionBuckets folds Z(k) into the histogram buckets used when
+// printing Figure 17: exact counts for k ≤ 9 and powers-of-two style
+// ranges beyond.
+type Bucket struct {
+	Label    string
+	Lo, Hi   int // inclusive range of k
+	Segments int
+}
+
+// BucketizeDistribution groups Z(k) for tabular display.
+func BucketizeDistribution(z map[int]int) []Bucket {
+	buckets := []Bucket{
+		{Label: "1", Lo: 1, Hi: 1},
+		{Label: "2", Lo: 2, Hi: 2},
+		{Label: "3", Lo: 3, Hi: 3},
+		{Label: "4", Lo: 4, Hi: 4},
+		{Label: "5", Lo: 5, Hi: 5},
+		{Label: "6-9", Lo: 6, Hi: 9},
+		{Label: "10-19", Lo: 10, Hi: 19},
+		{Label: "20-49", Lo: 20, Hi: 49},
+		{Label: "50-99", Lo: 50, Hi: 99},
+		{Label: "100+", Lo: 100, Hi: math.MaxInt},
+	}
+	for k, n := range z {
+		for i := range buckets {
+			if k >= buckets[i].Lo && k <= buckets[i].Hi {
+				buckets[i].Segments += n
+				break
+			}
+		}
+	}
+	return buckets
+}
+
+// Summary bundles the headline quality numbers for one compression run.
+type Summary struct {
+	Points   int
+	Segments int
+	Ratio    float64
+	AvgError float64
+	MaxError float64
+}
+
+// Summarize computes a Summary for one trajectory/representation pair.
+func Summarize(t traj.Trajectory, pw traj.Piecewise) Summary {
+	return Summary{
+		Points:   len(t),
+		Segments: len(pw),
+		Ratio:    Ratio(t, pw),
+		AvgError: AvgError(t, pw),
+		MaxError: MaxError(t, pw),
+	}
+}

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trajsim/internal/traj"
+)
+
+func line(n int, step float64) traj.Trajectory {
+	out := make(traj.Trajectory, n)
+	for i := range out {
+		out[i] = traj.Point{X: float64(i) * step, T: int64(i) * 1000}
+	}
+	return out
+}
+
+func repr(tr traj.Trajectory, cuts ...int) traj.Piecewise {
+	out := make(traj.Piecewise, 0, len(cuts)-1)
+	for i := 1; i < len(cuts); i++ {
+		out = append(out, traj.NewSegment(tr, cuts[i-1], cuts[i]))
+	}
+	return out
+}
+
+func TestPointErrorOnLine(t *testing.T) {
+	tr := line(10, 5)
+	pw := repr(tr, 0, 5, 9)
+	for i := range tr {
+		if d := PointError(tr, pw, i); d > 1e-12 {
+			t.Errorf("collinear point %d error %v", i, d)
+		}
+	}
+}
+
+func TestPointErrorOffLine(t *testing.T) {
+	tr := line(5, 10)
+	tr[2].Y = 7 // bump one point
+	pw := repr(tr, 0, 4)
+	if d := PointError(tr, pw, 2); math.Abs(d-7) > 1e-9 {
+		t.Errorf("bumped point error = %v, want 7", d)
+	}
+}
+
+func TestPointErrorTakesMinOverCoveringSegments(t *testing.T) {
+	tr := line(10, 10)
+	tr[5].Y = 3
+	// Two segments share boundary index 5; deliberately skew the second so
+	// distances differ.
+	a := traj.NewSegment(tr, 0, 5)
+	b := traj.NewSegment(tr, 5, 9)
+	pw := traj.Piecewise{a, b}
+	want := math.Min(a.LineDistance(tr[5]), b.LineDistance(tr[5]))
+	if d := PointError(tr, pw, 5); math.Abs(d-want) > 1e-12 {
+		t.Errorf("boundary error = %v, want min %v", d, want)
+	}
+}
+
+func TestMaxAndAvgError(t *testing.T) {
+	tr := line(5, 10)
+	tr[1].Y = 2
+	tr[3].Y = 6
+	pw := repr(tr, 0, 4)
+	if d := MaxError(tr, pw); math.Abs(d-6) > 1e-9 {
+		t.Errorf("MaxError = %v, want 6", d)
+	}
+	if d := AvgError(tr, pw); math.Abs(d-8.0/5) > 1e-9 {
+		t.Errorf("AvgError = %v, want 1.6", d)
+	}
+	if MaxError(tr, nil) != 0 || AvgError(tr, nil) != 0 {
+		t.Error("empty representation should yield 0 errors")
+	}
+}
+
+func TestPerPointErrors(t *testing.T) {
+	tr := line(4, 10)
+	tr[2].Y = 5
+	errs := PerPointErrors(tr, repr(tr, 0, 3))
+	if len(errs) != 4 {
+		t.Fatalf("len = %d", len(errs))
+	}
+	if math.Abs(errs[2]-5) > 1e-9 {
+		t.Errorf("errs[2] = %v, want 5", errs[2])
+	}
+}
+
+func TestVerifyBound(t *testing.T) {
+	tr := line(5, 10)
+	tr[2].Y = 5
+	pw := repr(tr, 0, 4)
+	if err := VerifyBound(tr, pw, 6); err != nil {
+		t.Errorf("bound 6 should pass: %v", err)
+	}
+	if err := VerifyBound(tr, pw, 4); err == nil {
+		t.Error("bound 4 should fail")
+	}
+	if err := VerifyBound(tr, nil, 4); !errors.Is(err, ErrMismatch) {
+		t.Errorf("empty representation: %v", err)
+	}
+	if err := VerifyBound(traj.Trajectory{{T: 0}}, nil, 4); err != nil {
+		t.Errorf("single point trivially bounded: %v", err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	tr := line(10, 5)
+	pw := repr(tr, 0, 5, 9)
+	if r := Ratio(tr, pw); r != 0.2 {
+		t.Errorf("Ratio = %v, want 0.2", r)
+	}
+	if r := Ratio(nil, nil); r != 0 {
+		t.Errorf("empty Ratio = %v", r)
+	}
+}
+
+func TestDatasetRatio(t *testing.T) {
+	t1, t2 := line(10, 5), line(20, 5)
+	p1, p2 := repr(t1, 0, 9), repr(t2, 0, 10, 19)
+	r, err := DatasetRatio([]traj.Trajectory{t1, t2}, []traj.Piecewise{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3.0 / 30.0; math.Abs(r-want) > 1e-12 {
+		t.Errorf("DatasetRatio = %v, want %v", r, want)
+	}
+	if _, err := DatasetRatio([]traj.Trajectory{t1}, nil); !errors.Is(err, ErrMismatch) {
+		t.Errorf("mismatch: %v", err)
+	}
+	r, err = DatasetRatio(nil, nil)
+	if err != nil || r != 0 {
+		t.Errorf("empty: %v %v", r, err)
+	}
+}
+
+func TestDatasetAvgError(t *testing.T) {
+	t1 := line(4, 10)
+	t1[1].Y = 4
+	p1 := repr(t1, 0, 3)
+	got, err := DatasetAvgError([]traj.Trajectory{t1}, []traj.Piecewise{p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("DatasetAvgError = %v, want %v", got, want)
+	}
+	if _, err := DatasetAvgError(nil, []traj.Piecewise{p1}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("mismatch: %v", err)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	tr := line(10, 5)
+	pw := repr(tr, 0, 2, 4, 9) // point counts 3, 3, 6
+	z := Distribution([]traj.Piecewise{pw})
+	if z[3] != 2 || z[6] != 1 {
+		t.Errorf("Z = %v", z)
+	}
+}
+
+func TestBucketizeDistribution(t *testing.T) {
+	z := map[int]int{1: 2, 2: 5, 7: 3, 15: 1, 30: 2, 70: 1, 500: 4}
+	buckets := BucketizeDistribution(z)
+	got := map[string]int{}
+	for _, b := range buckets {
+		got[b.Label] = b.Segments
+	}
+	want := map[string]int{"1": 2, "2": 5, "6-9": 3, "10-19": 1, "20-49": 2, "50-99": 1, "100+": 4}
+	for label, n := range want {
+		if got[label] != n {
+			t.Errorf("bucket %s = %d, want %d", label, got[label], n)
+		}
+	}
+	var total int
+	for _, b := range buckets {
+		total += b.Segments
+	}
+	if total != 18 {
+		t.Errorf("bucket total = %d, want 18", total)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := line(10, 5)
+	tr[4].Y = 3
+	pw := repr(tr, 0, 9)
+	s := Summarize(tr, pw)
+	if s.Points != 10 || s.Segments != 1 {
+		t.Errorf("summary counts: %+v", s)
+	}
+	if math.Abs(s.MaxError-3) > 1e-9 {
+		t.Errorf("summary max error: %v", s.MaxError)
+	}
+	if s.Ratio != 0.1 {
+		t.Errorf("summary ratio: %v", s.Ratio)
+	}
+}

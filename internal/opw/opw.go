@@ -1,0 +1,65 @@
+// Package opw implements the open-window online line-simplification
+// algorithm of Meratnia & de By (the paper's OPW, §3.2): grow a window
+// [Ps..Pk] while every interior point stays within ζ of the line PsPk;
+// on failure emit PsPk−1 and restart the window at Pk−1. O(n²) time worst
+// case. The SED variant (OPW-TR) uses the time-synchronized distance.
+package opw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"trajsim/internal/traj"
+)
+
+// ErrBadEpsilon is returned for non-positive error bounds.
+var ErrBadEpsilon = errors.New("opw: error bound ζ must be positive and finite")
+
+// Simplify compresses t with OPW and error bound zeta (meters).
+func Simplify(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+	return simplify(t, zeta, false)
+}
+
+// SimplifySED is OPW-TR: OPW with the synchronized Euclidean distance.
+func SimplifySED(t traj.Trajectory, zeta float64) (traj.Piecewise, error) {
+	return simplify(t, zeta, true)
+}
+
+func simplify(t traj.Trajectory, zeta float64, sed bool) (traj.Piecewise, error) {
+	if !(zeta > 0) || math.IsInf(zeta, 1) {
+		return nil, fmt.Errorf("%w: got %g", ErrBadEpsilon, zeta)
+	}
+	if len(t) < 2 {
+		return nil, nil
+	}
+	out := make(traj.Piecewise, 0, 16)
+	s := 0
+	for k := s + 2; k < len(t); k++ {
+		if windowFits(t, s, k, zeta, sed) {
+			continue
+		}
+		out = append(out, traj.NewSegment(t, s, k-1))
+		s = k - 1
+	}
+	out = append(out, traj.NewSegment(t, s, len(t)-1))
+	return out, nil
+}
+
+// windowFits reports whether every interior point of [s..k] is within zeta
+// of the (possibly time-parameterized) line segment PsPk.
+func windowFits(t traj.Trajectory, s, k int, zeta float64, sed bool) bool {
+	seg := traj.NewSegment(t, s, k)
+	for i := s + 1; i < k; i++ {
+		var d float64
+		if sed {
+			d = seg.SEDistance(t[i])
+		} else {
+			d = seg.LineDistance(t[i])
+		}
+		if d > zeta {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package opw
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+func workloads() map[string]traj.Trajectory {
+	return map[string]traj.Trajectory{
+		"line":        gen.Line(200, 15),
+		"noisy-line":  gen.NoisyLine(300, 20, 5, 11),
+		"circle":      gen.Circle(300, 200, 0.05),
+		"zigzag":      gen.Zigzag(300, 10, 60, 7),
+		"random-walk": gen.RandomWalk(400, 25, 3),
+		"turns":       gen.SuddenTurns(300, 30, 9, 13),
+		"taxi":        gen.One(gen.Taxi, 300, 21),
+		"sercar":      gen.One(gen.SerCar, 300, 22),
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	for name, tr := range workloads() {
+		for _, zeta := range []float64{5, 20, 40, 100} {
+			pw, err := Simplify(tr, zeta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := metrics.VerifyBound(tr, pw, zeta); err != nil {
+				t.Errorf("%s ζ=%v: %v", name, zeta, err)
+			}
+			if err := pw.Validate(); err != nil {
+				t.Errorf("%s ζ=%v: %v", name, zeta, err)
+			}
+		}
+	}
+}
+
+// OPW's invariant is per-window: every interior point of an emitted window
+// is within ζ of the window's own line.
+func TestPerWindowInvariant(t *testing.T) {
+	tr := gen.One(gen.SerCar, 500, 7)
+	zeta := 30.0
+	pw, err := Simplify(tr, zeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pw {
+		for i := s.StartIdx; i <= s.EndIdx; i++ {
+			if d := s.LineDistance(tr[i]); d > zeta+1e-9 {
+				t.Fatalf("point %d deviates %v from its window line", i, d)
+			}
+		}
+	}
+}
+
+func TestExactPartition(t *testing.T) {
+	tr := gen.RandomWalk(500, 30, 9)
+	pw, err := Simplify(tr, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw[0].StartIdx != 0 || pw[len(pw)-1].EndIdx != len(tr)-1 {
+		t.Errorf("ranges [%d..%d], want [0..%d]", pw[0].StartIdx, pw[len(pw)-1].EndIdx, len(tr)-1)
+	}
+	for i := 1; i < len(pw); i++ {
+		if pw[i].StartIdx != pw[i-1].EndIdx {
+			t.Errorf("segment %d starts at %d, previous ends at %d", i, pw[i].StartIdx, pw[i-1].EndIdx)
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	pw, err := Simplify(gen.Line(1000, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 1 {
+		t.Errorf("collinear input: %d segments, want 1", len(pw))
+	}
+}
+
+func TestSEDVariant(t *testing.T) {
+	tr := gen.One(gen.GeoLife, 400, 8)
+	zeta := 25.0
+	pw, err := SimplifySED(tr, zeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pw {
+		for i := s.StartIdx; i <= s.EndIdx; i++ {
+			if d := s.SEDistance(tr[i]); d > zeta+1e-9 {
+				t.Fatalf("point %d SED %v > ζ", i, d)
+			}
+		}
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	for n := 0; n <= 1; n++ {
+		pw, err := Simplify(gen.Line(n, 1), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pw) != 0 {
+			t.Errorf("n=%d: %d segments", n, len(pw))
+		}
+	}
+	pw, err := Simplify(gen.Line(2, 1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 1 {
+		t.Errorf("n=2: %d segments", len(pw))
+	}
+}
+
+func TestBadEpsilon(t *testing.T) {
+	for _, zeta := range []float64{0, -3, math.Inf(1), math.NaN()} {
+		if _, err := Simplify(gen.Line(5, 1), zeta); !errors.Is(err, ErrBadEpsilon) {
+			t.Errorf("ζ=%v: %v", zeta, err)
+		}
+		if _, err := SimplifySED(gen.Line(5, 1), zeta); !errors.Is(err, ErrBadEpsilon) {
+			t.Errorf("SED ζ=%v: %v", zeta, err)
+		}
+	}
+}
+
+// The window restarts at Pk−1 on failure: the point before the violation
+// becomes a shared endpoint (the OPW contract from §3.2).
+func TestWindowRestart(t *testing.T) {
+	// A right angle at index 5 far exceeding ζ.
+	tr := make(traj.Trajectory, 11)
+	for i := 0; i <= 5; i++ {
+		tr[i] = traj.Point{X: float64(i) * 10, T: int64(i) * 1000}
+	}
+	for i := 6; i <= 10; i++ {
+		tr[i] = traj.Point{X: 50, Y: float64(i-5) * 10, T: int64(i) * 1000}
+	}
+	pw, err := Simplify(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 2 {
+		t.Fatalf("right angle: %d segments, want 2: %v", len(pw), pw)
+	}
+	if pw[0].EndIdx != 5 || pw[1].StartIdx != 5 {
+		t.Errorf("corner not at index 5: %v", pw)
+	}
+}

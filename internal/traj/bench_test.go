@@ -1,0 +1,58 @@
+package traj
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var (
+	sinkF float64
+	sinkP Point
+	sinkN int
+)
+
+func BenchmarkPositionAt(b *testing.B) {
+	tr := line(10_000, 5)
+	for i := 0; i < b.N; i++ {
+		p := tr.PositionAt(int64(i%9_000)*1000 + 500)
+		sinkF = p.X
+	}
+}
+
+func BenchmarkSEDistance(b *testing.B) {
+	tr := line(100, 10)
+	s := NewSegment(tr, 0, 99)
+	p := Point{X: 333, Y: 5, T: 33_300}
+	for i := 0; i < b.N; i++ {
+		sinkF = s.SEDistance(p)
+	}
+}
+
+func BenchmarkLineDistance(b *testing.B) {
+	tr := line(100, 10)
+	s := NewSegment(tr, 0, 99)
+	p := Point{X: 333, Y: 5, T: 33_300}
+	for i := 0; i < b.N; i++ {
+		sinkF = s.LineDistance(p)
+	}
+}
+
+func BenchmarkCoveringSegments(b *testing.B) {
+	tr := line(10_000, 5)
+	pw := make(Piecewise, 0, 1000)
+	for i := 0; i+10 < len(tr); i += 10 {
+		pw = append(pw, NewSegment(tr, i, i+10))
+	}
+	for i := 0; i < b.N; i++ {
+		sinkN = len(pw.CoveringSegments(i % 10_000))
+	}
+}
+
+func BenchmarkCleanerPush(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	c := NewCleaner(4)
+	for i := 0; i < b.N; i++ {
+		jitter := int64(r.Intn(3)) * 500
+		c.Push(Point{X: float64(i), T: int64(i)*1000 + jitter})
+	}
+}

@@ -1,0 +1,131 @@
+package traj
+
+import "sort"
+
+// Cleaner repairs the raw-stream defects the paper's introduction reports
+// from online vehicle-to-cloud transmission: duplicate and out-of-order
+// data points. It is a small streaming reorder buffer: points are held
+// until Window newer points (by arrival) have been seen, then released in
+// timestamp order with duplicates dropped.
+//
+// A Cleaner is typically placed in front of a one-pass encoder:
+//
+//	for p := range device {
+//	    for _, q := range cleaner.Push(p) {
+//	        segs := enc.Push(q)
+//	        ...
+//	    }
+//	}
+type Cleaner struct {
+	// Window is the number of points buffered for reordering. Zero means
+	// pass-through ordering (only exact-duplicate removal).
+	Window int
+	// DropEqualTime drops a point whose timestamp equals the previously
+	// released one even if its position differs (sensors occasionally emit
+	// two fixes with one timestamp; the trajectory invariant needs strict
+	// order).
+	DropEqualTime bool
+
+	buf      []Point
+	lastOut  Point
+	hasLast  bool
+	dupes    int
+	reorders int
+	dropped  int
+}
+
+// NewCleaner returns a Cleaner with the given reorder window.
+func NewCleaner(window int) *Cleaner {
+	return &Cleaner{Window: window, DropEqualTime: true}
+}
+
+// Stats reports how many duplicates were removed, how many points arrived
+// out of order (and were re-sorted), and how many stale points were
+// dropped because they were older than an already-released point.
+func (c *Cleaner) Stats() (duplicates, reordered, dropped int) {
+	return c.dupes, c.reorders, c.dropped
+}
+
+// Push offers one raw point and returns zero or more cleaned points in
+// strict timestamp order.
+func (c *Cleaner) Push(p Point) []Point {
+	// Exact duplicate of something in the buffer?
+	for _, q := range c.buf {
+		if q == p {
+			c.dupes++
+			return nil
+		}
+	}
+	if c.hasLast {
+		if p == c.lastOut {
+			c.dupes++
+			return nil
+		}
+		if p.T < c.lastOut.T || (p.T == c.lastOut.T && c.DropEqualTime) {
+			// Too old to reorder: it belongs before an already-released
+			// point.
+			if p.T < c.lastOut.T {
+				c.dropped++
+			} else {
+				c.dupes++
+			}
+			return nil
+		}
+	}
+	if len(c.buf) > 0 && p.T < c.buf[len(c.buf)-1].T {
+		c.reorders++
+	}
+	c.buf = append(c.buf, p)
+	sort.SliceStable(c.buf, func(i, j int) bool { return c.buf[i].T < c.buf[j].T })
+	c.dedupeBuffer()
+	var out []Point
+	for len(c.buf) > c.Window {
+		out = append(out, c.release())
+	}
+	return out
+}
+
+// Flush releases all buffered points.
+func (c *Cleaner) Flush() []Point {
+	var out []Point
+	for len(c.buf) > 0 {
+		out = append(out, c.release())
+	}
+	return out
+}
+
+// Clean is the batch convenience: it repairs an entire raw point slice.
+func Clean(raw []Point, window int) Trajectory {
+	c := NewCleaner(window)
+	out := make(Trajectory, 0, len(raw))
+	for _, p := range raw {
+		out = append(out, c.Push(p)...)
+	}
+	return append(out, c.Flush()...)
+}
+
+func (c *Cleaner) release() Point {
+	p := c.buf[0]
+	c.buf = c.buf[1:]
+	c.lastOut = p
+	c.hasLast = true
+	return p
+}
+
+func (c *Cleaner) dedupeBuffer() {
+	if len(c.buf) < 2 {
+		return
+	}
+	w := 1
+	for i := 1; i < len(c.buf); i++ {
+		if c.buf[i].T == c.buf[w-1].T {
+			if c.buf[i] == c.buf[w-1] || c.DropEqualTime {
+				c.dupes++
+				continue
+			}
+		}
+		c.buf[w] = c.buf[i]
+		w++
+	}
+	c.buf = c.buf[:w]
+}

@@ -1,0 +1,130 @@
+package traj
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCleanerInOrderPassThrough(t *testing.T) {
+	c := NewCleaner(2)
+	var out []Point
+	src := line(10, 5)
+	for _, p := range src {
+		out = append(out, c.Push(p)...)
+	}
+	out = append(out, c.Flush()...)
+	if len(out) != len(src) {
+		t.Fatalf("got %d points, want %d", len(out), len(src))
+	}
+	for i := range src {
+		if out[i] != src[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], src[i])
+		}
+	}
+}
+
+func TestCleanerReordersWithinWindow(t *testing.T) {
+	c := NewCleaner(3)
+	pts := []Point{
+		{T: 0}, {T: 2000}, {T: 1000}, {T: 3000}, {T: 5000}, {T: 4000},
+	}
+	var out []Point
+	for _, p := range pts {
+		out = append(out, c.Push(p)...)
+	}
+	out = append(out, c.Flush()...)
+	if len(out) != 6 {
+		t.Fatalf("got %d points, want 6", len(out))
+	}
+	if err := Trajectory(out).Validate(); err != nil {
+		t.Fatalf("reordered output invalid: %v", err)
+	}
+	_, reordered, _ := c.Stats()
+	if reordered != 2 {
+		t.Errorf("reordered = %d, want 2", reordered)
+	}
+}
+
+func TestCleanerDropsDuplicates(t *testing.T) {
+	c := NewCleaner(2)
+	p := Point{X: 1, Y: 2, T: 1000}
+	var out []Point
+	for _, q := range []Point{{T: 0}, p, p, p, {T: 2000}} {
+		out = append(out, c.Push(q)...)
+	}
+	out = append(out, c.Flush()...)
+	if len(out) != 3 {
+		t.Fatalf("got %d points, want 3 (duplicates dropped)", len(out))
+	}
+	dupes, _, _ := c.Stats()
+	if dupes != 2 {
+		t.Errorf("duplicates = %d, want 2", dupes)
+	}
+}
+
+func TestCleanerDropsEqualTimeFixes(t *testing.T) {
+	c := NewCleaner(1)
+	var out []Point
+	for _, q := range []Point{{T: 0}, {X: 5, T: 1000}, {X: 9, T: 1000}, {T: 2000}} {
+		out = append(out, c.Push(q)...)
+	}
+	out = append(out, c.Flush()...)
+	if err := Trajectory(out).Validate(); err != nil {
+		t.Fatalf("output invalid: %v", err)
+	}
+	if len(out) != 3 {
+		t.Errorf("got %d points, want 3", len(out))
+	}
+}
+
+func TestCleanerDropsStalePoints(t *testing.T) {
+	c := NewCleaner(0) // no reorder buffer: anything older is stale
+	var out []Point
+	for _, q := range []Point{{T: 1000}, {T: 2000}, {T: 500}, {T: 3000}} {
+		out = append(out, c.Push(q)...)
+	}
+	out = append(out, c.Flush()...)
+	if len(out) != 3 {
+		t.Fatalf("got %d points, want 3", len(out))
+	}
+	_, _, dropped := c.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestCleanBatch(t *testing.T) {
+	raw := []Point{{T: 0}, {T: 2000}, {T: 2000}, {T: 1000}, {T: 3000}}
+	out := Clean(raw, 4)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("Clean output invalid: %v", err)
+	}
+	if len(out) != 4 {
+		t.Errorf("got %d points, want 4", len(out))
+	}
+}
+
+// Shuffled streams within the window size always come out sorted and
+// complete.
+func TestCleanerShuffledProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + r.Intn(30)
+		src := make([]Point, n)
+		for i := range src {
+			src[i] = Point{X: float64(i), T: int64(i) * 1000}
+		}
+		// Local shuffle: swap adjacent pairs within distance 3.
+		for i := 0; i+3 < n; i += 3 {
+			j := i + r.Intn(3)
+			src[i], src[j] = src[j], src[i]
+		}
+		out := Clean(src, 5)
+		if len(out) != n {
+			t.Fatalf("trial %d: got %d points, want %d", trial, len(out), n)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package traj
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Piecewise is a piecewise line representation T[L0..Lm] of a trajectory
+// (§3.1): a sequence of continuous directed line segments, each segment's
+// start point coinciding with the previous segment's end point.
+type Piecewise []Segment
+
+// Errors reported by Piecewise.Validate.
+var (
+	ErrEmptyPiecewise = errors.New("traj: empty piecewise representation")
+	ErrDiscontinuous  = errors.New("traj: segments are not continuous")
+	ErrBadRange       = errors.New("traj: segment source ranges are not monotone")
+)
+
+// Validate checks the structural invariants of a piecewise representation:
+// spatial continuity (Li.Pe == Li+1.Ps) and monotone, overlapping source
+// ranges.
+func (pw Piecewise) Validate() error {
+	if len(pw) == 0 {
+		return ErrEmptyPiecewise
+	}
+	for i := 1; i < len(pw); i++ {
+		prev, cur := pw[i-1], pw[i]
+		if !prev.End.P().Eq(cur.Start.P()) {
+			return fmt.Errorf("%w: segment %d ends at %v, segment %d starts at %v",
+				ErrDiscontinuous, i-1, prev.End, i, cur.Start)
+		}
+		if cur.StartIdx < prev.StartIdx || cur.EndIdx < prev.EndIdx && cur.StartIdx != prev.StartIdx {
+			return fmt.Errorf("%w: segment %d range [%d..%d] after [%d..%d]",
+				ErrBadRange, i, cur.StartIdx, cur.EndIdx, prev.StartIdx, prev.EndIdx)
+		}
+	}
+	return nil
+}
+
+// Decode returns the simplified trajectory: the sequence of segment
+// endpoints (each shared endpoint emitted once). This is what a consumer
+// stores or transmits instead of the raw points.
+func (pw Piecewise) Decode() Trajectory {
+	if len(pw) == 0 {
+		return nil
+	}
+	out := make(Trajectory, 0, len(pw)+1)
+	out = append(out, pw[0].Start)
+	for _, s := range pw {
+		out = append(out, s.End)
+	}
+	return out
+}
+
+// SegmentCount returns the number of line segments, the |T| used in the
+// paper's compression-ratio definition.
+func (pw Piecewise) SegmentCount() int { return len(pw) }
+
+// PointBudget returns the number of points needed to store the
+// representation (segment endpoints, shared ones once).
+func (pw Piecewise) PointBudget() int {
+	if len(pw) == 0 {
+		return 0
+	}
+	return len(pw) + 1
+}
+
+// CoveringSegments returns the indices of the segments whose source range
+// covers point index i. Boundary points are covered by two segments.
+// Points past the last range (possible when trailing inactive points are
+// represented by the final segment's line) map to the last segment, and
+// points before the first range map to the first.
+func (pw Piecewise) CoveringSegments(i int) []int {
+	if len(pw) == 0 {
+		return nil
+	}
+	// Binary search the first segment with EndIdx >= i.
+	lo := sort.Search(len(pw), func(k int) bool { return pw[k].EndIdx >= i })
+	if lo == len(pw) {
+		return []int{len(pw) - 1}
+	}
+	if !pw[lo].Covers(i) {
+		return []int{lo}
+	}
+	out := []int{lo}
+	for k := lo + 1; k < len(pw) && pw[k].Covers(i); k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// PositionAt interpolates the simplified trajectory at time tm using the
+// segment endpoint timestamps.
+func (pw Piecewise) PositionAt(tm int64) Point {
+	dec := pw.Decode()
+	if len(dec) == 0 {
+		return Point{}
+	}
+	p := dec.PositionAt(tm)
+	return Point{X: p.X, Y: p.Y, T: tm}
+}

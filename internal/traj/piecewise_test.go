@@ -1,0 +1,121 @@
+package traj
+
+import (
+	"errors"
+	"testing"
+)
+
+func pw(tr Trajectory, cuts ...int) Piecewise {
+	out := make(Piecewise, 0, len(cuts)-1)
+	for i := 1; i < len(cuts); i++ {
+		out = append(out, NewSegment(tr, cuts[i-1], cuts[i]))
+	}
+	return out
+}
+
+func TestPiecewiseValidate(t *testing.T) {
+	tr := line(10, 5)
+	good := pw(tr, 0, 4, 7, 9)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid representation rejected: %v", err)
+	}
+	if err := (Piecewise{}).Validate(); !errors.Is(err, ErrEmptyPiecewise) {
+		t.Errorf("empty: %v", err)
+	}
+	discontinuous := Piecewise{NewSegment(tr, 0, 3), NewSegment(tr, 4, 9)}
+	if err := discontinuous.Validate(); !errors.Is(err, ErrDiscontinuous) {
+		t.Errorf("discontinuous: %v", err)
+	}
+}
+
+func TestDecode(t *testing.T) {
+	tr := line(10, 5)
+	dec := pw(tr, 0, 4, 7, 9).Decode()
+	want := Trajectory{tr[0], tr[4], tr[7], tr[9]}
+	if len(dec) != len(want) {
+		t.Fatalf("Decode len = %d, want %d", len(dec), len(want))
+	}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Errorf("Decode[%d] = %v, want %v", i, dec[i], want[i])
+		}
+	}
+	if (Piecewise{}).Decode() != nil {
+		t.Error("empty Decode should be nil")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := line(10, 5)
+	p := pw(tr, 0, 4, 7, 9)
+	if p.SegmentCount() != 3 {
+		t.Errorf("SegmentCount = %d", p.SegmentCount())
+	}
+	if p.PointBudget() != 4 {
+		t.Errorf("PointBudget = %d", p.PointBudget())
+	}
+	if (Piecewise{}).PointBudget() != 0 {
+		t.Error("empty PointBudget should be 0")
+	}
+}
+
+func TestCoveringSegments(t *testing.T) {
+	tr := line(10, 5)
+	p := pw(tr, 0, 4, 7, 9) // ranges [0..4] [4..7] [7..9]
+	cases := []struct {
+		i    int
+		want []int
+	}{
+		{0, []int{0}},
+		{3, []int{0}},
+		{4, []int{0, 1}}, // boundary covered by both
+		{5, []int{1}},
+		{7, []int{1, 2}},
+		{9, []int{2}},
+	}
+	for _, c := range cases {
+		got := p.CoveringSegments(c.i)
+		if len(got) != len(c.want) {
+			t.Errorf("CoveringSegments(%d) = %v, want %v", c.i, got, c.want)
+			continue
+		}
+		for k := range got {
+			if got[k] != c.want[k] {
+				t.Errorf("CoveringSegments(%d) = %v, want %v", c.i, got, c.want)
+			}
+		}
+	}
+	// Out-of-range indices map to the nearest segment.
+	if got := p.CoveringSegments(99); len(got) != 1 || got[0] != 2 {
+		t.Errorf("past-end = %v, want [2]", got)
+	}
+	if got := (Piecewise{}).CoveringSegments(0); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestCoveringSegmentsAbsorbedOverlap(t *testing.T) {
+	tr := line(10, 5)
+	// First segment absorbed two extra points: range [0..6]; next starts
+	// at index 4.
+	a := NewSegment(tr, 0, 4)
+	a.EndIdx = 6
+	b := NewSegment(tr, 4, 9)
+	p := Piecewise{a, b}
+	got := p.CoveringSegments(5)
+	if len(got) != 2 {
+		t.Fatalf("overlapped CoveringSegments(5) = %v, want both", got)
+	}
+}
+
+func TestPiecewisePositionAt(t *testing.T) {
+	tr := line(11, 10) // 10 m/s, 1 sample/s
+	p := pw(tr, 0, 5, 10)
+	got := p.PositionAt(2500)
+	if got.X != 25 || got.T != 2500 {
+		t.Errorf("PositionAt = %v", got)
+	}
+	if got := (Piecewise{}).PositionAt(0); got != (Point{}) {
+		t.Errorf("empty PositionAt = %v", got)
+	}
+}

@@ -1,0 +1,82 @@
+package traj
+
+import (
+	"fmt"
+
+	"trajsim/internal/geo"
+)
+
+// Segment is a directed line segment of a piecewise line representation.
+// Start and End are the segment endpoints; StartIdx and EndIdx are the
+// inclusive indices of the original data points the segment represents.
+//
+// Endpoints are normally data points of the source trajectory
+// (Start == t[StartIdx]), but OPERB-A may replace them with interpolated
+// patch points, flagged by VirtualStart/VirtualEnd. Absorbed points
+// (optimization 5 in §4.4) extend EndIdx past the index of End.
+type Segment struct {
+	Start, End   Point
+	StartIdx     int
+	EndIdx       int
+	VirtualStart bool
+	VirtualEnd   bool
+}
+
+// NewSegment builds a segment between two source points of t.
+func NewSegment(t Trajectory, startIdx, endIdx int) Segment {
+	return Segment{Start: t[startIdx], End: t[endIdx], StartIdx: startIdx, EndIdx: endIdx}
+}
+
+// PointCount returns the number of data points the segment represents,
+// counting both endpoints (the paper's Ci in Exp-2.3; shared endpoints are
+// double-counted across adjacent segments).
+func (s Segment) PointCount() int { return s.EndIdx - s.StartIdx + 1 }
+
+// Anomalous reports whether the segment represents only two data points —
+// its own start and end (§5.1). Segments extended by absorbed points are
+// not anomalous.
+func (s Segment) Anomalous() bool { return s.PointCount() == 2 }
+
+// Length returns the spatial length of the segment in meters.
+func (s Segment) Length() float64 { return s.Start.Dist(s.End) }
+
+// Theta returns the angle of the directed segment in [0, 2π).
+func (s Segment) Theta() float64 { return geo.SegmentAngle(s.Start.P(), s.End.P()) }
+
+// LineDistance returns the distance from p to the infinite line through the
+// segment, the error measure used by the paper.
+func (s Segment) LineDistance(p Point) float64 {
+	return geo.PointLineDistance(p.P(), s.Start.P(), s.End.P())
+}
+
+// SegmentDistance returns the distance from p to the closed segment.
+func (s Segment) SegmentDistance(p Point) float64 {
+	return geo.PointSegmentDistance(p.P(), s.Start.P(), s.End.P())
+}
+
+// Covers reports whether the segment represents the source point index i.
+func (s Segment) Covers(i int) bool { return i >= s.StartIdx && i <= s.EndIdx }
+
+// String implements fmt.Stringer.
+func (s Segment) String() string {
+	return fmt.Sprintf("[%d..%d] %v -> %v", s.StartIdx, s.EndIdx, s.Start, s.End)
+}
+
+// SEDistance returns the synchronized Euclidean distance from p to the
+// segment: the distance between p and the position obtained by moving
+// along the segment at constant speed between the endpoint timestamps.
+// Used by the TD-TR and OPW-TR variants ([15] in the paper).
+func (s Segment) SEDistance(p Point) float64 {
+	dt := s.End.T - s.Start.T
+	if dt <= 0 {
+		return p.Dist(s.Start)
+	}
+	frac := float64(p.T-s.Start.T) / float64(dt)
+	if frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	expected := geo.Lerp(s.Start.P(), s.End.P(), frac)
+	return p.P().Dist(expected)
+}

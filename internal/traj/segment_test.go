@@ -1,0 +1,91 @@
+package traj
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSegment(t *testing.T) {
+	tr := line(10, 5)
+	s := NewSegment(tr, 2, 7)
+	if s.Start != tr[2] || s.End != tr[7] || s.StartIdx != 2 || s.EndIdx != 7 {
+		t.Errorf("NewSegment = %+v", s)
+	}
+	if s.PointCount() != 6 {
+		t.Errorf("PointCount = %d, want 6", s.PointCount())
+	}
+	if s.Anomalous() {
+		t.Error("6-point segment should not be anomalous")
+	}
+}
+
+func TestAnomalous(t *testing.T) {
+	tr := line(3, 5)
+	if !NewSegment(tr, 0, 1).Anomalous() {
+		t.Error("two-point segment should be anomalous")
+	}
+	s := NewSegment(tr, 0, 1)
+	s.EndIdx = 2 // absorbed point
+	if s.Anomalous() {
+		t.Error("absorbed-extended segment should not be anomalous")
+	}
+}
+
+func TestSegmentGeometry(t *testing.T) {
+	tr := Trajectory{{X: 0, Y: 0, T: 0}, {X: 10, Y: 0, T: 10000}}
+	s := NewSegment(tr, 0, 1)
+	if l := s.Length(); l != 10 {
+		t.Errorf("Length = %v", l)
+	}
+	if th := s.Theta(); th != 0 {
+		t.Errorf("Theta = %v", th)
+	}
+	if d := s.LineDistance(Point{X: 5, Y: 3}); d != 3 {
+		t.Errorf("LineDistance = %v", d)
+	}
+	if d := s.LineDistance(Point{X: 50, Y: 3}); d != 3 {
+		t.Errorf("LineDistance past end = %v (must be to the line)", d)
+	}
+	if d := s.SegmentDistance(Point{X: 50, Y: 0}); d != 40 {
+		t.Errorf("SegmentDistance past end = %v", d)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	s := Segment{StartIdx: 3, EndIdx: 6}
+	for i, want := range map[int]bool{2: false, 3: true, 5: true, 6: true, 7: false} {
+		if got := s.Covers(i); got != want {
+			t.Errorf("Covers(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSEDistance(t *testing.T) {
+	// Object moves 0→10 m over 10 s; sample claims x=2 at t=5 s. The
+	// synchronized position at t=5 s is x=5, so SED = 3, while the
+	// perpendicular distance to the line is 0.
+	tr := Trajectory{{X: 0, Y: 0, T: 0}, {X: 10, Y: 0, T: 10000}}
+	s := NewSegment(tr, 0, 1)
+	p := Point{X: 2, Y: 0, T: 5000}
+	if d := s.SEDistance(p); math.Abs(d-3) > 1e-9 {
+		t.Errorf("SEDistance = %v, want 3", d)
+	}
+	if d := s.LineDistance(p); d != 0 {
+		t.Errorf("LineDistance = %v, want 0", d)
+	}
+	// Clamps outside the time range.
+	if d := s.SEDistance(Point{X: 0, Y: 4, T: -5000}); math.Abs(d-4) > 1e-9 {
+		t.Errorf("SEDistance before start = %v, want 4", d)
+	}
+	// Degenerate zero-duration segment.
+	deg := Segment{Start: Point{X: 0, Y: 0, T: 100}, End: Point{X: 1, Y: 0, T: 100}}
+	if d := deg.SEDistance(Point{X: 3, Y: 4, T: 100}); math.Abs(d-5) > 1e-9 {
+		t.Errorf("degenerate SEDistance = %v, want 5", d)
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	if NewSegment(line(2, 1), 0, 1).String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,88 @@
+package traj
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fleet pipelines rarely receive neat per-trip trajectories: a device logs
+// continuously across ignition cycles and outages. These helpers cut such
+// logs into the per-trip trajectories the simplification algorithms (and
+// the paper's datasets) assume.
+
+// Errors returned by the splitters.
+var (
+	ErrBadGap   = errors.New("traj: gap must be ≥ 1 ms")
+	ErrBadCount = errors.New("traj: count must be ≥ 2")
+	ErrBadRate  = errors.New("traj: interval must be ≥ 1 ms")
+)
+
+// SplitByTimeGap cuts t wherever consecutive points are separated by more
+// than gap milliseconds (an ignition-off or coverage hole). Pieces with
+// fewer than two points are dropped. The returned trajectories share t's
+// backing array.
+func SplitByTimeGap(t Trajectory, gapMS int64) ([]Trajectory, error) {
+	if gapMS < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadGap, gapMS)
+	}
+	var out []Trajectory
+	start := 0
+	for i := 1; i < len(t); i++ {
+		if t[i].T-t[i-1].T > gapMS {
+			if i-start >= 2 {
+				out = append(out, t[start:i])
+			}
+			start = i
+		}
+	}
+	if len(t)-start >= 2 {
+		out = append(out, t[start:])
+	}
+	return out, nil
+}
+
+// SplitByCount cuts t into consecutive pieces of at most count points,
+// with adjacent pieces sharing their boundary point so the union still
+// covers the original path.
+func SplitByCount(t Trajectory, count int) ([]Trajectory, error) {
+	if count < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadCount, count)
+	}
+	if len(t) < 2 {
+		return nil, nil
+	}
+	var out []Trajectory
+	for start := 0; start < len(t)-1; start += count - 1 {
+		end := start + count
+		if end > len(t) {
+			end = len(t)
+		}
+		out = append(out, t[start:end])
+		if end == len(t) {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Resample returns t re-sampled at a fixed interval (milliseconds) by
+// linear interpolation between the original samples — useful for
+// normalizing mixed-rate datasets (Truck's 1–60 s devices) before
+// rate-sensitive analyses.
+func Resample(t Trajectory, intervalMS int64) (Trajectory, error) {
+	if intervalMS < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadRate, intervalMS)
+	}
+	if len(t) < 2 {
+		return t.Clone(), nil
+	}
+	out := make(Trajectory, 0, t.Duration()/intervalMS+2)
+	for tm := t[0].T; tm <= t[len(t)-1].T; tm += intervalMS {
+		p := t.PositionAt(tm)
+		out = append(out, Point{X: p.X, Y: p.Y, T: tm})
+	}
+	if last := t[len(t)-1]; out[len(out)-1].T != last.T {
+		out = append(out, last)
+	}
+	return out, nil
+}

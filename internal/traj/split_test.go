@@ -1,0 +1,134 @@
+package traj
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSplitByTimeGap(t *testing.T) {
+	tr := Trajectory{
+		{T: 0}, {T: 1000}, {T: 2000},
+		{T: 100_000}, {T: 101_000}, // gap of 98 s
+		{T: 500_000}, // gap, then a lone point (dropped)
+	}
+	parts, err := SplitByTimeGap(tr, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("%d parts, want 2: %v", len(parts), parts)
+	}
+	if len(parts[0]) != 3 || len(parts[1]) != 2 {
+		t.Errorf("part sizes %d, %d", len(parts[0]), len(parts[1]))
+	}
+}
+
+func TestSplitByTimeGapNoGap(t *testing.T) {
+	tr := line(10, 5)
+	parts, err := SplitByTimeGap(tr, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || len(parts[0]) != 10 {
+		t.Errorf("parts: %v", parts)
+	}
+}
+
+func TestSplitByTimeGapErrors(t *testing.T) {
+	if _, err := SplitByTimeGap(line(5, 1), 0); !errors.Is(err, ErrBadGap) {
+		t.Errorf("gap 0: %v", err)
+	}
+	parts, err := SplitByTimeGap(Trajectory{{T: 1}}, 100)
+	if err != nil || parts != nil {
+		t.Errorf("single point: %v %v", parts, err)
+	}
+}
+
+func TestSplitByCount(t *testing.T) {
+	tr := line(10, 5)
+	parts, err := SplitByCount(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pieces share boundaries: [0..3] [3..6] [6..9].
+	if len(parts) != 3 {
+		t.Fatalf("%d parts: %v", len(parts), parts)
+	}
+	if parts[0][3] != parts[1][0] {
+		t.Error("pieces do not share the boundary point")
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 10+2 { // 10 points + 2 shared boundaries counted twice
+		t.Errorf("total %d", total)
+	}
+}
+
+func TestSplitByCountExact(t *testing.T) {
+	tr := line(7, 5)
+	parts, err := SplitByCount(tr, 7)
+	if err != nil || len(parts) != 1 {
+		t.Errorf("parts %v err %v", parts, err)
+	}
+	parts, err = SplitByCount(tr, 4)
+	if err != nil || len(parts) != 2 {
+		t.Fatalf("parts %v err %v", parts, err)
+	}
+	if parts[1][len(parts[1])-1] != tr[6] {
+		t.Error("last piece does not end at the last point")
+	}
+}
+
+func TestSplitByCountErrors(t *testing.T) {
+	if _, err := SplitByCount(line(5, 1), 1); !errors.Is(err, ErrBadCount) {
+		t.Errorf("count 1: %v", err)
+	}
+	parts, err := SplitByCount(Trajectory{{T: 1}}, 5)
+	if err != nil || parts != nil {
+		t.Errorf("single point: %v %v", parts, err)
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := line(5, 10) // samples at 0,1,2,3,4 s; 10 m/s
+	out, err := Resample(tr, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != tr[0] || out[len(out)-1] != tr[4] {
+		t.Error("endpoints not preserved")
+	}
+	if len(out) != 9 {
+		t.Errorf("%d points, want 9", len(out))
+	}
+	// Interpolated midpoints.
+	if out[1].X != 5 || out[1].T != 500 {
+		t.Errorf("out[1] = %v", out[1])
+	}
+}
+
+func TestResampleIrregularEnd(t *testing.T) {
+	tr := Trajectory{{X: 0, T: 0}, {X: 10, T: 1000}, {X: 13, T: 1300}}
+	out, err := Resample(tr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[len(out)-1] != tr[2] {
+		t.Errorf("last = %v, want original end", out[len(out)-1])
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, err := Resample(line(5, 1), 0); !errors.Is(err, ErrBadRate) {
+		t.Errorf("interval 0: %v", err)
+	}
+	out, err := Resample(Trajectory{{X: 1, T: 5}}, 100)
+	if err != nil || len(out) != 1 {
+		t.Errorf("single point: %v %v", out, err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package traj defines the trajectory data model shared by all
+// simplification algorithms: timestamped points, trajectories, directed
+// line segments annotated with the range of source points they represent,
+// and piecewise line representations (the paper's T[L0..Lm]).
+package traj
+
+import (
+	"errors"
+	"fmt"
+
+	"trajsim/internal/geo"
+)
+
+// Point is a trajectory data point P(x, y, t) (§3.1): planar position in
+// meters and a timestamp in milliseconds since the Unix epoch. The paper
+// treats (x, y) as longitude/latitude projected to a plane; conversion
+// happens in trajio.
+type Point struct {
+	X, Y float64 // meters in the local planar frame
+	T    int64   // milliseconds since epoch
+}
+
+// P returns the spatial component of the point.
+func (p Point) P() geo.Point { return geo.Point{X: p.X, Y: p.Y} }
+
+// Dist returns the Euclidean (spatial) distance to q in meters.
+func (p Point) Dist(q Point) float64 { return p.P().Dist(q.P()) }
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.3f, %.3f @%d)", p.X, p.Y, p.T)
+}
+
+// At constructs a Point.
+func At(x, y float64, t int64) Point { return Point{X: x, Y: y, T: t} }
+
+// Trajectory is a sequence of data points in monotonically increasing time
+// order (§3.1).
+type Trajectory []Point
+
+// Errors reported by Validate.
+var (
+	ErrTimeOrder = errors.New("traj: timestamps not strictly increasing")
+	ErrTooShort  = errors.New("traj: trajectory needs at least 2 points")
+)
+
+// Validate checks the paper's trajectory invariant Pi.t < Pj.t for i < j.
+func (t Trajectory) Validate() error {
+	if len(t) < 2 {
+		return ErrTooShort
+	}
+	for i := 1; i < len(t); i++ {
+		if t[i].T <= t[i-1].T {
+			return fmt.Errorf("%w: point %d (t=%d) after point %d (t=%d)",
+				ErrTimeOrder, i, t[i].T, i-1, t[i-1].T)
+		}
+	}
+	return nil
+}
+
+// Duration returns the time span of the trajectory in milliseconds.
+func (t Trajectory) Duration() int64 {
+	if len(t) < 2 {
+		return 0
+	}
+	return t[len(t)-1].T - t[0].T
+}
+
+// PathLength returns the total length of the polyline through all points,
+// in meters.
+func (t Trajectory) PathLength() float64 {
+	var sum float64
+	for i := 1; i < len(t); i++ {
+		sum += t[i].Dist(t[i-1])
+	}
+	return sum
+}
+
+// Bounds returns the spatial bounding box of the trajectory.
+func (t Trajectory) Bounds() geo.BBox {
+	b := geo.EmptyBBox()
+	for _, p := range t {
+		b.Extend(p.P())
+	}
+	return b
+}
+
+// Clone returns a deep copy of the trajectory.
+func (t Trajectory) Clone() Trajectory {
+	out := make(Trajectory, len(t))
+	copy(out, t)
+	return out
+}
+
+// Slice returns the sub-trajectory t[lo:hi] sharing backing storage.
+func (t Trajectory) Slice(lo, hi int) Trajectory { return t[lo:hi] }
+
+// PositionAt linearly interpolates the position of the moving object at
+// time tm (milliseconds). Times outside the trajectory clamp to the
+// endpoints. Interpolation is the standard model behind the synchronized
+// Euclidean distance used by TD-TR and OPW-TR.
+func (t Trajectory) PositionAt(tm int64) geo.Point {
+	n := len(t)
+	if n == 0 {
+		return geo.Point{}
+	}
+	if tm <= t[0].T {
+		return t[0].P()
+	}
+	if tm >= t[n-1].T {
+		return t[n-1].P()
+	}
+	// Binary search for the covering sample interval.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if t[mid].T <= tm {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := t[lo], t[hi]
+	if b.T == a.T {
+		return a.P()
+	}
+	frac := float64(tm-a.T) / float64(b.T-a.T)
+	return geo.Lerp(a.P(), b.P(), frac)
+}

@@ -1,0 +1,119 @@
+package traj
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func line(n int, step float64) Trajectory {
+	out := make(Trajectory, n)
+	for i := range out {
+		out[i] = Point{X: float64(i) * step, T: int64(i) * 1000}
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	if err := line(5, 10).Validate(); err != nil {
+		t.Errorf("valid trajectory rejected: %v", err)
+	}
+	if err := (Trajectory{}).Validate(); !errors.Is(err, ErrTooShort) {
+		t.Errorf("empty: got %v, want ErrTooShort", err)
+	}
+	if err := (Trajectory{{T: 1}}).Validate(); !errors.Is(err, ErrTooShort) {
+		t.Errorf("single point: got %v, want ErrTooShort", err)
+	}
+	bad := Trajectory{{T: 10}, {T: 10}}
+	if err := bad.Validate(); !errors.Is(err, ErrTimeOrder) {
+		t.Errorf("equal times: got %v, want ErrTimeOrder", err)
+	}
+	bad = Trajectory{{T: 10}, {T: 5}}
+	if err := bad.Validate(); !errors.Is(err, ErrTimeOrder) {
+		t.Errorf("decreasing times: got %v, want ErrTimeOrder", err)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if d := line(5, 10).Duration(); d != 4000 {
+		t.Errorf("Duration = %d, want 4000", d)
+	}
+	if d := (Trajectory{}).Duration(); d != 0 {
+		t.Errorf("empty Duration = %d", d)
+	}
+	if d := (Trajectory{{T: 9}}).Duration(); d != 0 {
+		t.Errorf("single-point Duration = %d", d)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	if l := line(5, 10).PathLength(); l != 40 {
+		t.Errorf("PathLength = %v, want 40", l)
+	}
+	zig := Trajectory{{X: 0, Y: 0, T: 0}, {X: 3, Y: 4, T: 1000}, {X: 0, Y: 0, T: 2000}}
+	if l := zig.PathLength(); l != 10 {
+		t.Errorf("zigzag PathLength = %v, want 10", l)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tr := Trajectory{{X: 1, Y: 2, T: 0}, {X: -3, Y: 7, T: 1000}}
+	b := tr.Bounds()
+	if b.MinX != -3 || b.MaxX != 1 || b.MinY != 2 || b.MaxY != 7 {
+		t.Errorf("Bounds = %+v", b)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := line(3, 1)
+	b := a.Clone()
+	b[0].X = 99
+	if a[0].X == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestPositionAt(t *testing.T) {
+	tr := line(5, 10) // x = 10 m/s
+	cases := []struct {
+		tm   int64
+		want float64
+	}{
+		{-100, 0},  // clamp before start
+		{0, 0},     // exact first
+		{500, 5},   // mid-interval
+		{1000, 10}, // exact sample
+		{3500, 35}, // mid-interval
+		{4000, 40}, // exact last
+		{9999, 40}, // clamp after end
+	}
+	for _, c := range cases {
+		p := tr.PositionAt(c.tm)
+		if math.Abs(p.X-c.want) > 1e-9 || p.Y != 0 {
+			t.Errorf("PositionAt(%d) = %v, want x=%v", c.tm, p, c.want)
+		}
+	}
+	if p := (Trajectory{}).PositionAt(5); !p.IsZero() {
+		t.Errorf("empty PositionAt = %v", p)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	s := Point{X: 1, Y: 2, T: 3}.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAt(t *testing.T) {
+	p := At(1, 2, 3)
+	if p.X != 1 || p.Y != 2 || p.T != 3 {
+		t.Errorf("At = %v", p)
+	}
+	if gp := p.P(); gp.X != 1 || gp.Y != 2 {
+		t.Errorf("P() = %v", gp)
+	}
+	if d := At(0, 0, 0).Dist(At(3, 4, 9)); d != 5 {
+		t.Errorf("Dist = %v", d)
+	}
+}

@@ -1,0 +1,73 @@
+package trajio
+
+import (
+	"bytes"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+var (
+	sinkB []byte
+	sinkT traj.Trajectory
+	sinkP traj.Piecewise
+)
+
+func BenchmarkWriteCSV(b *testing.B) {
+	tr := gen.One(gen.SerCar, 10_000, 7)
+	b.SetBytes(10_000)
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr, CSVOptions{Format: Planar, Header: true}); err != nil {
+			b.Fatal(err)
+		}
+		sinkB = buf.Bytes()
+	}
+}
+
+func BenchmarkReadCSV(b *testing.B) {
+	tr := gen.One(gen.SerCar, 10_000, 7)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr, CSVOptions{Format: Planar, Header: true}); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := ReadCSV(bytes.NewReader(data), CSVOptions{Format: Planar, Header: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkT = out
+	}
+}
+
+func BenchmarkPiecewiseEncode(b *testing.B) {
+	tr := gen.One(gen.SerCar, 10_000, 7)
+	pw := make(traj.Piecewise, 0, 500)
+	for i := 0; i+20 < len(tr); i += 20 {
+		pw = append(pw, traj.NewSegment(tr, i, i+20))
+	}
+	for i := 0; i < b.N; i++ {
+		sinkB = AppendPiecewise(sinkB[:0], pw)
+	}
+}
+
+func BenchmarkPiecewiseDecode(b *testing.B) {
+	tr := gen.One(gen.SerCar, 10_000, 7)
+	pw := make(traj.Piecewise, 0, 500)
+	for i := 0; i+20 < len(tr); i += 20 {
+		pw = append(pw, traj.NewSegment(tr, i, i+20))
+	}
+	data := AppendPiecewise(nil, pw)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := DecodePiecewise(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkP = out
+	}
+}

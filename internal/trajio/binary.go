@@ -1,0 +1,148 @@
+package trajio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"trajsim/internal/enc"
+	"trajsim/internal/traj"
+)
+
+// Binary piecewise format: what a device would actually transmit after
+// simplification. Points are quantized (default 1 cm / 1 ms) and
+// delta-coded; each segment carries its endpoint and the number of source
+// points it represents, so the receiver can reconstruct coverage
+// statistics as well as the polyline.
+
+// ErrBadPiecewise is returned for malformed binary piecewise input.
+var ErrBadPiecewise = errors.New("trajio: malformed piecewise stream")
+
+const (
+	pwMagic       = 0x50574231 // "PWB1"
+	pwQuantXY     = 0.01       // meters
+	flagVirtStart = 1
+	flagVirtEnd   = 2
+)
+
+// AppendPiecewise encodes pw, appending to dst.
+func AppendPiecewise(dst []byte, pw traj.Piecewise) []byte {
+	dst = enc.AppendUvarint(dst, pwMagic)
+	dst = enc.AppendUvarint(dst, uint64(len(pw)))
+	var px, py, pt int64
+	var pidx int64
+	put := func(p traj.Point) {
+		x := int64(math.Round(p.X / pwQuantXY))
+		y := int64(math.Round(p.Y / pwQuantXY))
+		dst = enc.AppendVarint(dst, x-px)
+		dst = enc.AppendVarint(dst, y-py)
+		dst = enc.AppendVarint(dst, p.T-pt)
+		px, py, pt = x, y, p.T
+	}
+	for i, s := range pw {
+		if i == 0 {
+			put(s.Start)
+		}
+		put(s.End)
+		dst = enc.AppendVarint(dst, int64(s.StartIdx)-pidx)
+		dst = enc.AppendUvarint(dst, uint64(s.EndIdx-s.StartIdx))
+		pidx = int64(s.StartIdx)
+		var flags uint64
+		if s.VirtualStart {
+			flags |= flagVirtStart
+		}
+		if s.VirtualEnd {
+			flags |= flagVirtEnd
+		}
+		dst = enc.AppendUvarint(dst, flags)
+	}
+	return dst
+}
+
+// DecodePiecewise decodes a buffer produced by AppendPiecewise.
+func DecodePiecewise(b []byte) (traj.Piecewise, error) {
+	u, n, err := enc.Uvarint(b)
+	if err != nil || u != pwMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadPiecewise)
+	}
+	b = b[n:]
+	count, n, err := enc.Uvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPiecewise, err)
+	}
+	b = b[n:]
+	var px, py, pt int64
+	var pidx int64
+	get := func() (traj.Point, error) {
+		var vals [3]int64
+		for i := range vals {
+			v, n, err := enc.Varint(b)
+			if err != nil {
+				return traj.Point{}, err
+			}
+			vals[i] = v
+			b = b[n:]
+		}
+		px += vals[0]
+		py += vals[1]
+		pt += vals[2]
+		return traj.Point{X: float64(px) * pwQuantXY, Y: float64(py) * pwQuantXY, T: pt}, nil
+	}
+	out := make(traj.Piecewise, 0, count)
+	var prev traj.Point
+	for i := uint64(0); i < count; i++ {
+		var s traj.Segment
+		if i == 0 {
+			start, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadPiecewise, err)
+			}
+			prev = start
+		}
+		s.Start = prev
+		end, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPiecewise, err)
+		}
+		s.End = end
+		prev = end
+		dIdx, n, err := enc.Varint(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPiecewise, err)
+		}
+		b = b[n:]
+		span, n, err := enc.Uvarint(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPiecewise, err)
+		}
+		b = b[n:]
+		s.StartIdx = int(pidx + dIdx)
+		s.EndIdx = s.StartIdx + int(span)
+		pidx = int64(s.StartIdx)
+		flags, n, err := enc.Uvarint(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPiecewise, err)
+		}
+		b = b[n:]
+		s.VirtualStart = flags&flagVirtStart != 0
+		s.VirtualEnd = flags&flagVirtEnd != 0
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// WritePiecewise writes the binary encoding to w.
+func WritePiecewise(w io.Writer, pw traj.Piecewise) error {
+	_, err := w.Write(AppendPiecewise(nil, pw))
+	return err
+}
+
+// ReadPiecewise reads a whole binary piecewise stream from r.
+func ReadPiecewise(r io.Reader) (traj.Piecewise, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodePiecewise(b)
+}

@@ -1,0 +1,143 @@
+// Package trajio reads and writes trajectories in the formats the
+// experiments and tools use: CSV (planar meters or lon/lat degrees),
+// the GeoLife PLT format, and a compact binary encoding for simplified
+// output. Lon/lat data is projected to planar meters at the boundary so
+// every algorithm operates in the paper's Euclidean model.
+package trajio
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"trajsim/internal/geo"
+	"trajsim/internal/traj"
+)
+
+// Format selects the CSV column interpretation.
+type Format int
+
+const (
+	// Planar CSV columns: t_ms,x_m,y_m.
+	Planar Format = iota
+	// LonLat CSV columns: t_ms,lon_deg,lat_deg. Reading projects onto a
+	// local planar frame anchored at the first point (or the provided
+	// projection); writing inverts it.
+	LonLat
+)
+
+// CSVOptions configures ReadCSV/WriteCSV.
+type CSVOptions struct {
+	Format Format
+	// Header controls whether a header row is written / skipped.
+	Header bool
+	// Projection overrides the lon/lat anchor. When nil, reading anchors
+	// at the first data point, and writing requires it to be set.
+	Projection *geo.Projection
+}
+
+// Errors returned by the CSV codec.
+var (
+	ErrBadRecord      = errors.New("trajio: malformed record")
+	ErrNeedProjection = errors.New("trajio: writing lon/lat requires CSVOptions.Projection")
+)
+
+// WriteCSV writes t as CSV.
+func WriteCSV(w io.Writer, t traj.Trajectory, opts CSVOptions) error {
+	cw := csv.NewWriter(w)
+	if opts.Header {
+		hdr := []string{"t_ms", "x_m", "y_m"}
+		if opts.Format == LonLat {
+			hdr = []string{"t_ms", "lon", "lat"}
+		}
+		if err := cw.Write(hdr); err != nil {
+			return err
+		}
+	}
+	if opts.Format == LonLat && opts.Projection == nil {
+		return ErrNeedProjection
+	}
+	rec := make([]string, 3)
+	for _, p := range t {
+		rec[0] = strconv.FormatInt(p.T, 10)
+		x, y := p.X, p.Y
+		if opts.Format == LonLat {
+			x, y = opts.Projection.ToLonLat(p.P())
+		}
+		rec[1] = strconv.FormatFloat(x, 'f', -1, 64)
+		rec[2] = strconv.FormatFloat(y, 'f', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a whole trajectory. For LonLat input with no explicit
+// projection it also returns the projection it anchored (callers need it
+// to map results back); for Planar input the returned projection is nil
+// or the one passed in.
+func ReadCSV(r io.Reader, opts CSVOptions) (traj.Trajectory, *geo.Projection, error) {
+	var out traj.Trajectory
+	pr := opts.Projection
+	err := readCSVStream(r, opts, func(t int64, a, b float64) error {
+		p := traj.Point{T: t}
+		if opts.Format == LonLat {
+			if pr == nil {
+				pr = geo.NewProjection(a, b)
+			}
+			gp := pr.ToPlane(a, b)
+			p.X, p.Y = gp.X, gp.Y
+		} else {
+			p.X, p.Y = a, b
+		}
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, pr, nil
+}
+
+// readCSVStream parses records and feeds raw columns to fn.
+func readCSVStream(r io.Reader, opts CSVOptions, fn func(t int64, a, b float64) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	cr.TrimLeadingSpace = true
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		line++
+		if line == 1 && opts.Header {
+			continue
+		}
+		if len(rec) < 3 {
+			return fmt.Errorf("%w: line %d has %d fields, want 3", ErrBadRecord, line, len(rec))
+		}
+		t, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: line %d time %q: %v", ErrBadRecord, line, rec[0], err)
+		}
+		a, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return fmt.Errorf("%w: line %d field %q: %v", ErrBadRecord, line, rec[1], err)
+		}
+		b, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return fmt.Errorf("%w: line %d field %q: %v", ErrBadRecord, line, rec[2], err)
+		}
+		if err := fn(t, a, b); err != nil {
+			return err
+		}
+	}
+}

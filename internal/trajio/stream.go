@@ -1,0 +1,36 @@
+package trajio
+
+import (
+	"io"
+
+	"trajsim/internal/geo"
+	"trajsim/internal/traj"
+)
+
+// StreamCSV parses CSV records and delivers points one at a time — the
+// input side of a true one-pass pipeline: a reader goroutine can feed an
+// OPERB encoder without ever materializing the trajectory. fn returning an
+// error aborts the scan and surfaces that error.
+//
+// For LonLat input with no explicit projection, the frame anchors at the
+// first point; the projection eventually used is returned.
+func StreamCSV(r io.Reader, opts CSVOptions, fn func(traj.Point) error) (*geo.Projection, error) {
+	pr := opts.Projection
+	err := readCSVStream(r, opts, func(t int64, a, b float64) error {
+		p := traj.Point{T: t}
+		if opts.Format == LonLat {
+			if pr == nil {
+				pr = geo.NewProjection(a, b)
+			}
+			gp := pr.ToPlane(a, b)
+			p.X, p.Y = gp.X, gp.Y
+		} else {
+			p.X, p.Y = a, b
+		}
+		return fn(p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pr, nil
+}

@@ -1,0 +1,113 @@
+package trajio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"trajsim/internal/core"
+	"trajsim/internal/gen"
+	"trajsim/internal/metrics"
+	"trajsim/internal/traj"
+)
+
+func TestStreamCSVDeliversAllPoints(t *testing.T) {
+	tr := gen.One(gen.SerCar, 150, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr, CSVOptions{Format: Planar, Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	var got traj.Trajectory
+	pr, err := StreamCSV(&buf, CSVOptions{Format: Planar, Header: true}, func(p traj.Point) error {
+		got = append(got, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr != nil {
+		t.Error("planar stream returned a projection")
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("streamed %d points, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("point %d: %v vs %v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestStreamCSVAborts(t *testing.T) {
+	tr := gen.Line(50, 5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr, CSVOptions{Format: Planar}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	n := 0
+	_, err := StreamCSV(&buf, CSVOptions{Format: Planar}, func(traj.Point) error {
+		n++
+		if n == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 10 {
+		t.Errorf("callback ran %d times, want 10", n)
+	}
+}
+
+func TestStreamCSVLonLatAnchors(t *testing.T) {
+	csv := "0,116.400000,39.900000\n60000,116.410000,39.900000\n"
+	var got traj.Trajectory
+	pr, err := StreamCSV(strings.NewReader(csv), CSVOptions{Format: LonLat}, func(p traj.Point) error {
+		got = append(got, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr == nil {
+		t.Fatal("no projection anchored")
+	}
+	if got[1].X < 800 || got[1].X > 900 {
+		t.Errorf("second point x = %v", got[1].X)
+	}
+}
+
+// The intended end-to-end pipeline: StreamCSV → OPERB encoder, no
+// trajectory ever held in memory.
+func TestStreamCSVIntoEncoder(t *testing.T) {
+	tr := gen.One(gen.Taxi, 400, 9)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr, CSVOptions{Format: Planar, Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := core.NewEncoder(40, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pw traj.Piecewise
+	if _, err := StreamCSV(&buf, CSVOptions{Format: Planar, Header: true}, func(p traj.Point) error {
+		pw = append(pw, enc.Push(p)...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pw = append(pw, enc.Flush()...)
+	if err := metrics.VerifyBound(tr, pw, 40); err != nil {
+		t.Error(err)
+	}
+	want, err := core.Simplify(tr, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != len(want) {
+		t.Errorf("streamed pipeline %d segments, batch %d", len(pw), len(want))
+	}
+}

@@ -1,0 +1,224 @@
+package trajio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/geo"
+	"trajsim/internal/traj"
+)
+
+func TestCSVPlanarRoundTrip(t *testing.T) {
+	tr := gen.One(gen.SerCar, 200, 7)
+	var buf bytes.Buffer
+	opts := CSVOptions{Format: Planar, Header: true}
+	if err := WriteCSV(&buf, tr, opts); err != nil {
+		t.Fatal(err)
+	}
+	got, pr, err := ReadCSV(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr != nil {
+		t.Error("planar read returned a projection")
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("read %d points, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("point %d: %v vs %v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestCSVLonLatRoundTrip(t *testing.T) {
+	tr := gen.One(gen.Taxi, 150, 9)
+	pr := geo.NewProjection(116.4, 39.9)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr, CSVOptions{Format: LonLat, Projection: pr}); err != nil {
+		t.Fatal(err)
+	}
+	got, gotPr, err := ReadCSV(&buf, CSVOptions{Format: LonLat, Projection: pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPr != pr {
+		t.Error("explicit projection not propagated")
+	}
+	for i := range tr {
+		if math.Abs(got[i].X-tr[i].X) > 1e-3 || math.Abs(got[i].Y-tr[i].Y) > 1e-3 {
+			t.Fatalf("point %d drifted: %v vs %v", i, got[i], tr[i])
+		}
+		if got[i].T != tr[i].T {
+			t.Fatalf("point %d time: %d vs %d", i, got[i].T, tr[i].T)
+		}
+	}
+}
+
+func TestCSVLonLatAutoAnchor(t *testing.T) {
+	csv := "0,116.400000,39.900000\n60000,116.410000,39.900000\n"
+	got, pr, err := ReadCSV(strings.NewReader(csv), CSVOptions{Format: LonLat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr == nil {
+		t.Fatal("no projection anchored")
+	}
+	if !got[0].P().IsZero() {
+		t.Errorf("first point should anchor at origin, got %v", got[0])
+	}
+	// 0.01° of longitude at 39.9°N ≈ 853 m.
+	if got[1].X < 800 || got[1].X > 900 {
+		t.Errorf("second point x = %v, want ≈853", got[1].X)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}, gen.Line(3, 1), CSVOptions{Format: LonLat}); !errors.Is(err, ErrNeedProjection) {
+		t.Errorf("missing projection: %v", err)
+	}
+	for _, bad := range []string{
+		"1,2\n",   // too few fields
+		"x,1,2\n", // bad time
+		"1,x,2\n", // bad coordinate
+		"1,2,y\n", // bad coordinate
+	} {
+		if _, _, err := ReadCSV(strings.NewReader(bad), CSVOptions{}); !errors.Is(err, ErrBadRecord) {
+			t.Errorf("%q: %v", bad, err)
+		}
+	}
+}
+
+func TestPLTRoundTrip(t *testing.T) {
+	tr := gen.One(gen.GeoLife, 100, 3)
+	pr := geo.NewProjection(116.3, 39.98)
+	var buf bytes.Buffer
+	if err := WritePLT(&buf, tr, pr); err != nil {
+		t.Fatal(err)
+	}
+	got, gotPr, err := ReadPLT(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPr == nil {
+		t.Fatal("no projection returned")
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("read %d points, want %d", len(got), len(tr))
+	}
+	// PLT stores 1e−6 degrees (≈0.1 m) and whole seconds; positions are
+	// compared in the original frame via lon/lat.
+	for i := range tr {
+		wantLon, wantLat := pr.ToLonLat(tr[i].P())
+		gotLon, gotLat := gotPr.ToLonLat(got[i].P())
+		if math.Abs(wantLon-gotLon) > 2e-6 || math.Abs(wantLat-gotLat) > 2e-6 {
+			t.Fatalf("point %d: (%v,%v) vs (%v,%v)", i, gotLon, gotLat, wantLon, wantLat)
+		}
+		if d := got[i].T - tr[i].T; d < -1000 || d > 1000 {
+			t.Fatalf("point %d time drift %d ms", i, d)
+		}
+	}
+}
+
+func TestPLTErrors(t *testing.T) {
+	if err := WritePLT(&bytes.Buffer{}, gen.Line(3, 1), nil); !errors.Is(err, ErrNeedProjection) {
+		t.Errorf("missing projection: %v", err)
+	}
+	header := "a\nb\nc\nd\ne\nf\n"
+	for _, bad := range []string{
+		header + "39.9\n",
+		header + "x,116.4,0,0,0,2010-11-01,00:00:00\n",
+		header + "39.9,y,0,0,0,2010-11-01,00:00:00\n",
+		header + "39.9,116.4,0,0,0,bogus,00:00:00\n",
+	} {
+		if _, _, err := ReadPLT(strings.NewReader(bad), nil); !errors.Is(err, ErrBadPLT) {
+			t.Errorf("%q: %v", bad, err)
+		}
+	}
+	// Blank lines are tolerated.
+	ok := header + "39.900000,116.400000,0,0,40483.0,2010-11-01,00:00:00\n\n"
+	got, _, err := ReadPLT(strings.NewReader(ok), nil)
+	if err != nil || len(got) != 1 {
+		t.Errorf("blank-line tolerance: %d points, %v", len(got), err)
+	}
+}
+
+func TestPiecewiseBinaryRoundTrip(t *testing.T) {
+	tr := gen.One(gen.SerCar, 300, 11)
+	pw := traj.Piecewise{}
+	cuts := []int{0, 40, 41, 120, 299}
+	for i := 1; i < len(cuts); i++ {
+		pw = append(pw, traj.NewSegment(tr, cuts[i-1], cuts[i]))
+	}
+	pw[1].VirtualEnd = true
+	pw[2].VirtualStart = true
+	var buf bytes.Buffer
+	if err := WritePiecewise(&buf, pw); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPiecewise(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pw) {
+		t.Fatalf("decoded %d segments, want %d", len(got), len(pw))
+	}
+	for i := range pw {
+		if got[i].StartIdx != pw[i].StartIdx || got[i].EndIdx != pw[i].EndIdx {
+			t.Errorf("segment %d range [%d..%d], want [%d..%d]",
+				i, got[i].StartIdx, got[i].EndIdx, pw[i].StartIdx, pw[i].EndIdx)
+		}
+		if got[i].VirtualStart != pw[i].VirtualStart || got[i].VirtualEnd != pw[i].VirtualEnd {
+			t.Errorf("segment %d flags differ", i)
+		}
+		if math.Abs(got[i].End.X-pw[i].End.X) > 0.006 || math.Abs(got[i].End.Y-pw[i].End.Y) > 0.006 {
+			t.Errorf("segment %d end drifted: %v vs %v", i, got[i].End, pw[i].End)
+		}
+		if got[i].End.T != pw[i].End.T {
+			t.Errorf("segment %d end time %d vs %d", i, got[i].End.T, pw[i].End.T)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("decoded representation invalid: %v", err)
+	}
+}
+
+func TestPiecewiseBinaryErrors(t *testing.T) {
+	if _, err := DecodePiecewise(nil); !errors.Is(err, ErrBadPiecewise) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := DecodePiecewise([]byte{9, 9, 9}); !errors.Is(err, ErrBadPiecewise) {
+		t.Errorf("garbage: %v", err)
+	}
+	tr := gen.Line(10, 5)
+	good := AppendPiecewise(nil, traj.Piecewise{traj.NewSegment(tr, 0, 9)})
+	if _, err := DecodePiecewise(good[:len(good)-2]); !errors.Is(err, ErrBadPiecewise) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestPiecewiseBinaryEmpty(t *testing.T) {
+	got, err := DecodePiecewise(AppendPiecewise(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded %d segments from empty", len(got))
+	}
+}
+
+// The binary form is much smaller than raw points — the transmission win
+// the paper's introduction motivates.
+func TestBinaryCompressionWin(t *testing.T) {
+	tr := gen.One(gen.SerCar, 2000, 5)
+	pw := traj.Piecewise{traj.NewSegment(tr, 0, 999), traj.NewSegment(tr, 999, 1999)}
+	b := AppendPiecewise(nil, pw)
+	if len(b) > 200 {
+		t.Errorf("2 segments encoded to %d bytes", len(b))
+	}
+}

@@ -1,0 +1,64 @@
+// Package uniform provides naive sampling baselines — keep every n-th
+// point, or one point per time interval. They are fast and one-pass but
+// provide no error bound; examples use them to show why error-bounded
+// simplification matters.
+package uniform
+
+import (
+	"errors"
+	"fmt"
+
+	"trajsim/internal/traj"
+)
+
+// Errors returned by the samplers.
+var (
+	ErrBadStride   = errors.New("uniform: stride must be ≥ 1")
+	ErrBadInterval = errors.New("uniform: interval must be ≥ 1 ms")
+)
+
+// NthPoint keeps every stride-th point (always keeping the first and last)
+// and returns the induced piecewise representation.
+func NthPoint(t traj.Trajectory, stride int) (traj.Piecewise, error) {
+	if stride < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadStride, stride)
+	}
+	if len(t) < 2 {
+		return nil, nil
+	}
+	out := make(traj.Piecewise, 0, len(t)/stride+1)
+	prev := 0
+	for i := stride; i < len(t); i += stride {
+		out = append(out, traj.NewSegment(t, prev, i))
+		prev = i
+	}
+	if prev != len(t)-1 {
+		out = append(out, traj.NewSegment(t, prev, len(t)-1))
+	}
+	return out, nil
+}
+
+// TimeUniform keeps at most one point per interval of the given length in
+// milliseconds (plus the first and last points).
+func TimeUniform(t traj.Trajectory, intervalMS int64) (traj.Piecewise, error) {
+	if intervalMS < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadInterval, intervalMS)
+	}
+	if len(t) < 2 {
+		return nil, nil
+	}
+	out := make(traj.Piecewise, 0, 16)
+	prev := 0
+	nextCut := t[0].T + intervalMS
+	for i := 1; i < len(t)-1; i++ {
+		if t[i].T >= nextCut {
+			out = append(out, traj.NewSegment(t, prev, i))
+			prev = i
+			for nextCut <= t[i].T {
+				nextCut += intervalMS
+			}
+		}
+	}
+	out = append(out, traj.NewSegment(t, prev, len(t)-1))
+	return out, nil
+}

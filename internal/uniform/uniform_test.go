@@ -1,0 +1,105 @@
+package uniform
+
+import (
+	"errors"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+func TestNthPoint(t *testing.T) {
+	tr := gen.Line(10, 5)
+	pw, err := NthPoint(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kept indices: 0,3,6,9 → 3 segments.
+	if len(pw) != 3 {
+		t.Fatalf("%d segments, want 3: %v", len(pw), pw)
+	}
+	if pw[0].StartIdx != 0 || pw[len(pw)-1].EndIdx != 9 {
+		t.Errorf("coverage [%d..%d]", pw[0].StartIdx, pw[len(pw)-1].EndIdx)
+	}
+	if err := pw.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNthPointKeepsLast(t *testing.T) {
+	tr := gen.Line(11, 5)
+	pw, err := NthPoint(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kept: 0,3,6,9, plus forced last 10.
+	if pw[len(pw)-1].EndIdx != 10 {
+		t.Errorf("last EndIdx = %d, want 10", pw[len(pw)-1].EndIdx)
+	}
+}
+
+func TestNthPointStrideOne(t *testing.T) {
+	tr := gen.Line(5, 5)
+	pw, err := NthPoint(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 4 {
+		t.Errorf("stride 1: %d segments, want 4 (no compression)", len(pw))
+	}
+}
+
+func TestNthPointErrors(t *testing.T) {
+	if _, err := NthPoint(gen.Line(5, 1), 0); !errors.Is(err, ErrBadStride) {
+		t.Errorf("stride 0: %v", err)
+	}
+	pw, err := NthPoint(traj.Trajectory{{T: 1}}, 2)
+	if err != nil || pw != nil {
+		t.Errorf("single point: %v %v", pw, err)
+	}
+}
+
+func TestTimeUniform(t *testing.T) {
+	tr := gen.Line(10, 5) // 1 point per second
+	pw, err := TimeUniform(tr, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Validate(); err != nil {
+		t.Error(err)
+	}
+	if pw[0].StartIdx != 0 || pw[len(pw)-1].EndIdx != 9 {
+		t.Errorf("coverage [%d..%d]", pw[0].StartIdx, pw[len(pw)-1].EndIdx)
+	}
+	// At 3 s intervals over 9 s, expect ~3 cut points.
+	if len(pw) < 2 || len(pw) > 4 {
+		t.Errorf("%d segments for 3 s buckets over 9 s", len(pw))
+	}
+}
+
+func TestTimeUniformErrors(t *testing.T) {
+	if _, err := TimeUniform(gen.Line(5, 1), 0); !errors.Is(err, ErrBadInterval) {
+		t.Errorf("interval 0: %v", err)
+	}
+}
+
+func TestNoErrorGuarantee(t *testing.T) {
+	// Document-by-test: uniform sampling has unbounded error — a zigzag
+	// sampled at the wrong stride misses every extreme.
+	tr := gen.Zigzag(100, 10, 500, 2)
+	pw, err := NthPoint(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, s := range pw {
+		for i := s.StartIdx; i <= s.EndIdx; i++ {
+			if d := s.LineDistance(tr[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst < 100 {
+		t.Errorf("expected large unbounded error, got %v", worst)
+	}
+}

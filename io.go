@@ -1,0 +1,66 @@
+package trajsim
+
+import (
+	"io"
+
+	"trajsim/internal/trajio"
+)
+
+// File I/O re-exports: CSV (planar meters or lon/lat degrees), the GeoLife
+// PLT format, and the compact binary encoding for simplified output.
+
+// CSVFormat selects the CSV column interpretation.
+type CSVFormat = trajio.Format
+
+// CSV column layouts.
+const (
+	// CSVPlanar columns: t_ms,x_m,y_m.
+	CSVPlanar = trajio.Planar
+	// CSVLonLat columns: t_ms,lon_deg,lat_deg.
+	CSVLonLat = trajio.LonLat
+)
+
+// CSVOptions configures ReadCSV and WriteCSV.
+type CSVOptions = trajio.CSVOptions
+
+// ReadCSV reads a trajectory; lon/lat input is projected onto a planar
+// frame (anchored at the first point unless CSVOptions.Projection is set),
+// and the projection used is returned.
+func ReadCSV(r io.Reader, opts CSVOptions) (Trajectory, *Projection, error) {
+	return trajio.ReadCSV(r, opts)
+}
+
+// WriteCSV writes a trajectory as CSV.
+func WriteCSV(w io.Writer, t Trajectory, opts CSVOptions) error {
+	return trajio.WriteCSV(w, t, opts)
+}
+
+// StreamCSV parses CSV records and delivers points one at a time, the
+// input side of a fully streaming pipeline (feed an Encoder without
+// materializing the trajectory). The callback returning an error aborts
+// the scan.
+func StreamCSV(r io.Reader, opts CSVOptions, fn func(Point) error) (*Projection, error) {
+	return trajio.StreamCSV(r, opts, fn)
+}
+
+// ReadPLT reads a GeoLife PLT stream; pass nil to anchor a projection at
+// the first point.
+func ReadPLT(r io.Reader, pr *Projection) (Trajectory, *Projection, error) {
+	return trajio.ReadPLT(r, pr)
+}
+
+// WritePLT writes a trajectory in GeoLife PLT format.
+func WritePLT(w io.Writer, t Trajectory, pr *Projection) error {
+	return trajio.WritePLT(w, t, pr)
+}
+
+// EncodePiecewise encodes a simplified trajectory into the compact binary
+// wire format (quantized, delta-coded), appending to dst.
+func EncodePiecewise(dst []byte, pw Piecewise) []byte {
+	return trajio.AppendPiecewise(dst, pw)
+}
+
+// DecodePiecewise decodes the binary wire format.
+func DecodePiecewise(b []byte) (Piecewise, error) {
+	return trajio.DecodePiecewise(b)
+}

@@ -1,0 +1,212 @@
+// Package trajsim is a trajectory-simplification library reproducing
+// "One-Pass Error Bounded Trajectory Simplification" (Lin, Ma, Zhang, Wo,
+// Huai — PVLDB 10(7), 2017).
+//
+// The headline algorithms are OPERB and OPERB-A: streaming simplifiers
+// that read each GPS point exactly once, run in O(n) time and O(1) space,
+// and guarantee every input point stays within an error bound ζ (meters)
+// of the simplified polyline. OPERB-A additionally interpolates patch
+// points at sharp turns, compressing better than Douglas-Peucker.
+//
+// Batch usage:
+//
+//	pw, err := trajsim.Simplify(points, 40) // ζ = 40 m
+//
+// Streaming usage (e.g. on a device):
+//
+//	enc, _ := trajsim.NewEncoder(40, trajsim.DefaultOptions())
+//	for p := range gps {
+//	    for _, seg := range enc.Push(p) {
+//	        transmit(seg)
+//	    }
+//	}
+//	transmitAll(enc.Flush())
+//
+// The package also ships the classic baselines the paper evaluates against
+// (Douglas-Peucker, TD-TR, OPW, OPW-TR, BQS, FBQS), quality metrics,
+// synthetic GPS workload generators, and stream cleaning for duplicated or
+// out-of-order fixes.
+package trajsim
+
+import (
+	"trajsim/internal/algo"
+	"trajsim/internal/bottomup"
+	"trajsim/internal/bqs"
+	"trajsim/internal/core"
+	"trajsim/internal/dp"
+	"trajsim/internal/gen"
+	"trajsim/internal/geo"
+	"trajsim/internal/metrics"
+	"trajsim/internal/opw"
+	"trajsim/internal/traj"
+)
+
+// Core data model, re-exported from the internal packages.
+type (
+	// Point is a GPS fix: planar position in meters plus a millisecond
+	// timestamp.
+	Point = traj.Point
+	// Trajectory is a time-ordered sequence of points.
+	Trajectory = traj.Trajectory
+	// Segment is one directed line segment of a simplified trajectory,
+	// annotated with the range of source points it represents.
+	Segment = traj.Segment
+	// Piecewise is a piecewise line representation: the simplifier output.
+	Piecewise = traj.Piecewise
+	// Options selects OPERB's optimization techniques and knobs.
+	Options = core.Options
+	// Stats are the streaming encoder's counters.
+	Stats = core.Stats
+	// PatchStats reports OPERB-A's interpolation activity.
+	PatchStats = core.PatchStats
+	// Encoder is the streaming OPERB simplifier.
+	Encoder = core.Encoder
+	// AggressiveEncoder is the streaming OPERB-A simplifier.
+	AggressiveEncoder = core.AggressiveEncoder
+	// Cleaner repairs duplicate and out-of-order points in raw streams.
+	Cleaner = traj.Cleaner
+	// Projection converts lon/lat degrees to the planar frame in meters.
+	Projection = geo.Projection
+	// Algorithm describes one registered simplification algorithm.
+	Algorithm = algo.Algorithm
+	// Summary bundles quality metrics for one compression run.
+	Summary = metrics.Summary
+)
+
+// At constructs a Point from planar meters and a millisecond timestamp.
+func At(x, y float64, tms int64) Point { return traj.At(x, y, tms) }
+
+// DefaultOptions returns the paper's OPERB configuration (all five §4.4
+// optimization techniques enabled).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// RawOptions returns the basic Figure-7 algorithm with no optimizations
+// (the paper's Raw-OPERB).
+func RawOptions() Options { return core.RawOptions() }
+
+// NewEncoder returns a streaming OPERB encoder with error bound zeta
+// (meters).
+func NewEncoder(zeta float64, opts Options) (*Encoder, error) {
+	return core.NewEncoder(zeta, opts)
+}
+
+// NewAggressiveEncoder returns a streaming OPERB-A encoder with error
+// bound zeta (meters).
+func NewAggressiveEncoder(zeta float64, opts Options) (*AggressiveEncoder, error) {
+	return core.NewAggressiveEncoder(zeta, opts)
+}
+
+// Simplify compresses t with OPERB (all optimizations) under error bound
+// zeta in meters.
+func Simplify(t Trajectory, zeta float64) (Piecewise, error) {
+	return core.Simplify(t, zeta)
+}
+
+// SimplifyOpts compresses t with OPERB and explicit options.
+func SimplifyOpts(t Trajectory, zeta float64, opts Options) (Piecewise, error) {
+	return core.SimplifyOpts(t, zeta, opts)
+}
+
+// SimplifyAggressive compresses t with OPERB-A.
+func SimplifyAggressive(t Trajectory, zeta float64) (Piecewise, error) {
+	return core.SimplifyAggressive(t, zeta)
+}
+
+// SimplifyAggressiveOpts compresses t with OPERB-A and explicit options,
+// returning the patching statistics.
+func SimplifyAggressiveOpts(t Trajectory, zeta float64, opts Options) (Piecewise, PatchStats, error) {
+	return core.SimplifyAggressiveOpts(t, zeta, opts)
+}
+
+// DouglasPeucker compresses t with the classic batch DP algorithm.
+func DouglasPeucker(t Trajectory, zeta float64) (Piecewise, error) {
+	return dp.Simplify(t, zeta)
+}
+
+// TDTR is Douglas-Peucker with the time-synchronized Euclidean distance.
+func TDTR(t Trajectory, zeta float64) (Piecewise, error) {
+	return dp.SimplifySED(t, zeta)
+}
+
+// BottomUp compresses t with the bottom-up merge algorithm (the batch
+// complement to Douglas-Peucker's top-down splits).
+func BottomUp(t Trajectory, zeta float64) (Piecewise, error) {
+	return bottomup.Simplify(t, zeta)
+}
+
+// OPW compresses t with the open-window online algorithm.
+func OPW(t Trajectory, zeta float64) (Piecewise, error) {
+	return opw.Simplify(t, zeta)
+}
+
+// OPWTR is OPW with the time-synchronized Euclidean distance.
+func OPWTR(t Trajectory, zeta float64) (Piecewise, error) {
+	return opw.SimplifySED(t, zeta)
+}
+
+// BQS compresses t with the bounded quadrant system (full variant).
+func BQS(t Trajectory, zeta float64) (Piecewise, error) {
+	return bqs.Simplify(t, zeta)
+}
+
+// FBQS compresses t with the fast BQS variant, the quickest prior
+// algorithm.
+func FBQS(t Trajectory, zeta float64) (Piecewise, error) {
+	return bqs.SimplifyFast(t, zeta)
+}
+
+// Algorithms lists every registered algorithm (the paper's lineup).
+func Algorithms() []Algorithm { return algo.All() }
+
+// AlgorithmByName resolves an algorithm by case-insensitive name, e.g.
+// "OPERB-A" or "fbqs".
+func AlgorithmByName(name string) (Algorithm, error) { return algo.Get(name) }
+
+// MaxError returns the largest deviation of any source point from the
+// simplified representation, in meters.
+func MaxError(t Trajectory, pw Piecewise) float64 { return metrics.MaxError(t, pw) }
+
+// AvgError returns the paper's average error in meters.
+func AvgError(t Trajectory, pw Piecewise) float64 { return metrics.AvgError(t, pw) }
+
+// CompressionRatio returns segments/points; lower is better.
+func CompressionRatio(t Trajectory, pw Piecewise) float64 { return metrics.Ratio(t, pw) }
+
+// VerifyErrorBound checks that pw is error bounded by zeta for t.
+func VerifyErrorBound(t Trajectory, pw Piecewise, zeta float64) error {
+	return metrics.VerifyBound(t, pw, zeta)
+}
+
+// Summarize computes points, segments, ratio and errors for one run.
+func Summarize(t Trajectory, pw Piecewise) Summary { return metrics.Summarize(t, pw) }
+
+// NewCleaner returns a stream cleaner with the given reorder window.
+func NewCleaner(window int) *Cleaner { return traj.NewCleaner(window) }
+
+// NewProjection anchors a lon/lat → planar-meters projection at the given
+// reference coordinate (degrees).
+func NewProjection(refLon, refLat float64) *Projection {
+	return geo.NewProjection(refLon, refLat)
+}
+
+// Workload presets for the synthetic GPS generators (surrogates for the
+// paper's four datasets).
+const (
+	PresetTaxi    = gen.Taxi
+	PresetTruck   = gen.Truck
+	PresetSerCar  = gen.SerCar
+	PresetGeoLife = gen.GeoLife
+)
+
+// Preset identifies a synthetic workload generator.
+type Preset = gen.Preset
+
+// GenerateTrajectory synthesizes one trajectory of the given preset.
+func GenerateTrajectory(p Preset, points int, seed uint64) Trajectory {
+	return gen.One(p, points, seed)
+}
+
+// GenerateDataset synthesizes a set of trajectories of the given preset.
+func GenerateDataset(p Preset, trajectories, points int, seed uint64) []Trajectory {
+	return gen.Spec{Preset: p, Trajectories: trajectories, Points: points, Seed: seed}.Generate()
+}

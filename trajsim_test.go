@@ -1,0 +1,143 @@
+package trajsim
+
+import (
+	"testing"
+)
+
+func TestFacadeBatchAPIs(t *testing.T) {
+	tr := GenerateTrajectory(PresetSerCar, 400, 3)
+	zeta := 30.0
+	for name, fn := range map[string]func(Trajectory, float64) (Piecewise, error){
+		"Simplify":           Simplify,
+		"SimplifyAggressive": SimplifyAggressive,
+		"DouglasPeucker":     DouglasPeucker,
+		"TDTR":               TDTR,
+		"OPW":                OPW,
+		"OPWTR":              OPWTR,
+		"BQS":                BQS,
+		"FBQS":               FBQS,
+	} {
+		pw, err := fn(tr, zeta)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(pw) == 0 {
+			t.Fatalf("%s: empty output", name)
+		}
+		if name == "TDTR" || name == "OPWTR" {
+			continue // SED bound, checked in their own packages
+		}
+		if err := VerifyErrorBound(tr, pw, zeta); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeStreaming(t *testing.T) {
+	tr := GenerateTrajectory(PresetTaxi, 300, 9)
+	enc, err := NewEncoder(40, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pw Piecewise
+	for _, p := range tr {
+		pw = append(pw, enc.Push(p)...)
+	}
+	pw = append(pw, enc.Flush()...)
+	batch, err := Simplify(tr, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != len(batch) {
+		t.Errorf("streaming %d segments, batch %d", len(pw), len(batch))
+	}
+	if enc.Stats().PointsIn != len(tr) {
+		t.Errorf("stats: %+v", enc.Stats())
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	tr := GenerateTrajectory(PresetGeoLife, 300, 4)
+	pw, err := Simplify(tr, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tr, pw)
+	if s.Points != len(tr) || s.Segments != len(pw) {
+		t.Errorf("summary: %+v", s)
+	}
+	if MaxError(tr, pw) > 25*1.000001 {
+		t.Errorf("max error %v", MaxError(tr, pw))
+	}
+	if AvgError(tr, pw) > MaxError(tr, pw) {
+		t.Error("avg > max")
+	}
+	if r := CompressionRatio(tr, pw); r <= 0 || r >= 1 {
+		t.Errorf("ratio %v", r)
+	}
+}
+
+func TestFacadeRegistry(t *testing.T) {
+	if len(Algorithms()) != 11 {
+		t.Errorf("%d algorithms", len(Algorithms()))
+	}
+	a, err := AlgorithmByName("operb")
+	if err != nil || a.Name != "OPERB" {
+		t.Errorf("AlgorithmByName: %+v %v", a, err)
+	}
+}
+
+func TestFacadeCleanerAndProjection(t *testing.T) {
+	c := NewCleaner(2)
+	out := c.Push(At(0, 0, 1000))
+	out = append(out, c.Flush()...)
+	if len(out) != 1 {
+		t.Errorf("cleaner output %d points", len(out))
+	}
+	pr := NewProjection(116.4, 39.9)
+	p := pr.ToPlane(116.41, 39.9)
+	if p.X < 800 || p.X > 900 {
+		t.Errorf("projection x = %v", p.X)
+	}
+}
+
+func TestCompressFleet(t *testing.T) {
+	fleet := GenerateDataset(PresetSerCar, 12, 300, 7)
+	pws, err := CompressFleet(fleet, 30, "OPERB-A", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pws) != len(fleet) {
+		t.Fatalf("%d results for %d inputs", len(pws), len(fleet))
+	}
+	for i := range fleet {
+		if len(pws[i]) == 0 {
+			t.Errorf("trajectory %d: empty", i)
+		}
+		if err := VerifyErrorBound(fleet[i], pws[i], 30); err != nil {
+			t.Errorf("trajectory %d: %v", i, err)
+		}
+	}
+	// Order is preserved: results match a serial run.
+	serial, err := SimplifyAggressive(fleet[5], 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(pws[5]) {
+		t.Errorf("parallel result diverges from serial: %d vs %d", len(pws[5]), len(serial))
+	}
+}
+
+func TestCompressFleetEdgeCases(t *testing.T) {
+	if _, err := CompressFleet(nil, 30, "OPERB", 0); err != nil {
+		t.Errorf("empty fleet: %v", err)
+	}
+	if _, err := CompressFleet(nil, 30, "bogus", 0); err == nil {
+		t.Error("bogus algorithm should fail")
+	}
+	// Invalid ζ propagates.
+	fleet := GenerateDataset(PresetTaxi, 3, 50, 1)
+	if _, err := CompressFleet(fleet, -1, "OPERB", 2); err == nil {
+		t.Error("invalid ζ should fail")
+	}
+}
