@@ -421,3 +421,41 @@ func BenchmarkCompressFleet(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEngineIngest measures live-session ingest through the public
+// facade: a fixed fleet of devices pushing 64-point batches round-robin,
+// at 1, 8 and 64 shards. One iteration = one batch.
+func BenchmarkEngineIngest(b *testing.B) {
+	const (
+		devices = 64
+		batch   = 64
+	)
+	fleet := GenerateDataset(PresetTruck, devices, 4096, 17)
+	for _, shards := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng, err := NewEngine(EngineConfig{Zeta: 40, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			offs := make([]int, devices)
+			names := make([]string, devices)
+			for d := range names {
+				names[d] = fmt.Sprintf("dev-%d", d)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := i % devices
+				if offs[d]+batch > len(fleet[d]) {
+					eng.Flush(names[d])
+					offs[d] = 0
+				}
+				if _, err := eng.Ingest(names[d], fleet[d][offs[d]:offs[d]+batch]); err != nil {
+					b.Fatal(err)
+				}
+				offs[d] += batch
+			}
+			b.StopTimer()
+			eng.Close()
+		})
+	}
+}

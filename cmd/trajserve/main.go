@@ -1,50 +1,129 @@
 // Command trajserve is the cloud side of the paper's motivating
-// deployment: an HTTP ingestion service that compresses uploaded
-// trajectories with any registered algorithm and returns either the
-// simplified points (CSV) or the compact binary wire format.
+// deployment: an HTTP ingestion service that compresses trajectories with
+// any registered algorithm — one-shot via /compress, or live via /ingest,
+// which multiplexes thousands of concurrent per-device encoder sessions
+// over a sharded streaming engine.
 //
 // Usage:
 //
-//	trajserve -addr :8080
+//	trajserve -addr :8080 -zeta 40 -aggressive -shards 16 -idle 5m
 //
 // Endpoints:
 //
 //	GET  /healthz                  liveness probe
 //	GET  /algorithms               registered algorithm names (text)
+//	GET  /stats                    streaming-engine counters (JSON)
 //	POST /compress?algo=OPERB-A&zeta=40&format=csv&clean=4&out=binary
 //	     body: trajectory CSV (t_ms,x_m,y_m with header)
 //	     out=csv    → simplified trajectory CSV (default)
 //	     out=binary → compact binary piecewise encoding
 //	     response headers carry X-Segments, X-Points, X-Ratio, X-Max-Error
+//	POST /ingest?out=segments
+//	     body: point batches for any number of devices, either CSV
+//	     (device,t_ms,x_m,y_m with header) or NDJSON
+//	     ({"device":"d1","t_ms":0,"x_m":1.5,"y_m":2.5} per line, selected
+//	     by a JSON Content-Type). Device batches commit independently:
+//	     per-device failures (e.g. unordered timestamps) are reported in
+//	     a "failed" map while the rest ingest; the request only fails
+//	     wholesale when every device does. Default response is a JSON
+//	     summary; out=segments returns finalized segments as NDJSON.
+//	POST /flush?device=ID&out=segments
+//	     finalize one device session (404 if unknown) or, without
+//	     device=, every live session.
+//
+// Request bodies are capped at -max-body bytes; larger uploads get 413.
+// SIGINT/SIGTERM drain in-flight requests and flush all live sessions.
 package main
 
 import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"strings"
+	"syscall"
+	"time"
 
 	"trajsim/internal/algo"
 	"trajsim/internal/metrics"
+	"trajsim/internal/stream"
 	"trajsim/internal/traj"
 	"trajsim/internal/trajio"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxBody    = flag.Int64("max-body", 64<<20, "request body cap in bytes (413 beyond)")
+		zeta       = flag.Float64("zeta", 40, "error bound ζ in meters for /ingest sessions")
+		aggressive = flag.Bool("aggressive", true, "use OPERB-A (vs OPERB) for /ingest sessions")
+		shards     = flag.Int("shards", stream.DefaultShards, "session-map shards for /ingest")
+		clean      = flag.Int("ingest-clean", 0, "per-session cleaner reorder window (0 = off)")
+		idle       = flag.Duration("idle", 5*time.Minute, "evict /ingest sessions idle this long; their trailing segments are logged and DROPPED (0 = never evict)")
+	)
 	flag.Parse()
-	srv := &http.Server{Addr: *addr, Handler: newHandler()}
-	log.Printf("trajserve listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	evictEvery := *idle / 4
+	if evictEvery < time.Second {
+		evictEvery = time.Second
+	}
+	eng, err := stream.NewEngine(stream.Config{
+		Zeta:        *zeta,
+		Aggressive:  *aggressive,
+		Shards:      *shards,
+		CleanWindow: *clean,
+		IdleAfter:   *idle,
+		EvictEvery:  evictEvery,
+		OnEvict: func(dev string, segs []traj.Segment) {
+			log.Printf("evicted idle session %s (%d trailing segments)", dev, len(segs))
+		},
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "trajserve:", err)
 		os.Exit(1)
 	}
+
+	srv := &http.Server{Addr: *addr, Handler: newHandler(eng, *maxBody)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("trajserve listening on %s (ζ=%g m, %d shards)", *addr, *zeta, *shards)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "trajserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Printf("trajserve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("trajserve: shutdown: %v", err)
+	}
+	tails := eng.Close()
+	log.Printf("trajserve: flushed %d live sessions", len(tails))
+}
+
+// server carries the shared state of the HTTP handlers.
+type server struct {
+	eng     *stream.Engine
+	maxBody int64
 }
 
 // newHandler builds the service mux; separated from main for testing.
-func newHandler() http.Handler {
+func newHandler(eng *stream.Engine, maxBody int64) http.Handler {
+	s := &server{eng: eng, maxBody: maxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -54,14 +133,26 @@ func newHandler() http.Handler {
 			fmt.Fprintln(w, a.Name)
 		}
 	})
-	mux.HandleFunc("POST /compress", handleCompress)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /compress", s.handleCompress)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /flush", s.handleFlush)
 	return mux
 }
 
-// maxBody bounds uploads to 64 MiB (~1.5 M points of CSV).
-const maxBody = 64 << 20
+// bodyErr maps a request-body read failure to its HTTP status: 413 when
+// the MaxBytesReader cap was hit, 400 otherwise.
+func bodyErr(w http.ResponseWriter, err error, context string) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, context+": "+err.Error(), http.StatusBadRequest)
+}
 
-func handleCompress(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	algoName := q.Get("algo")
 	if algoName == "" {
@@ -87,10 +178,10 @@ func handleCompress(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	body := http.MaxBytesReader(w, r.Body, maxBody)
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	t, _, err := trajio.ReadCSV(body, trajio.CSVOptions{Format: trajio.Planar, Header: true})
 	if err != nil {
-		http.Error(w, "bad trajectory: "+err.Error(), http.StatusBadRequest)
+		bodyErr(w, err, "bad trajectory")
 		return
 	}
 	if clean > 0 {
@@ -106,12 +197,12 @@ func handleCompress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s := metrics.Summarize(t, pw)
+	sum := metrics.Summarize(t, pw)
 	w.Header().Set("X-Algorithm", a.Name)
-	w.Header().Set("X-Points", strconv.Itoa(s.Points))
-	w.Header().Set("X-Segments", strconv.Itoa(s.Segments))
-	w.Header().Set("X-Ratio", strconv.FormatFloat(s.Ratio, 'f', 6, 64))
-	w.Header().Set("X-Max-Error", strconv.FormatFloat(s.MaxError, 'f', 3, 64))
+	w.Header().Set("X-Points", strconv.Itoa(sum.Points))
+	w.Header().Set("X-Segments", strconv.Itoa(sum.Segments))
+	w.Header().Set("X-Ratio", strconv.FormatFloat(sum.Ratio, 'f', 6, 64))
+	w.Header().Set("X-Max-Error", strconv.FormatFloat(sum.MaxError, 'f', 3, 64))
 
 	switch q.Get("out") {
 	case "", "csv":
@@ -127,4 +218,260 @@ func handleCompress(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "unknown out format (csv, binary)", http.StatusBadRequest)
 	}
+}
+
+// batch is the parsed upload of one /ingest request: per-device point
+// batches in arrival order.
+type batch struct {
+	order  []string
+	points map[string][]traj.Point
+}
+
+func (b *batch) add(device string, p traj.Point) {
+	if b.points == nil {
+		b.points = make(map[string][]traj.Point)
+	}
+	if _, seen := b.points[device]; !seen {
+		b.order = append(b.order, device)
+	}
+	b.points[device] = append(b.points[device], p)
+}
+
+// ingestPoint is one NDJSON line of an /ingest body. Coordinate fields
+// are pointers so a missing (or, with DisallowUnknownFields, misnamed)
+// key is a 400, not a silent zero-filled point.
+type ingestPoint struct {
+	Device string   `json:"device"`
+	T      *int64   `json:"t_ms"`
+	X      *float64 `json:"x_m"`
+	Y      *float64 `json:"y_m"`
+}
+
+func parseNDJSON(r io.Reader) (*batch, error) {
+	var b batch
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	for line := 1; ; line++ {
+		var p ingestPoint
+		if err := dec.Decode(&p); err == io.EOF {
+			return &b, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("record %d: %w", line, err)
+		}
+		if p.Device == "" {
+			return nil, fmt.Errorf("record %d: missing device", line)
+		}
+		if p.T == nil || p.X == nil || p.Y == nil {
+			return nil, fmt.Errorf("record %d: missing t_ms/x_m/y_m", line)
+		}
+		b.add(p.Device, traj.At(*p.X, *p.Y, *p.T))
+	}
+}
+
+func parseDeviceCSV(r io.Reader) (*batch, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("header: %w", err)
+	}
+	if header[0] != "device" || header[1] != "t_ms" || header[2] != "x_m" || header[3] != "y_m" {
+		return nil, fmt.Errorf("header %q: want device,t_ms,x_m,y_m", strings.Join(header, ","))
+	}
+	var b batch
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return &b, nil
+		} else if err != nil {
+			return nil, err
+		}
+		if rec[0] == "" {
+			return nil, fmt.Errorf("line %d: missing device", line)
+		}
+		t, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: t_ms: %w", line, err)
+		}
+		x, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: x_m: %w", line, err)
+		}
+		y, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: y_m: %w", line, err)
+		}
+		b.add(rec[0], traj.At(x, y, t))
+	}
+}
+
+// segmentRecord is one NDJSON line of an out=segments response.
+type segmentRecord struct {
+	Device string  `json:"device"`
+	T1     int64   `json:"t1_ms"`
+	X1     float64 `json:"x1_m"`
+	Y1     float64 `json:"y1_m"`
+	T2     int64   `json:"t2_ms"`
+	X2     float64 `json:"x2_m"`
+	Y2     float64 `json:"y2_m"`
+	Points int     `json:"points"`
+}
+
+func writeSegments(w io.Writer, device string, segs []traj.Segment) error {
+	enc := json.NewEncoder(w)
+	for _, s := range segs {
+		rec := segmentRecord{
+			Device: device,
+			T1:     s.Start.T, X1: s.Start.X, Y1: s.Start.Y,
+			T2: s.End.T, X2: s.End.X, Y2: s.End.Y,
+			Points: s.PointCount(),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	var (
+		b   *batch
+		err error
+	)
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "json") {
+		b, err = parseNDJSON(body)
+	} else {
+		b, err = parseDeviceCSV(body)
+	}
+	if err != nil {
+		bodyErr(w, err, "bad ingest body")
+		return
+	}
+
+	// An empty (but well-formed) body is a no-op, not a failure — and it
+	// must not reach the all-failed branch below, whose status would be
+	// unset.
+	if len(b.order) == 0 {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"devices": 0, "points": 0, "segments": 0})
+		return
+	}
+
+	// Device batches commit independently (bulk semantics): one device's
+	// rejection must not block the others — and must not poison a client
+	// retry of the whole body, since the accepted devices are reported.
+	// All ingests run before anything is written so a whole-batch failure
+	// can still set the response status.
+	var points, segments int
+	results := make(map[string][]traj.Segment, len(b.order))
+	failed := make(map[string]string)
+	worst := 0
+	for _, dev := range b.order {
+		pts := b.points[dev]
+		segs, err := s.eng.Ingest(dev, pts)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, stream.ErrSessionLimit):
+				status = http.StatusTooManyRequests
+			case errors.Is(err, stream.ErrClosed):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, stream.ErrNoDevice):
+				status = http.StatusBadRequest
+			case errors.Is(err, stream.ErrTimeOrder):
+				// Mirrors /compress rejecting unordered uploads with 422.
+				status = http.StatusUnprocessableEntity
+				err = fmt.Errorf("%w (start the server with -ingest-clean=N to repair)", err)
+			}
+			failed[dev] = err.Error()
+			if status > worst {
+				worst = status
+			}
+			continue
+		}
+		points += len(pts)
+		segments += len(segs)
+		results[dev] = segs
+	}
+	// Only when every device failed does the request itself fail.
+	if len(failed) == len(b.order) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(worst)
+		json.NewEncoder(w).Encode(map[string]any{"failed": failed})
+		return
+	}
+	if r.URL.Query().Get("out") == "segments" {
+		// Failed devices appear in the NDJSON stream as error records.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, dev := range b.order {
+			if msg, ok := failed[dev]; ok {
+				if err := enc.Encode(map[string]string{"device": dev, "error": msg}); err != nil {
+					log.Printf("ingest: write: %v", err)
+					return
+				}
+				continue
+			}
+			if err := writeSegments(w, dev, results[dev]); err != nil {
+				log.Printf("ingest: write: %v", err)
+				return
+			}
+		}
+		return
+	}
+	resp := map[string]any{
+		"devices":  len(b.order) - len(failed),
+		"points":   points,
+		"segments": segments,
+	}
+	if len(failed) > 0 {
+		resp["failed"] = failed
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	wantSegments := r.URL.Query().Get("out") == "segments"
+	if dev := r.URL.Query().Get("device"); dev != "" {
+		segs, ok := s.eng.Flush(dev)
+		if !ok {
+			http.Error(w, "no live session for device "+dev, http.StatusNotFound)
+			return
+		}
+		if wantSegments {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			if err := writeSegments(w, dev, segs); err != nil {
+				log.Printf("flush: write: %v", err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]int{"devices": 1, "segments": len(segs)})
+		return
+	}
+	tails := s.eng.FlushAll()
+	if wantSegments {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for dev, segs := range tails {
+			if err := writeSegments(w, dev, segs); err != nil {
+				log.Printf("flush: write: %v", err)
+				return
+			}
+		}
+		return
+	}
+	var segments int
+	for _, segs := range tails {
+		segments += len(segs)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{"devices": len(tails), "segments": segments})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.eng.Stats())
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -11,6 +13,8 @@ import (
 
 	"trajsim/internal/gen"
 	"trajsim/internal/metrics"
+	"trajsim/internal/stream"
+	"trajsim/internal/traj"
 	"trajsim/internal/trajio"
 )
 
@@ -24,9 +28,23 @@ func sampleCSV(t *testing.T, n int) *bytes.Buffer {
 	return &buf
 }
 
+// testServer starts the full service around a fresh streaming engine.
+func testServer(t *testing.T, maxBody int64) *httptest.Server {
+	t.Helper()
+	eng, err := stream.NewEngine(stream.Config{Zeta: 40, Aggressive: true, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv := httptest.NewServer(newHandler(eng, maxBody))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+const testMaxBody = 64 << 20
+
 func TestHealthz(t *testing.T) {
-	srv := httptest.NewServer(newHandler())
-	defer srv.Close()
+	srv := testServer(t, testMaxBody)
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -38,8 +56,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestAlgorithms(t *testing.T) {
-	srv := httptest.NewServer(newHandler())
-	defer srv.Close()
+	srv := testServer(t, testMaxBody)
 	resp, err := http.Get(srv.URL + "/algorithms")
 	if err != nil {
 		t.Fatal(err)
@@ -54,8 +71,7 @@ func TestAlgorithms(t *testing.T) {
 }
 
 func TestCompressCSV(t *testing.T) {
-	srv := httptest.NewServer(newHandler())
-	defer srv.Close()
+	srv := testServer(t, testMaxBody)
 	resp, err := http.Post(srv.URL+"/compress?algo=OPERB-A&zeta=30", "text/csv", sampleCSV(t, 400))
 	if err != nil {
 		t.Fatal(err)
@@ -85,8 +101,7 @@ func TestCompressCSV(t *testing.T) {
 }
 
 func TestCompressBinary(t *testing.T) {
-	srv := httptest.NewServer(newHandler())
-	defer srv.Close()
+	srv := testServer(t, testMaxBody)
 	resp, err := http.Post(srv.URL+"/compress?algo=FBQS&zeta=25&out=binary", "text/csv", sampleCSV(t, 300))
 	if err != nil {
 		t.Fatal(err)
@@ -109,8 +124,7 @@ func TestCompressBinary(t *testing.T) {
 }
 
 func TestCompressDirtyStreamNeedsClean(t *testing.T) {
-	srv := httptest.NewServer(newHandler())
-	defer srv.Close()
+	srv := testServer(t, testMaxBody)
 	// A stream with a duplicated timestamp fails validation without clean=.
 	dirty := "t_ms,x_m,y_m\n0,0,0\n1000,5,0\n1000,5,0\n2000,10,0\n"
 	resp, err := http.Post(srv.URL+"/compress", "text/csv", strings.NewReader(dirty))
@@ -133,8 +147,7 @@ func TestCompressDirtyStreamNeedsClean(t *testing.T) {
 }
 
 func TestCompressErrors(t *testing.T) {
-	srv := httptest.NewServer(newHandler())
-	defer srv.Close()
+	srv := testServer(t, testMaxBody)
 	cases := []struct {
 		url  string
 		body string
@@ -171,8 +184,7 @@ func TestCompressErrors(t *testing.T) {
 // End-to-end: the round trip through the service preserves the error
 // bound against the original upload.
 func TestEndToEndBound(t *testing.T) {
-	srv := httptest.NewServer(newHandler())
-	defer srv.Close()
+	srv := testServer(t, testMaxBody)
 	tr := gen.One(gen.Taxi, 300, 11)
 	var buf bytes.Buffer
 	if err := trajio.WriteCSV(&buf, tr, trajio.CSVOptions{Format: trajio.Planar, Header: true}); err != nil {
@@ -191,5 +203,284 @@ func TestEndToEndBound(t *testing.T) {
 	// Binary quantizes to 1 cm; allow that on top of ζ.
 	if err := metrics.VerifyBound(tr, pw, 40.03); err != nil {
 		t.Error(err)
+	}
+}
+
+// deviceCSV renders per-device batches in /ingest CSV form.
+func deviceCSV(devs map[string][]traj.Point) string {
+	var sb strings.Builder
+	sb.WriteString("device,t_ms,x_m,y_m\n")
+	for dev, pts := range devs {
+		for _, p := range pts {
+			fmt.Fprintf(&sb, "%s,%d,%f,%f\n", dev, p.T, p.X, p.Y)
+		}
+	}
+	return sb.String()
+}
+
+func TestIngestCSVAndStats(t *testing.T) {
+	srv := testServer(t, testMaxBody)
+	tra := gen.One(gen.Taxi, 300, 21)
+	trb := gen.One(gen.Truck, 300, 22)
+
+	// Two batches per device, then flush each and check the reassembled
+	// piecewise output against ζ.
+	var segs = map[string][]traj.Segment{}
+	for _, half := range []int{0, 150} {
+		body := deviceCSV(map[string][]traj.Point{
+			"taxi-a":  tra[half : half+150],
+			"truck-b": trb[half : half+150],
+		})
+		resp, err := http.Post(srv.URL+"/ingest?out=segments", "text/csv", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("ingest: status %d: %s", resp.StatusCode, b)
+		}
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var rec struct {
+				Device string  `json:"device"`
+				T1     int64   `json:"t1_ms"`
+				X1     float64 `json:"x1_m"`
+				Y1     float64 `json:"y1_m"`
+				T2     int64   `json:"t2_ms"`
+				X2     float64 `json:"x2_m"`
+				Y2     float64 `json:"y2_m"`
+			}
+			if err := dec.Decode(&rec); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			segs[rec.Device] = append(segs[rec.Device], traj.Segment{
+				Start: traj.At(rec.X1, rec.Y1, rec.T1),
+				End:   traj.At(rec.X2, rec.Y2, rec.T2),
+			})
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st stream.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Sessions != 2 || st.Points != 600 {
+		t.Fatalf("stats after ingest: %+v", st)
+	}
+
+	for dev, tr := range map[string]traj.Trajectory{"taxi-a": tra, "truck-b": trb} {
+		resp, err := http.Post(srv.URL+"/flush?device="+dev+"&out=segments", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("flush %s: status %d", dev, resp.StatusCode)
+		}
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var rec struct {
+				T1 int64   `json:"t1_ms"`
+				X1 float64 `json:"x1_m"`
+				Y1 float64 `json:"y1_m"`
+				T2 int64   `json:"t2_ms"`
+				X2 float64 `json:"x2_m"`
+				Y2 float64 `json:"y2_m"`
+			}
+			if err := dec.Decode(&rec); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			segs[dev] = append(segs[dev], traj.Segment{
+				Start: traj.At(rec.X1, rec.Y1, rec.T1),
+				End:   traj.At(rec.X2, rec.Y2, rec.T2),
+			})
+		}
+		resp.Body.Close()
+		// Segment indices are not carried over the wire, so check the
+		// spatial bound directly: every source point within ζ of some
+		// segment's line — the paper's error measure, which its covering
+		// segment is guaranteed to satisfy.
+		for _, p := range tr {
+			best := 1e18
+			for _, s := range segs[dev] {
+				if d := s.LineDistance(p); d < best {
+					best = d
+				}
+			}
+			if best > 40*1.000001 {
+				t.Fatalf("%s: point %v is %.2f m from the output, ζ=40", dev, p, best)
+				break
+			}
+		}
+	}
+
+	// Duplicate flush → 404.
+	resp, err = http.Post(srv.URL+"/flush?device=taxi-a", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("duplicate flush: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestIngestNDJSON(t *testing.T) {
+	srv := testServer(t, testMaxBody)
+	var sb strings.Builder
+	for i, p := range gen.One(gen.SerCar, 200, 23) {
+		fmt.Fprintf(&sb, `{"device":"car-%d","t_ms":%d,"x_m":%f,"y_m":%f}`+"\n", i%4, p.T, p.X, p.Y)
+	}
+	resp, err := http.Post(srv.URL+"/ingest", "application/x-ndjson", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var sum struct{ Devices, Points, Segments int }
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Devices != 4 || sum.Points != 200 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	// Flush everything at once.
+	resp2, err := http.Post(srv.URL+"/flush", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var fsum struct{ Devices, Segments int }
+	if err := json.NewDecoder(resp2.Body).Decode(&fsum); err != nil {
+		t.Fatal(err)
+	}
+	if fsum.Devices != 4 {
+		t.Fatalf("flush-all summary: %+v", fsum)
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	srv := testServer(t, testMaxBody)
+	cases := []struct {
+		name, ct, body string
+		want           int
+	}{
+		{"missing header", "text/csv", "t_ms,x_m,y_m\n0,0,0\n", http.StatusBadRequest},
+		{"empty device field", "text/csv", "device,t_ms,x_m,y_m\n,0,1.0,2.0\n", http.StatusBadRequest},
+		{"empty json device", "application/json", `{"device":"","t_ms":0,"x_m":1,"y_m":2}` + "\n", http.StatusBadRequest},
+		{"bad number", "text/csv", "device,t_ms,x_m,y_m\nd1,zero,0,0\n", http.StatusBadRequest},
+		{"missing device", "application/json", `{"t_ms":0,"x_m":1,"y_m":2}` + "\n", http.StatusBadRequest},
+		{"bad json", "application/json", `{"device":`, http.StatusBadRequest},
+		{"unordered points", "text/csv", "device,t_ms,x_m,y_m\nd9,1000,0,0\nd9,500,1,1\n", http.StatusUnprocessableEntity},
+		{"header only", "text/csv", "device,t_ms,x_m,y_m\n", http.StatusOK},
+		{"empty ndjson", "application/json", "", http.StatusOK},
+		{"swapped header", "text/csv", "device,x_m,y_m,t_ms\nd1,5,0,1000\n", http.StatusBadRequest},
+		{"misnamed json keys", "application/json", `{"device":"d1","t":100,"x":1.5,"y":2.5}` + "\n", http.StatusBadRequest},
+		{"missing json coords", "application/json", `{"device":"d1","t_ms":100}` + "\n", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(srv.URL+"/ingest", c.ct, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestIngestPartialFailure: bulk semantics — a device with a bad batch is
+// reported in "failed" while the other devices' points commit, so a
+// client can drop the bad device and not lose the rest.
+func TestIngestPartialFailure(t *testing.T) {
+	srv := testServer(t, testMaxBody)
+	body := "device,t_ms,x_m,y_m\n" +
+		"good,0,0,0\ngood,1000,5,5\n" +
+		"bad,1000,0,0\nbad,500,1,1\n" // unordered
+	resp, err := http.Post(srv.URL+"/ingest", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed batch: status %d, want 200", resp.StatusCode)
+	}
+	var sum struct {
+		Devices, Points int
+		Failed          map[string]string
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Devices != 1 || sum.Points != 2 {
+		t.Errorf("summary: %+v", sum)
+	}
+	if _, ok := sum.Failed["bad"]; !ok || len(sum.Failed) != 1 {
+		t.Errorf("failed map: %+v, want only \"bad\"", sum.Failed)
+	}
+	// The good device's session is live; the bad device opened none.
+	resp2, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st stream.Stats
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 1 || st.Points != 2 {
+		t.Errorf("stats: %+v, want 1 session with 2 points", st)
+	}
+}
+
+// TestBodyCap: uploads beyond -max-body get 413 on both POST endpoints.
+func TestBodyCap(t *testing.T) {
+	srv := testServer(t, 512)
+	big := sampleCSV(t, 2000) // far beyond 512 bytes
+	resp, err := http.Post(srv.URL+"/compress", "text/csv", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("compress: status %d, want 413", resp.StatusCode)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("device,t_ms,x_m,y_m\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "d1,%d,%d,%d\n", i*1000, i, i)
+	}
+	resp, err = http.Post(srv.URL+"/ingest", "text/csv", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("ingest: status %d, want 413", resp.StatusCode)
+	}
+	// Under the cap still works.
+	small := "device,t_ms,x_m,y_m\nd1,0,0,0\nd1,1000,5,5\n"
+	resp, err = http.Post(srv.URL+"/ingest", "text/csv", strings.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("small ingest: status %d, want 200", resp.StatusCode)
 	}
 }

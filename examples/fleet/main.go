@@ -1,6 +1,8 @@
 // Fleet: compress a whole vehicle fleet concurrently and compare every
 // registered algorithm on ratio, error and wall time — a miniature version
-// of the paper's evaluation on your own workload.
+// of the paper's evaluation on your own workload. Then replay the same
+// fleet as live device streams through the sharded session engine, the
+// way a cloud ingestion tier would receive it.
 //
 //	go run trajsim/examples/fleet
 package main
@@ -8,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"trajsim"
@@ -47,4 +50,49 @@ func main() {
 	}
 
 	fmt.Println("\nlower ratio = better compression; OPERB-A should lead, OPERB ≈ DP, all within ζ")
+
+	// Part 2: the same fleet as live streams. Every truck keeps an open
+	// session on the engine and uploads 64-point batches concurrently;
+	// segments come back incrementally as each batch finalizes them.
+	fmt.Println("\nlive ingestion through the sharded session engine:")
+	eng, err := trajsim.NewEngine(trajsim.EngineConfig{
+		Zeta:       zeta,
+		Aggressive: true,
+		Shards:     16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const batch = 64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for v, tr := range fleet {
+		wg.Add(1)
+		go func(v int, tr trajsim.Trajectory) {
+			defer wg.Done()
+			dev := fmt.Sprintf("truck-%02d", v)
+			for off := 0; off < len(tr); off += batch {
+				end := min(off+batch, len(tr))
+				if _, err := eng.Ingest(dev, tr[off:end]); err != nil {
+					log.Fatalf("%s: %v", dev, err)
+				}
+			}
+		}(v, tr)
+	}
+	wg.Wait()
+	mid := eng.Stats()
+	tails := eng.Close()
+	elapsed := time.Since(start)
+
+	final := eng.Stats()
+	var tailSegs int
+	for _, segs := range tails {
+		tailSegs += len(segs)
+	}
+	fmt.Printf("  %d concurrent sessions, %d points in %s (%.0f points/s)\n",
+		mid.Opened, final.Points, elapsed.Round(time.Millisecond),
+		float64(final.Points)/elapsed.Seconds())
+	fmt.Printf("  %d segments emitted (%d at shutdown flush), ratio %.1f%%, %d contended ingests\n",
+		final.Segments, tailSegs, 100*float64(final.Segments)/float64(final.Points),
+		final.Contended)
 }

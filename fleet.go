@@ -3,67 +3,46 @@ package trajsim
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
+
+	"trajsim/internal/stream"
 )
 
-// ErrFleetSize is returned when results and inputs cannot be matched.
-var ErrFleetSize = errors.New("trajsim: fleet compression failed")
+// ErrFleetSize is returned when results and inputs cannot be matched —
+// i.e. a fleet run produced a result count different from its input
+// count. With the current worker pool this cannot happen; the sentinel is
+// kept as the documented contract for callers that check it.
+var ErrFleetSize = errors.New("trajsim: fleet results and inputs cannot be matched")
+
+// ErrCompress wraps the first per-trajectory compression failure of a
+// fleet run.
+var ErrCompress = errors.New("trajsim: fleet compression failed")
 
 // CompressFleet compresses many trajectories concurrently with the named
 // algorithm (e.g. "OPERB-A") under error bound zeta. workers ≤ 0 selects
 // GOMAXPROCS. Results are returned in input order; the first error (if
-// any) aborts the batch.
+// any) aborts the batch — remaining trajectories are not compressed — and
+// is returned wrapped in ErrCompress.
 //
 // Each trajectory is compressed independently — encoders hold per-stream
 // state — so this parallelizes embarrassingly, which is how a cloud
 // ingestion tier would run the paper's algorithms over a vehicle fleet.
+// For live, incremental ingestion use Engine instead.
 func CompressFleet(ts []Trajectory, zeta float64, algorithm string, workers int) ([]Piecewise, error) {
 	a, err := AlgorithmByName(algorithm)
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(ts) {
-		workers = len(ts)
-	}
 	out := make([]Piecewise, len(ts))
-	if len(ts) == 0 {
-		return out, nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				pw, err := a.Fn(ts[i], zeta)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%w: trajectory %d: %v", ErrFleetSize, i, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				out[i] = pw
-			}
-		}()
-	}
-	for i := range ts {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err = stream.ForEach(len(ts), workers, func(i int) error {
+		pw, err := a.Fn(ts[i], zeta)
+		if err != nil {
+			return fmt.Errorf("trajectory %d: %w", i, err)
+		}
+		out[i] = pw
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCompress, err)
 	}
 	return out, nil
 }

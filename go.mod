@@ -1,0 +1,3 @@
+module trajsim
+
+go 1.22

@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+// BenchmarkIngest measures multi-device ingest throughput as the shard
+// count grows: with one shard every goroutine contends on a single mutex;
+// with 8 or 64 shards ingest for different devices proceeds in parallel.
+//
+//	go test ./internal/stream -bench=Ingest -cpu=8
+func BenchmarkIngest(b *testing.B) {
+	const batch = 64
+	tr := gen.One(gen.Truck, 4096, 11)
+	for _, shards := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e, err := NewEngine(Config{Zeta: 40, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var id atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// One live session per benchmark goroutine, fed its batches
+				// in a loop; one iteration = one 64-point batch.
+				dev := fmt.Sprintf("dev-%d", id.Add(1))
+				off := 0
+				for pb.Next() {
+					if off+batch > len(tr) {
+						// Restart the stream: flush so the fresh session
+						// sees increasing timestamps again.
+						e.Flush(dev)
+						off = 0
+					}
+					if _, err := e.Ingest(dev, tr[off:off+batch]); err != nil {
+						b.Fatal(err)
+					}
+					off += batch
+				}
+			})
+			b.StopTimer()
+			st := e.Stats()
+			b.ReportMetric(float64(st.Points)/b.Elapsed().Seconds(), "points/s")
+			// Fraction of batches that blocked on a shard lock: the
+			// scaling signal even when wall time is CPU-bound.
+			b.ReportMetric(float64(st.Contended)/float64(b.N), "contended/op")
+			e.Close()
+		})
+	}
+}
+
+// BenchmarkIngestSingleSession is the per-session cost floor: one device
+// fed in-order batches with no parallelism, so the whole iteration is
+// lock acquisition plus real encoder work. The sharded BenchmarkIngest
+// numbers converge to this as contention disappears.
+func BenchmarkIngestSingleSession(b *testing.B) {
+	const batch = 64
+	tr := gen.One(gen.Truck, 4096, 11)
+	e, err := NewEngine(Config{Zeta: 40, Shards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	off := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if off+batch > len(tr) {
+			e.Flush("hot")
+			off = 0
+		}
+		if _, err := e.Ingest("hot", tr[off:off+batch]); err != nil {
+			b.Fatal(err)
+		}
+		off += batch
+	}
+}
+
+// BenchmarkForEach measures the worker pool against a trivially cheap
+// body, exposing its scheduling overhead per item.
+func BenchmarkForEach(b *testing.B) {
+	var sink atomic.Int64
+	work := make([]traj.Point, 256)
+	b.Run(fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ForEach(len(work), 0, func(j int) error {
+				sink.Add(int64(j))
+				return nil
+			})
+		}
+	})
+}

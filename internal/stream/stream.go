@@ -1,0 +1,421 @@
+// Package stream is the cloud side of the paper's motivating deployment
+// (§1): a fleet of devices each running the O(1)-space OPERB encoder and
+// uploading continuously. An Engine holds thousands of live per-device
+// encoder sessions at once and ingests batched points for any of them,
+// returning the segments each batch finalizes.
+//
+// Sessions live in N shard maps keyed by device ID (FNV-1a hash, one
+// mutex per shard), so concurrent ingest for different devices rarely
+// contends. Each session owns an optional stream Cleaner and one OPERB or
+// OPERB-A encoder — exactly the state a device would hold, moved
+// server-side. Idle sessions are evicted on a monotonic clock, either
+// explicitly via EvictIdle or by the background janitor.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trajsim/internal/core"
+	"trajsim/internal/traj"
+)
+
+// Errors reported by the Engine.
+var (
+	// ErrClosed is returned by Ingest after Close.
+	ErrClosed = errors.New("stream: engine closed")
+	// ErrNoDevice is returned by Ingest for an empty device ID.
+	ErrNoDevice = errors.New("stream: empty device ID")
+	// ErrSessionLimit is returned by Ingest when opening one more session
+	// would exceed Config.MaxSessions.
+	ErrSessionLimit = errors.New("stream: session limit reached")
+	// ErrTimeOrder is returned by Ingest when a batch violates the
+	// paper's strictly-increasing-timestamp invariant (§3.1) against
+	// itself or the session's previous batches, and no CleanWindow is
+	// configured to repair it. The session is left unchanged.
+	ErrTimeOrder = errors.New("stream: points not in increasing time order")
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero.
+const DefaultShards = 16
+
+// Config parameterizes an Engine. The zero value is not usable: Zeta must
+// be a positive error bound in meters.
+type Config struct {
+	// Zeta is the error bound ζ in meters applied to every session.
+	Zeta float64
+	// Aggressive selects OPERB-A (patched, better compression) instead of
+	// OPERB for new sessions.
+	Aggressive bool
+	// Options configures the encoders; nil selects core.DefaultOptions.
+	Options *core.Options
+	// Shards is the number of session-map shards; 0 selects DefaultShards.
+	Shards int
+	// CleanWindow, when positive, gives every session a traj.Cleaner with
+	// this reorder window, repairing duplicated or out-of-order fixes
+	// before they reach the encoder.
+	CleanWindow int
+	// IdleAfter is how long a session may go without ingest before
+	// EvictIdle (or the janitor) finalizes it. Zero disables eviction.
+	IdleAfter time.Duration
+	// EvictEvery, when positive, starts a background janitor goroutine
+	// that calls EvictIdle on this period until Close.
+	EvictEvery time.Duration
+	// MaxSessions caps live sessions; 0 means unlimited. Ingest for a new
+	// device beyond the cap fails with ErrSessionLimit.
+	MaxSessions int
+	// OnEvict, when non-nil, receives the trailing segments of every
+	// evicted session (EvictIdle and the janitor both report through it).
+	OnEvict func(device string, segs []traj.Segment)
+	// Clock overrides the engine clock, for tests. Nil selects time.Now,
+	// whose monotonic reading makes idle measurement immune to wall-clock
+	// steps.
+	Clock func() time.Time
+}
+
+// Stats are engine-wide counters, all cumulative except Sessions.
+type Stats struct {
+	Sessions  int   `json:"sessions"`  // live sessions right now
+	Opened    int64 `json:"opened"`    // sessions ever opened
+	Points    int64 `json:"points"`    // points ingested
+	Segments  int64 `json:"segments"`  // segments emitted, incl. flush/evict tails
+	Flushed   int64 `json:"flushed"`   // sessions finalized by Flush/FlushAll/Close
+	Evicted   int64 `json:"evictions"` // sessions finalized for idleness
+	Contended int64 `json:"contended"` // ingests that blocked on a busy shard lock
+}
+
+// Eviction is one idle session finalized by EvictIdle: its device ID and
+// the trailing segments its encoder still held.
+type Eviction struct {
+	Device   string
+	Segments []traj.Segment
+}
+
+// encoder is the common face of core.Encoder and core.AggressiveEncoder.
+type encoder interface {
+	Push(traj.Point) []traj.Segment
+	Flush() []traj.Segment
+}
+
+// session is one live device stream: the cleaner+encoder state the paper
+// puts on the device, plus bookkeeping for eviction.
+type session struct {
+	clean *traj.Cleaner
+	enc   encoder
+	last  time.Time // engine-clock time of the latest ingest
+	lastT int64     // timestamp of the latest accepted point (no cleaner)
+}
+
+// shard is one of the Engine's session maps. Padding would buy little
+// here: the mutex and map pointer are touched together under the lock.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+// Engine holds many live per-device encoder sessions and routes batched
+// ingest to them. All methods are safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	opts   core.Options
+	now    func() time.Time
+	shards []shard
+
+	live      atomic.Int64
+	opened    atomic.Int64
+	points    atomic.Int64
+	segments  atomic.Int64
+	flushed   atomic.Int64
+	evicted   atomic.Int64
+	contended atomic.Int64
+
+	closed  atomic.Bool
+	stop    chan struct{}
+	janitor sync.WaitGroup
+}
+
+// NewEngine validates cfg and returns a running Engine. If
+// cfg.EvictEvery > 0 a janitor goroutine runs until Close.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Zeta <= 0 {
+		return nil, fmt.Errorf("stream: error bound ζ must be positive, got %g", cfg.Zeta)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("stream: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	opts := core.DefaultOptions()
+	if cfg.Options != nil {
+		opts = *cfg.Options
+	}
+	// Fail now, not on the first ingest, if the configuration cannot
+	// build an encoder.
+	if _, err := newSessionEncoder(cfg.Zeta, cfg.Aggressive, opts); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		opts:   opts,
+		now:    cfg.Clock,
+		shards: make([]shard, cfg.Shards),
+		stop:   make(chan struct{}),
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	for i := range e.shards {
+		e.shards[i].sessions = make(map[string]*session)
+	}
+	if cfg.EvictEvery > 0 && cfg.IdleAfter > 0 {
+		e.janitor.Add(1)
+		go e.runJanitor()
+	}
+	return e, nil
+}
+
+func newSessionEncoder(zeta float64, aggressive bool, opts core.Options) (encoder, error) {
+	if aggressive {
+		return core.NewAggressiveEncoder(zeta, opts)
+	}
+	return core.NewEncoder(zeta, opts)
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined to hash device IDs without
+// allocating.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (e *Engine) shard(device string) *shard {
+	return &e.shards[fnv1a(device)%uint32(len(e.shards))]
+}
+
+// Ingest feeds a batch of points to device's session, opening it on first
+// contact, and returns the segments the batch finalized. Points must be in
+// increasing time order per device across batches unless CleanWindow is
+// set. The returned slice is owned by the caller.
+func (e *Engine) Ingest(device string, pts []traj.Point) ([]traj.Segment, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if device == "" {
+		return nil, ErrNoDevice
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	sh := e.shard(device)
+	// TryLock first so shard-lock contention — the quantity sharding
+	// exists to eliminate — is observable in Stats.
+	if !sh.mu.TryLock() {
+		e.contended.Add(1)
+		sh.mu.Lock()
+	}
+	// Re-check under the shard lock: Close sets the flag before draining
+	// the shards, so an ingest that slips past the fast-path check above
+	// while Close runs must not resurrect a session Close won't flush.
+	if e.closed.Load() {
+		sh.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s := sh.sessions[device]
+	// Without a cleaner the encoder trusts its input, so enforce the
+	// time-order invariant up front — before the session is created or
+	// touched, so a rejected batch changes nothing (not even the session
+	// count) and the caller can retry repaired.
+	batchLastT := int64(math.MinInt64)
+	if e.cfg.CleanWindow <= 0 {
+		prev := batchLastT
+		if s != nil {
+			prev = s.lastT
+		}
+		for _, p := range pts {
+			if p.T <= prev {
+				sh.mu.Unlock()
+				return nil, fmt.Errorf("%w: device %s: t=%d after t=%d", ErrTimeOrder, device, p.T, prev)
+			}
+			prev = p.T
+		}
+		batchLastT = prev
+	}
+	if s == nil {
+		// Reserve the slot with the increment itself so concurrent
+		// first-contact ingests on different shards cannot overshoot
+		// MaxSessions between a read and an add.
+		if n, max := e.live.Add(1), int64(e.cfg.MaxSessions); max > 0 && n > max {
+			e.live.Add(-1)
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("%w (%d live)", ErrSessionLimit, max)
+		}
+		enc, err := newSessionEncoder(e.cfg.Zeta, e.cfg.Aggressive, e.opts)
+		if err != nil {
+			e.live.Add(-1)
+			sh.mu.Unlock()
+			return nil, err
+		}
+		s = &session{enc: enc}
+		if e.cfg.CleanWindow > 0 {
+			s.clean = traj.NewCleaner(e.cfg.CleanWindow)
+		}
+		sh.sessions[device] = s
+		e.opened.Add(1)
+	}
+	s.lastT = batchLastT
+	var out []traj.Segment
+	for _, p := range pts {
+		// Encoder Push returns a scratch slice reused by the next call;
+		// append copies the segments out before that happens.
+		if s.clean != nil {
+			for _, q := range s.clean.Push(p) {
+				out = append(out, s.enc.Push(q)...)
+			}
+		} else {
+			out = append(out, s.enc.Push(p)...)
+		}
+	}
+	s.last = e.now()
+	sh.mu.Unlock()
+	e.points.Add(int64(len(pts)))
+	e.segments.Add(int64(len(out)))
+	return out, nil
+}
+
+// finish drains the cleaner into the encoder and flushes it, returning the
+// session's trailing segments. Caller holds the shard lock.
+func (s *session) finish() []traj.Segment {
+	var out []traj.Segment
+	if s.clean != nil {
+		for _, q := range s.clean.Flush() {
+			out = append(out, s.enc.Push(q)...)
+		}
+	}
+	return append(out, s.enc.Flush()...)
+}
+
+// Flush finalizes and removes device's session, returning its trailing
+// segments. The second result is false if no session exists — e.g. on a
+// duplicate flush.
+func (e *Engine) Flush(device string) ([]traj.Segment, bool) {
+	sh := e.shard(device)
+	sh.mu.Lock()
+	s := sh.sessions[device]
+	if s == nil {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	delete(sh.sessions, device)
+	segs := s.finish()
+	// Release the session slot before dropping the lock so a concurrent
+	// first-contact ingest at MaxSessions sees the freed capacity.
+	e.live.Add(-1)
+	sh.mu.Unlock()
+	e.flushed.Add(1)
+	e.segments.Add(int64(len(segs)))
+	return segs, true
+}
+
+// FlushAll finalizes every live session and returns their trailing
+// segments by device.
+func (e *Engine) FlushAll() map[string][]traj.Segment {
+	out := make(map[string][]traj.Segment)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for dev, s := range sh.sessions {
+			delete(sh.sessions, dev)
+			segs := s.finish()
+			out[dev] = segs
+			e.live.Add(-1)
+			e.flushed.Add(1)
+			e.segments.Add(int64(len(segs)))
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// EvictIdle finalizes every session idle for at least Config.IdleAfter on
+// the engine clock and returns the evictions. OnEvict, if set, observes
+// each one. A zero IdleAfter makes this a no-op.
+func (e *Engine) EvictIdle() []Eviction {
+	if e.cfg.IdleAfter <= 0 {
+		return nil
+	}
+	now := e.now()
+	var evs []Eviction
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for dev, s := range sh.sessions {
+			if now.Sub(s.last) < e.cfg.IdleAfter {
+				continue
+			}
+			delete(sh.sessions, dev)
+			segs := s.finish()
+			evs = append(evs, Eviction{Device: dev, Segments: segs})
+			e.live.Add(-1)
+			e.evicted.Add(1)
+			e.segments.Add(int64(len(segs)))
+		}
+		sh.mu.Unlock()
+	}
+	if e.cfg.OnEvict != nil {
+		for _, ev := range evs {
+			e.cfg.OnEvict(ev.Device, ev.Segments)
+		}
+	}
+	return evs
+}
+
+func (e *Engine) runJanitor() {
+	defer e.janitor.Done()
+	tick := time.NewTicker(e.cfg.EvictEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-tick.C:
+			e.EvictIdle()
+		}
+	}
+}
+
+// Sessions returns the number of live sessions.
+func (e *Engine) Sessions() int { return int(e.live.Load()) }
+
+// Stats returns a snapshot of the engine-wide counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Sessions:  int(e.live.Load()),
+		Opened:    e.opened.Load(),
+		Points:    e.points.Load(),
+		Segments:  e.segments.Load(),
+		Flushed:   e.flushed.Load(),
+		Evicted:   e.evicted.Load(),
+		Contended: e.contended.Load(),
+	}
+}
+
+// Close stops the janitor, rejects further ingest, and finalizes every
+// live session, returning their trailing segments by device. Subsequent
+// calls return nil.
+func (e *Engine) Close() map[string][]traj.Segment {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(e.stop)
+	e.janitor.Wait()
+	return e.FlushAll()
+}

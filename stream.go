@@ -1,0 +1,38 @@
+package trajsim
+
+import (
+	"trajsim/internal/stream"
+)
+
+// Live multi-stream ingestion, re-exported from internal/stream: an
+// Engine holds thousands of concurrent per-device encoder sessions — the
+// paper's fleet-of-devices deployment moved server-side.
+type (
+	// Engine is a sharded live-session streaming engine. Ingest batched
+	// points per device; each session runs its own O(1)-space OPERB or
+	// OPERB-A encoder (plus optional stream cleaner) and idle sessions
+	// are evicted on a monotonic clock.
+	Engine = stream.Engine
+	// EngineConfig parameterizes NewEngine; Zeta (meters) is required.
+	EngineConfig = stream.Config
+	// EngineStats are the engine-wide counters: live sessions, points
+	// ingested, segments emitted, flushes and evictions.
+	EngineStats = stream.Stats
+	// Eviction is one idle session finalized by Engine.EvictIdle.
+	Eviction = stream.Eviction
+)
+
+// Engine errors, re-exported for errors.Is.
+var (
+	ErrEngineClosed = stream.ErrClosed
+	ErrNoDevice     = stream.ErrNoDevice
+	ErrSessionLimit = stream.ErrSessionLimit
+	ErrTimeOrder    = stream.ErrTimeOrder
+)
+
+// NewEngine returns a live-session streaming engine.
+//
+//	eng, _ := trajsim.NewEngine(trajsim.EngineConfig{Zeta: 40, Aggressive: true})
+//	segs, _ := eng.Ingest("vehicle-7", batch) // segments finalized by batch
+//	tail, _ := eng.Flush("vehicle-7")         // end of stream
+func NewEngine(cfg EngineConfig) (*Engine, error) { return stream.NewEngine(cfg) }

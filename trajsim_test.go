@@ -1,6 +1,7 @@
 package trajsim
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -135,9 +136,46 @@ func TestCompressFleetEdgeCases(t *testing.T) {
 	if _, err := CompressFleet(nil, 30, "bogus", 0); err == nil {
 		t.Error("bogus algorithm should fail")
 	}
-	// Invalid ζ propagates.
+	// A per-trajectory failure (invalid ζ) comes back wrapped in
+	// ErrCompress, not in the input/output-mismatch sentinel.
 	fleet := GenerateDataset(PresetTaxi, 3, 50, 1)
-	if _, err := CompressFleet(fleet, -1, "OPERB", 2); err == nil {
-		t.Error("invalid ζ should fail")
+	_, err := CompressFleet(fleet, -1, "OPERB", 2)
+	if !errors.Is(err, ErrCompress) {
+		t.Errorf("invalid ζ: err = %v, want ErrCompress", err)
+	}
+	if errors.Is(err, ErrFleetSize) {
+		t.Error("compression failure misreported as ErrFleetSize")
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Zeta: 40, Aggressive: true, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := GenerateTrajectory(PresetTruck, 600, 21)
+	var pw Piecewise
+	for off := 0; off < len(tr); off += 50 {
+		segs, err := eng.Ingest("truck-1", tr[off:off+50])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw = append(pw, segs...)
+	}
+	tail, ok := eng.Flush("truck-1")
+	if !ok {
+		t.Fatal("no session to flush")
+	}
+	pw = append(pw, tail...)
+	if err := VerifyErrorBound(tr, pw, 40); err != nil {
+		t.Error(err)
+	}
+	var st EngineStats = eng.Stats()
+	if st.Points != int64(len(tr)) || st.Flushed != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	eng.Close()
+	if _, err := eng.Ingest("truck-1", tr[:50]); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("closed engine: err = %v, want ErrEngineClosed", err)
 	}
 }
