@@ -1,0 +1,50 @@
+package trajsim
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestZetaBoundProperty is the paper's central claim (§3.2) as a
+// property test: for every error-bounded algorithm, every point of a
+// randomized trajectory ends up within ζ of the simplified polyline's
+// covering segment. OPERB and OPERB-A carry the guarantee by
+// construction (Theorems 2 and 3); DP and BQS are the error-bounded
+// baselines the paper compares against.
+func TestZetaBoundProperty(t *testing.T) {
+	algorithms := map[string]func(Trajectory, float64) (Piecewise, error){
+		"OPERB":   Simplify,
+		"OPERB-A": SimplifyAggressive,
+		"DP":      DouglasPeucker,
+		"BQS":     BQS,
+	}
+	presets := []Preset{PresetTaxi, PresetTruck, PresetSerCar, PresetGeoLife}
+	// Deterministically randomized trials: a seeded PRNG picks workload,
+	// size and ζ, so failures replay exactly.
+	rng := rand.New(rand.NewPCG(2024, 7))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		preset := presets[rng.IntN(len(presets))]
+		points := 2 + rng.IntN(1500)
+		zeta := 0.5 + rng.Float64()*120 // 0.5 m .. 120.5 m
+		seed := rng.Uint64()
+		tr := GenerateTrajectory(preset, points, seed)
+		for name, fn := range algorithms {
+			pw, err := fn(tr, zeta)
+			if err != nil {
+				t.Fatalf("trial %d: %s(%v, %d pts, ζ=%.2f, seed=%d): %v",
+					trial, name, preset, points, zeta, seed, err)
+			}
+			if err := pw.Validate(); err != nil {
+				t.Errorf("trial %d: %s: invalid piecewise: %v", trial, name, err)
+			}
+			if err := VerifyErrorBound(tr, pw, zeta*(1+1e-9)); err != nil {
+				t.Errorf("trial %d: %s(%v, %d pts, ζ=%.2f, seed=%d) violates its bound: %v",
+					trial, name, preset, points, zeta, seed, err)
+			}
+		}
+	}
+}

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	trajserve -addr :8080 -zeta 40 -aggressive -shards 16 -idle 5m
+//	trajserve -addr :8080 -zeta 40 -aggressive -shards 16 -idle 5m \
+//	          -data-dir /var/lib/trajsim -fsync interval
 //
 // Endpoints:
 //
@@ -19,20 +20,32 @@
 //	     out=binary → compact binary piecewise encoding
 //	     response headers carry X-Segments, X-Points, X-Ratio, X-Max-Error
 //	POST /ingest?out=segments
-//	     body: point batches for any number of devices, either CSV
-//	     (device,t_ms,x_m,y_m with header) or NDJSON
+//	     body: point batches for any number of devices — CSV
+//	     (device,t_ms,x_m,y_m with header), NDJSON
 //	     ({"device":"d1","t_ms":0,"x_m":1.5,"y_m":2.5} per line, selected
-//	     by a JSON Content-Type). Device batches commit independently:
-//	     per-device failures (e.g. unordered timestamps) are reported in
-//	     a "failed" map while the rest ingest; the request only fails
-//	     wholesale when every device does. Default response is a JSON
-//	     summary; out=segments returns finalized segments as NDJSON.
+//	     by a JSON Content-Type), or the compact binary wire format
+//	     (Content-Type: application/x-trajsim-binary, built with
+//	     trajsim.AppendIngestHeader/AppendIngestBatch). Device batches
+//	     commit independently: per-device failures (e.g. unordered
+//	     timestamps) are reported in a "failed" map while the rest
+//	     ingest; the request only fails wholesale when every device
+//	     does. Default response is a JSON summary; out=segments returns
+//	     finalized segments as NDJSON.
 //	POST /flush?device=ID&out=segments
 //	     finalize one device session (404 if unknown) or, without
 //	     device=, every live session.
+//	GET  /devices/{device}/segments?out=binary
+//	     replay the device's persisted segment log (requires -data-dir)
+//	     as NDJSON, or as the binary piecewise encoding with out=binary
+//	     (422 when the log spans several encoder sessions and is not one
+//	     continuous polyline).
 //
-// Request bodies are capped at -max-body bytes; larger uploads get 413.
-// SIGINT/SIGTERM drain in-flight requests and flush all live sessions.
+// With -data-dir every finalized segment — from ingest, flush, idle
+// eviction and shutdown alike — is also appended to a crash-recoverable
+// per-device log (internal/segstore); -fsync picks the durability/latency
+// trade-off (interval, always, never). Request bodies are capped at
+// -max-body bytes; larger uploads get 413. SIGINT/SIGTERM drain in-flight
+// requests and flush all live sessions into the store.
 package main
 
 import (
@@ -54,6 +67,7 @@ import (
 
 	"trajsim/internal/algo"
 	"trajsim/internal/metrics"
+	"trajsim/internal/segstore"
 	"trajsim/internal/stream"
 	"trajsim/internal/traj"
 	"trajsim/internal/trajio"
@@ -67,15 +81,32 @@ func main() {
 		aggressive = flag.Bool("aggressive", true, "use OPERB-A (vs OPERB) for /ingest sessions")
 		shards     = flag.Int("shards", stream.DefaultShards, "session-map shards for /ingest")
 		clean      = flag.Int("ingest-clean", 0, "per-session cleaner reorder window (0 = off)")
-		idle       = flag.Duration("idle", 5*time.Minute, "evict /ingest sessions idle this long; their trailing segments are logged and DROPPED (0 = never evict)")
+		idle       = flag.Duration("idle", 5*time.Minute, "evict /ingest sessions idle this long; without -data-dir their trailing segments are logged and DROPPED (0 = never evict)")
+		dataDir    = flag.String("data-dir", "", "persist finalized segments to per-device logs under this directory (empty = in-memory only)")
+		fsync      = flag.String("fsync", "interval", "segment-log fsync policy: interval, always, or never")
 	)
 	flag.Parse()
+
+	var store *segstore.Store
+	if *dataDir != "" {
+		policy, err := segstore.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trajserve:", err)
+			os.Exit(1)
+		}
+		var err2 error
+		store, err2 = segstore.Open(segstore.Config{Dir: *dataDir, Sync: policy})
+		if err2 != nil {
+			fmt.Fprintln(os.Stderr, "trajserve:", err2)
+			os.Exit(1)
+		}
+	}
 
 	evictEvery := *idle / 4
 	if evictEvery < time.Second {
 		evictEvery = time.Second
 	}
-	eng, err := stream.NewEngine(stream.Config{
+	cfg := stream.Config{
 		Zeta:        *zeta,
 		Aggressive:  *aggressive,
 		Shards:      *shards,
@@ -85,19 +116,27 @@ func main() {
 		OnEvict: func(dev string, segs []traj.Segment) {
 			log.Printf("evicted idle session %s (%d trailing segments)", dev, len(segs))
 		},
-	})
+	}
+	if store != nil {
+		cfg.Sink = store
+	}
+	eng, err := stream.NewEngine(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trajserve:", err)
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(eng, *maxBody)}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(eng, store, *maxBody)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("trajserve listening on %s (ζ=%g m, %d shards)", *addr, *zeta, *shards)
+	persistence := "no persistence"
+	if store != nil {
+		persistence = fmt.Sprintf("segment logs in %s, fsync=%s", *dataDir, *fsync)
+	}
+	log.Printf("trajserve listening on %s (ζ=%g m, %d shards, %s)", *addr, *zeta, *shards, persistence)
 
 	select {
 	case err := <-errc:
@@ -113,17 +152,24 @@ func main() {
 	}
 	tails := eng.Close()
 	log.Printf("trajserve: flushed %d live sessions", len(tails))
+	if store != nil {
+		// After eng.Close, so every trailing segment is in the log.
+		if err := store.Close(); err != nil {
+			log.Printf("trajserve: segment store: %v", err)
+		}
+	}
 }
 
 // server carries the shared state of the HTTP handlers.
 type server struct {
 	eng     *stream.Engine
+	store   *segstore.Store // nil without -data-dir
 	maxBody int64
 }
 
 // newHandler builds the service mux; separated from main for testing.
-func newHandler(eng *stream.Engine, maxBody int64) http.Handler {
-	s := &server{eng: eng, maxBody: maxBody}
+func newHandler(eng *stream.Engine, store *segstore.Store, maxBody int64) http.Handler {
+	s := &server{eng: eng, store: store, maxBody: maxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -137,6 +183,7 @@ func newHandler(eng *stream.Engine, maxBody int64) http.Handler {
 	mux.HandleFunc("POST /compress", s.handleCompress)
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("POST /flush", s.handleFlush)
+	mux.HandleFunc("GET /devices/{device}/segments", s.handleDeviceSegments)
 	return mux
 }
 
@@ -334,15 +381,33 @@ func writeSegments(w io.Writer, device string, segs []traj.Segment) error {
 	return nil
 }
 
+// parseBinary decodes the compact binary ingest wire format.
+func parseBinary(r io.Reader) (*batch, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var b batch
+	return &b, trajio.DecodeIngest(raw, func(device string, pts []traj.Point) error {
+		for _, p := range pts {
+			b.add(device, p)
+		}
+		return nil
+	})
+}
+
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	var (
 		b   *batch
 		err error
 	)
-	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "json") {
+	switch ct := r.Header.Get("Content-Type"); {
+	case strings.Contains(ct, trajio.IngestContentType):
+		b, err = parseBinary(body)
+	case strings.Contains(ct, "json"):
 		b, err = parseNDJSON(body)
-	} else {
+	default:
 		b, err = parseDeviceCSV(body)
 	}
 	if err != nil {
@@ -378,7 +443,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				status = http.StatusTooManyRequests
 			case errors.Is(err, stream.ErrClosed):
 				status = http.StatusServiceUnavailable
-			case errors.Is(err, stream.ErrNoDevice):
+			case errors.Is(err, stream.ErrNoDevice), errors.Is(err, stream.ErrDeviceTooLong):
 				status = http.StatusBadRequest
 			case errors.Is(err, stream.ErrTimeOrder):
 				// Mirrors /compress rejecting unordered uploads with 422.
@@ -469,6 +534,56 @@ func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]int{"devices": len(tails), "segments": segments})
+}
+
+// handleDeviceSegments replays a device's persisted segment log — the
+// read side of -data-dir. It serves only what the store holds: segments
+// still inside a live encoder appear after the session flushes or is
+// evicted.
+func (s *server) handleDeviceSegments(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "persistence disabled: start trajserve with -data-dir", http.StatusNotFound)
+		return
+	}
+	device := r.PathValue("device")
+	segs, err := s.store.Replay(device)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, segstore.ErrDeviceID) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if len(segs) == 0 {
+		http.Error(w, "no persisted segments for device "+device, http.StatusNotFound)
+		return
+	}
+	switch r.URL.Query().Get("out") {
+	case "", "segments":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := writeSegments(w, device, segs); err != nil {
+			log.Printf("devices/segments: write: %v", err)
+		}
+	case "binary":
+		// The binary piecewise encoding stores only the first Start and
+		// welds every later Start to the previous End — valid for one
+		// continuous polyline, silently wrong for a log spanning several
+		// encoder sessions (each restarts wherever the device was). Refuse
+		// rather than corrupt.
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start != segs[i-1].End {
+				http.Error(w, "segment log spans multiple encoder sessions and is not one continuous polyline; use the NDJSON replay", http.StatusUnprocessableEntity)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := w.Write(trajio.AppendPiecewise(nil, traj.Piecewise(segs))); err != nil {
+			log.Printf("devices/segments: write: %v", err)
+		}
+	default:
+		http.Error(w, "unknown out format (segments, binary)", http.StatusBadRequest)
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {

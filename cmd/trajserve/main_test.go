@@ -7,12 +7,16 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"trajsim/internal/gen"
 	"trajsim/internal/metrics"
+	"trajsim/internal/segstore"
 	"trajsim/internal/stream"
 	"trajsim/internal/traj"
 	"trajsim/internal/trajio"
@@ -28,7 +32,8 @@ func sampleCSV(t *testing.T, n int) *bytes.Buffer {
 	return &buf
 }
 
-// testServer starts the full service around a fresh streaming engine.
+// testServer starts the full service around a fresh streaming engine,
+// with no persistence.
 func testServer(t *testing.T, maxBody int64) *httptest.Server {
 	t.Helper()
 	eng, err := stream.NewEngine(stream.Config{Zeta: 40, Aggressive: true, Shards: 4})
@@ -36,9 +41,38 @@ func testServer(t *testing.T, maxBody int64) *httptest.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Close() })
-	srv := httptest.NewServer(newHandler(eng, maxBody))
+	srv := httptest.NewServer(newHandler(eng, nil, maxBody))
 	t.Cleanup(srv.Close)
 	return srv
+}
+
+// persistentServer starts the service with a segment store under dir —
+// the -data-dir configuration. The returned shutdown func mimics the
+// SIGTERM path: drain the server, flush the engine into the store, close
+// the store.
+func persistentServer(t *testing.T, dir string) (*httptest.Server, func()) {
+	t.Helper()
+	store, err := segstore.Open(segstore.Config{Dir: dir, Sync: segstore.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := stream.NewEngine(stream.Config{Zeta: 40, Aggressive: true, Shards: 4, Sink: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(eng, store, testMaxBody))
+	var once sync.Once
+	shutdown := func() {
+		once.Do(func() {
+			srv.Close()
+			eng.Close()
+			if err := store.Close(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	t.Cleanup(shutdown)
+	return srv, shutdown
 }
 
 const testMaxBody = 64 << 20
@@ -482,5 +516,353 @@ func TestBodyCap(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("small ingest: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// binaryIngestBody renders device batches in the binary wire format.
+func binaryIngestBody(devs []string, batches []traj.Trajectory) *bytes.Reader {
+	b := trajio.AppendIngestHeader(nil)
+	for i, dev := range devs {
+		b = trajio.AppendIngestBatch(b, dev, batches[i])
+	}
+	return bytes.NewReader(b)
+}
+
+func TestIngestBinary(t *testing.T) {
+	srv := testServer(t, testMaxBody)
+	tra := gen.One(gen.Taxi, 300, 51)
+	trb := gen.One(gen.Truck, 200, 52)
+	// Summary mode: counts only, on throwaway devices.
+	body := binaryIngestBody([]string{"sum-a", "sum-b"}, []traj.Trajectory{tra[:50], trb[:50]})
+	resp, err := http.Post(srv.URL+"/ingest", trajio.IngestContentType, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var sum struct{ Devices, Points, Segments int }
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Devices != 2 || sum.Points != 100 {
+		t.Fatalf("summary: %+v", sum)
+	}
+
+	// The bound-checked devices upload everything with out=segments, so
+	// every finalized segment is captured.
+	segs := map[string][]traj.Segment{}
+	collect := func(r io.Reader) {
+		t.Helper()
+		dec := json.NewDecoder(r)
+		for {
+			var rec segmentRecord
+			if err := dec.Decode(&rec); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			segs[rec.Device] = append(segs[rec.Device], traj.Segment{
+				Start: traj.At(rec.X1, rec.Y1, rec.T1),
+				End:   traj.At(rec.X2, rec.Y2, rec.T2),
+			})
+		}
+	}
+	body = binaryIngestBody([]string{"bin-a", "bin-b"}, []traj.Trajectory{tra, trb})
+	resp2, err := http.Post(srv.URL+"/ingest?out=segments", trajio.IngestContentType, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second ingest: status %d", resp2.StatusCode)
+	}
+	collect(resp2.Body)
+	resp2.Body.Close()
+
+	// The flushed output still honors ζ against the (quantized) upload.
+	for dev, tr := range map[string]traj.Trajectory{"bin-a": tra, "bin-b": trb} {
+		resp, err := http.Post(srv.URL+"/flush?device="+dev+"&out=segments", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect(resp.Body)
+		resp.Body.Close()
+		for _, p := range tr {
+			best := 1e18
+			for _, s := range segs[dev] {
+				if d := s.LineDistance(p); d < best {
+					best = d
+				}
+			}
+			if best > 40.02 { // ζ plus 1 cm ingest quantization
+				t.Fatalf("%s: point %v is %.2f m out", dev, p, best)
+			}
+		}
+	}
+}
+
+func TestIngestBinaryMalformed(t *testing.T) {
+	srv := testServer(t, testMaxBody)
+	valid := trajio.AppendIngestBatch(trajio.AppendIngestHeader(nil), "d1", gen.One(gen.Taxi, 20, 53))
+	for name, body := range map[string][]byte{
+		"garbage": []byte("not binary at all"),
+		"torn":    valid[:len(valid)-2],
+	} {
+		resp, err := http.Post(srv.URL+"/ingest", trajio.IngestContentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// An empty binary stream (header only) is a no-op like empty CSV.
+	resp, err := http.Post(srv.URL+"/ingest", trajio.IngestContentType,
+		bytes.NewReader(trajio.AppendIngestHeader(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("empty stream: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// segmentsURL builds the replay endpoint path for a device ID.
+func segmentsURL(srv *httptest.Server, dev string) string {
+	return srv.URL + "/devices/" + url.PathEscape(dev) + "/segments"
+}
+
+func TestDeviceSegmentsEndpoint(t *testing.T) {
+	srv, _ := persistentServer(t, t.TempDir())
+	const dev = "cab 7" // exercises path escaping end to end
+	tr := gen.One(gen.Taxi, 300, 54)
+	body := deviceCSV(map[string][]traj.Point{dev: tr})
+	resp, err := http.Post(srv.URL+"/ingest", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+	if resp, err = http.Post(srv.URL+"/flush?device="+url.QueryEscape(dev), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// NDJSON replay covers the whole upload within ζ.
+	resp, err = http.Get(segmentsURL(srv, dev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var count int
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var rec segmentRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Device != dev {
+			t.Fatalf("record for %q, want %q", rec.Device, dev)
+		}
+		count++
+	}
+	if count == 0 || count >= len(tr) {
+		t.Fatalf("replayed %d segments for %d points", count, len(tr))
+	}
+
+	// Binary replay decodes to the same number of segments.
+	resp2, err := http.Get(segmentsURL(srv, dev) + "?out=binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw, _ := io.ReadAll(resp2.Body)
+	pw, err := trajio.DecodePiecewise(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != count {
+		t.Fatalf("binary replay has %d segments, NDJSON had %d", len(pw), count)
+	}
+	if err := metrics.VerifyBound(tr, pw, 40.03); err != nil {
+		t.Error(err)
+	}
+
+	// Unknown device and bad out → 404 / 400.
+	if resp, err = http.Get(segmentsURL(srv, "nobody")); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown device: status %d, want 404", resp.StatusCode)
+	}
+	if resp, err = http.Get(segmentsURL(srv, dev) + "?out=weird"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad out: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDeviceSegmentsWithoutStore(t *testing.T) {
+	srv := testServer(t, testMaxBody)
+	resp, err := http.Get(segmentsURL(srv, "any"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404 when -data-dir is unset", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "-data-dir") {
+		t.Errorf("response %q should point at -data-dir", b)
+	}
+}
+
+// TestRestartServesIdenticalSegments is the acceptance test for the
+// persistence tier: a server restarted mid-stream (graceful drain, new
+// process over the same -data-dir) must serve byte-identical
+// GET /devices/{id}/segments output to a server that stayed up, given
+// the same uploads and flush points.
+func TestRestartServesIdenticalSegments(t *testing.T) {
+	const dev = "truck-17"
+	tr := gen.One(gen.Truck, 600, 55)
+	half := len(tr) / 2
+
+	upload := func(srv *httptest.Server, pts traj.Trajectory) {
+		t.Helper()
+		body := binaryIngestBody([]string{dev}, []traj.Trajectory{pts})
+		resp, err := http.Post(srv.URL+"/ingest", trajio.IngestContentType, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: status %d", resp.StatusCode)
+		}
+		if resp, err = http.Post(srv.URL+"/flush?device="+dev, "", nil); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	fetch := func(srv *httptest.Server, out string, wantStatus int) []byte {
+		t.Helper()
+		resp, err := http.Get(segmentsURL(srv, dev) + out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("segments%s: status %d, want %d", out, resp.StatusCode, wantStatus)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Run A: one server the whole way through.
+	srvA, _ := persistentServer(t, t.TempDir())
+	upload(srvA, tr[:half])
+	upload(srvA, tr[half:])
+	wantNDJSON := fetch(srvA, "", http.StatusOK)
+	// Both halves were separate encoder sessions, so the log is not one
+	// continuous polyline: binary replay must refuse, identically in both
+	// runs, rather than weld the sessions together.
+	fetch(srvA, "?out=binary", http.StatusUnprocessableEntity)
+
+	// Run B: same uploads, but the server restarts between them.
+	dirB := t.TempDir()
+	srvB1, shutdownB1 := persistentServer(t, dirB)
+	upload(srvB1, tr[:half])
+	shutdownB1()
+	srvB2, _ := persistentServer(t, dirB)
+	upload(srvB2, tr[half:])
+
+	if got := fetch(srvB2, "", http.StatusOK); !bytes.Equal(got, wantNDJSON) {
+		t.Errorf("NDJSON replay differs after restart:\n got %d bytes\nwant %d bytes", len(got), len(wantNDJSON))
+	}
+	fetch(srvB2, "?out=binary", http.StatusUnprocessableEntity)
+	if len(wantNDJSON) == 0 {
+		t.Fatal("empty replay — test proved nothing")
+	}
+}
+
+// TestEvictionPersists: with a store attached, an evicted session's
+// trailing segments are in the log, not dropped.
+func TestEvictionPersists(t *testing.T) {
+	dir := t.TempDir()
+	store, err := segstore.Open(segstore.Config{Dir: dir, Sync: segstore.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	clock := func() time.Time { return now }
+	eng, err := stream.NewEngine(stream.Config{
+		Zeta: 40, Sink: store, IdleAfter: time.Minute, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(eng, store, testMaxBody))
+	defer srv.Close()
+	defer store.Close()
+	defer eng.Close()
+
+	body := deviceCSV(map[string][]traj.Point{"idler": gen.One(gen.SerCar, 200, 56)})
+	resp, err := http.Post(srv.URL+"/ingest", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	now = now.Add(2 * time.Minute)
+	if n := len(eng.EvictIdle()); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	resp, err = http.Get(segmentsURL(srv, "idler"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay after eviction: status %d", resp.StatusCode)
+	}
+}
+
+// TestIngestDeviceTooLong: a device ID beyond the stack-wide cap is a
+// per-device 400, keeping the "accepted means persistable" invariant.
+func TestIngestDeviceTooLong(t *testing.T) {
+	srv := testServer(t, testMaxBody)
+	long := strings.Repeat("x", stream.MaxDevice+1)
+	body := "device,t_ms,x_m,y_m\n" + long + ",0,0,0\n"
+	resp, err := http.Post(srv.URL+"/ingest", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var out struct{ Failed map[string]string }
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.Failed[long]; !ok {
+		t.Fatalf("failed map %v missing the long device", out.Failed)
 	}
 }

@@ -2,7 +2,9 @@
 // registered algorithm on ratio, error and wall time — a miniature version
 // of the paper's evaluation on your own workload. Then replay the same
 // fleet as live device streams through the sharded session engine, the
-// way a cloud ingestion tier would receive it.
+// way a cloud ingestion tier would receive it — persisting every
+// finalized segment to a crash-recoverable store and replaying one
+// device from disk, the way a restarted server would.
 //
 //	go run trajsim/examples/fleet
 package main
@@ -10,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -55,10 +58,20 @@ func main() {
 	// session on the engine and uploads 64-point batches concurrently;
 	// segments come back incrementally as each batch finalizes them.
 	fmt.Println("\nlive ingestion through the sharded session engine:")
+	dataDir, err := os.MkdirTemp("", "fleet-segstore-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dataDir)
+	store, err := trajsim.OpenSegmentStore(trajsim.SegmentStoreConfig{Dir: dataDir})
+	if err != nil {
+		log.Fatal(err)
+	}
 	eng, err := trajsim.NewEngine(trajsim.EngineConfig{
 		Zeta:       zeta,
 		Aggressive: true,
 		Shards:     16,
+		Sink:       store, // every finalized segment also lands on disk
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -95,4 +108,39 @@ func main() {
 	fmt.Printf("  %d segments emitted (%d at shutdown flush), ratio %.1f%%, %d contended ingests\n",
 		final.Segments, tailSegs, 100*float64(final.Segments)/float64(final.Points),
 		final.Contended)
+
+	// Part 3: durability. The store now holds everything the engine
+	// emitted; close it and reopen the directory cold — a restarted
+	// server — and replay one truck's full stream from disk.
+	sst := store.Stats()
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndurable segment store (%s):\n", dataDir)
+	fmt.Printf("  %d segments in %d appends, %d bytes on disk (%.1f bytes/segment)\n",
+		sst.Segments, sst.Appends, sst.Bytes, float64(sst.Bytes)/float64(sst.Segments))
+
+	reopened, err := trajsim.OpenSegmentStore(trajsim.SegmentStoreConfig{Dir: dataDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	segs, err := reopened.Replay("truck-00")
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for _, p := range fleet[0] {
+		best := 1e18
+		for _, s := range segs {
+			if d := s.LineDistance(p); d < best {
+				best = d
+			}
+		}
+		if best > maxErr {
+			maxErr = best
+		}
+	}
+	fmt.Printf("  truck-00 replayed after reopen: %d segments for %d fixes, max error %.2f m (ζ=%g)\n",
+		len(segs), len(fleet[0]), maxErr, zeta)
 }

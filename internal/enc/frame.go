@@ -1,0 +1,62 @@
+package enc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frames are the durability layer under the varint payloads: a uvarint
+// length prefix, the payload bytes, and a CRC-32C of the payload. A torn
+// or bit-flipped record fails the length or checksum test instead of
+// decoding into garbage, which is what lets a log recover by truncating
+// at the first bad frame.
+
+// ErrChecksum is returned when a frame's CRC-32C does not match its
+// payload.
+var ErrChecksum = errors.New("enc: frame checksum mismatch")
+
+// ErrFrameSize is returned when a frame declares a payload larger than
+// the decoder's limit — on a log scan this is indistinguishable from a
+// torn length prefix, so callers treat it like a torn tail.
+var ErrFrameSize = errors.New("enc: frame exceeds size limit")
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameCRCLen is the size of the trailing checksum.
+const frameCRCLen = 4
+
+// AppendFrame appends payload to dst as a checksummed frame:
+// uvarint(len) | payload | crc32c(payload).
+func AppendFrame(dst, payload []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+}
+
+// Frame decodes one frame from the front of b, rejecting payloads larger
+// than maxPayload. It returns the payload (aliasing b, not a copy) and
+// the total number of bytes the frame occupies. Any error — short
+// buffer, oversized length, checksum mismatch — means b does not start
+// with a complete valid frame.
+func Frame(b []byte, maxPayload int) ([]byte, int, error) {
+	size, n, err := Uvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if size > uint64(maxPayload) {
+		return nil, 0, fmt.Errorf("%w: %d > %d bytes", ErrFrameSize, size, maxPayload)
+	}
+	total := n + int(size) + frameCRCLen
+	if len(b) < total {
+		return nil, 0, ErrShortBuffer
+	}
+	payload := b[n : n+int(size)]
+	want := binary.LittleEndian.Uint32(b[n+int(size):])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, 0, fmt.Errorf("%w: got %08x, frame says %08x", ErrChecksum, got, want)
+	}
+	return payload, total, nil
+}

@@ -1,0 +1,76 @@
+package enc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		b := AppendFrame(nil, payload)
+		got, n, err := Frame(b, len(payload)+1)
+		return err == nil && n == len(b) && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameChains(t *testing.T) {
+	b := AppendFrame(nil, []byte("one"))
+	b = AppendFrame(b, nil)
+	b = AppendFrame(b, []byte("three"))
+	want := []string{"one", "", "three"}
+	for i := 0; len(b) > 0; i++ {
+		payload, n, err := Frame(b, 16)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if string(payload) != want[i] {
+			t.Fatalf("frame %d: %q, want %q", i, payload, want[i])
+		}
+		b = b[n:]
+	}
+}
+
+func TestFrameTornTail(t *testing.T) {
+	whole := AppendFrame(nil, []byte("record body"))
+	// Every proper prefix fails — that is what makes torn-tail recovery a
+	// simple scan-until-error.
+	for cut := 0; cut < len(whole); cut++ {
+		if _, _, err := Frame(whole[:cut], 64); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded", cut, len(whole))
+		}
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	whole := AppendFrame(nil, []byte("record body"))
+	// Flipping any bit past the length prefix trips the checksum (or, for
+	// the final CRC bytes, the comparison itself).
+	for i := 1; i < len(whole); i++ {
+		mut := append([]byte(nil), whole...)
+		mut[i] ^= 0x40
+		if _, _, err := Frame(mut, 64); err == nil {
+			t.Errorf("flip at byte %d decoded", i)
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	b := AppendFrame(nil, make([]byte, 100))
+	if _, _, err := Frame(b, 99); !errors.Is(err, ErrFrameSize) {
+		t.Errorf("limit 99: %v", err)
+	}
+	if _, n, err := Frame(b, 100); err != nil || n != len(b) {
+		t.Errorf("limit 100: n=%d err=%v", n, err)
+	}
+	// A garbage length prefix larger than the limit is rejected before any
+	// allocation or read happens.
+	huge := AppendUvarint(nil, 1<<60)
+	if _, _, err := Frame(huge, 1<<20); !errors.Is(err, ErrFrameSize) {
+		t.Errorf("huge declared length: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package enc
+
+import "math"
+
+// PointDelta is the quantized delta codec every trajsim point stream
+// shares — the PWB1 piecewise encoding, the TSB1 ingest wire format and
+// the segstore record format all write points the same way: coordinates
+// rounded to a quantum, then x, y, t emitted as zigzag varint deltas
+// against the previous point. One PointDelta carries the running state
+// of one such stream; encode and decode sides must walk points in the
+// same order to agree.
+//
+// The zero value is ready to use once Quant is set.
+type PointDelta struct {
+	// Quant is the coordinate quantum in meters per count (e.g. 0.01
+	// for 1 cm). Timestamps are not quantized.
+	Quant   float64
+	x, y, t int64
+}
+
+// Append appends one point, delta-coded against the previous one.
+func (d *PointDelta) Append(dst []byte, x, y float64, t int64) []byte {
+	qx := int64(math.Round(x / d.Quant))
+	qy := int64(math.Round(y / d.Quant))
+	dst = AppendVarint(dst, qx-d.x)
+	dst = AppendVarint(dst, qy-d.y)
+	dst = AppendVarint(dst, t-d.t)
+	d.x, d.y, d.t = qx, qy, t
+	return dst
+}
+
+// Next decodes one point from the front of b, returning the dequantized
+// coordinates, the timestamp, and the bytes consumed.
+func (d *PointDelta) Next(b []byte) (x, y float64, t int64, n int, err error) {
+	var vals [3]int64
+	for i := range vals {
+		v, vn, err := Varint(b[n:])
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		vals[i] = v
+		n += vn
+	}
+	d.x += vals[0]
+	d.y += vals[1]
+	d.t += vals[2]
+	return float64(d.x) * d.Quant, float64(d.y) * d.Quant, d.t, n, nil
+}

@@ -1,0 +1,89 @@
+package segstore
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"trajsim/internal/traj"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSegments exercises every encoded field: negative coordinates,
+// virtual endpoints, non-contiguous index ranges.
+func goldenSegments() []traj.Segment {
+	return []traj.Segment{
+		{Start: traj.At(0, 0, 0), End: traj.At(250.07, -14.5, 30_000),
+			StartIdx: 0, EndIdx: 11},
+		{Start: traj.At(250.07, -14.5, 30_000), End: traj.At(198.2, 77.77, 95_000),
+			StartIdx: 11, EndIdx: 40, VirtualStart: true, VirtualEnd: true},
+		{Start: traj.At(198.2, 77.77, 95_000), End: traj.At(-3.25, 60, 160_500),
+			StartIdx: 40, EndIdx: 41},
+	}
+}
+
+// TestGoldenLogFile pins the complete on-disk format — file magic, CRC
+// framing, record payload encoding — as produced by a real Append. Any
+// byte-level change breaks old logs and must be a deliberate,
+// version-bumped decision, not a silent diff.
+func TestGoldenLogFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("golden", goldenSegments()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "golden", fileName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "record_v1.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("log file format changed:\n got %x\nwant %x\nre-bless with -update only for a deliberate format break", got, want)
+	}
+
+	// The checked-in fixture must keep replaying on current code: copy it
+	// into a fresh store layout and read it back.
+	dir2 := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir2, "golden"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, "golden", fileName(1)), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Config{Dir: dir2, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	segs, err := s2.Replay("golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(segs, quantizeAll(goldenSegments())) {
+		t.Fatalf("fixture replayed wrong: %v", segs)
+	}
+}

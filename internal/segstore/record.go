@@ -1,0 +1,132 @@
+package segstore
+
+import (
+	"errors"
+	"fmt"
+
+	"trajsim/internal/enc"
+	"trajsim/internal/traj"
+)
+
+// On-disk record payload: one batch of finalized segments for one
+// device, varint delta-coded with the same 1 cm / 1 ms quantization as
+// the wire formats in internal/trajio. Each payload is self-contained
+// (delta state resets per record), so any prefix of a log replays
+// without the records that follow it — the property torn-tail recovery
+// relies on. Payloads are wrapped in enc.AppendFrame CRC framing by the
+// log writer.
+
+// ErrCorrupt is returned when a log file fails validation somewhere a
+// torn tail cannot explain (bad magic, or a broken record that is not
+// the last).
+var ErrCorrupt = errors.New("segstore: corrupt log")
+
+const (
+	// quantXY is the coordinate quantum in meters (1 cm), matching
+	// trajio's wire encodings so a replayed segment equals its
+	// transmitted form.
+	quantXY = 0.01
+	// flag bits, identical to the PWB1 piecewise encoding.
+	flagVirtStart = 1
+	flagVirtEnd   = 2
+	// maxRecordPayload bounds one record on disk; appendRecords chunks
+	// larger batches. A scan hitting a bigger declared size treats it as
+	// a torn length prefix.
+	maxRecordPayload = 4 << 20
+	// recordChunk is the most segments one record holds (~50 encoded
+	// bytes each, far under maxRecordPayload).
+	recordChunk = 16384
+	// maxTornTail is the most invalid trailing bytes recovery will accept
+	// as a torn write: one maximal record frame (payload + length prefix
+	// + CRC). A longer invalid region cannot come from a single
+	// interrupted append and is reported as corruption instead.
+	maxTornTail = maxRecordPayload + 16
+)
+
+// appendRecordPayload encodes one batch of segments, appending to dst.
+func appendRecordPayload(dst []byte, segs []traj.Segment) []byte {
+	dst = enc.AppendUvarint(dst, uint64(len(segs)))
+	pd := enc.PointDelta{Quant: quantXY}
+	var pidx int64
+	for _, s := range segs {
+		// Start is usually the previous segment's End (continuous
+		// piecewise), making its delta three zero bytes.
+		dst = pd.Append(dst, s.Start.X, s.Start.Y, s.Start.T)
+		dst = pd.Append(dst, s.End.X, s.End.Y, s.End.T)
+		dst = enc.AppendVarint(dst, int64(s.StartIdx)-pidx)
+		dst = enc.AppendUvarint(dst, uint64(s.EndIdx-s.StartIdx))
+		pidx = int64(s.StartIdx)
+		var flags uint64
+		if s.VirtualStart {
+			flags |= flagVirtStart
+		}
+		if s.VirtualEnd {
+			flags |= flagVirtEnd
+		}
+		dst = enc.AppendUvarint(dst, flags)
+	}
+	return dst
+}
+
+// decodeRecordPayload decodes one record payload, appending the segments
+// to dst.
+func decodeRecordPayload(dst []traj.Segment, payload []byte) ([]traj.Segment, error) {
+	count, n, err := enc.Uvarint(payload)
+	if err != nil {
+		return dst, fmt.Errorf("%w: record count: %v", ErrCorrupt, err)
+	}
+	payload = payload[n:]
+	// Nine varints per segment, one byte each at minimum — a count beyond
+	// that is malformed, and checking first bounds the allocation below.
+	if count > uint64(len(payload))/9+1 {
+		return dst, fmt.Errorf("%w: %d segments in %d bytes", ErrCorrupt, count, len(payload))
+	}
+	if dst == nil {
+		dst = make([]traj.Segment, 0, min(count, recordChunk))
+	}
+	pd := enc.PointDelta{Quant: quantXY}
+	var pidx int64
+	get := func() (traj.Point, error) {
+		x, y, tms, n, err := pd.Next(payload)
+		if err != nil {
+			return traj.Point{}, err
+		}
+		payload = payload[n:]
+		return traj.Point{X: x, Y: y, T: tms}, nil
+	}
+	for i := uint64(0); i < count; i++ {
+		var s traj.Segment
+		var err error
+		if s.Start, err = get(); err != nil {
+			return dst, fmt.Errorf("%w: segment %d start: %v", ErrCorrupt, i, err)
+		}
+		if s.End, err = get(); err != nil {
+			return dst, fmt.Errorf("%w: segment %d end: %v", ErrCorrupt, i, err)
+		}
+		dIdx, n, err := enc.Varint(payload)
+		if err != nil {
+			return dst, fmt.Errorf("%w: segment %d index: %v", ErrCorrupt, i, err)
+		}
+		payload = payload[n:]
+		span, n, err := enc.Uvarint(payload)
+		if err != nil {
+			return dst, fmt.Errorf("%w: segment %d span: %v", ErrCorrupt, i, err)
+		}
+		payload = payload[n:]
+		s.StartIdx = int(pidx + dIdx)
+		s.EndIdx = s.StartIdx + int(span)
+		pidx = int64(s.StartIdx)
+		flags, n, err := enc.Uvarint(payload)
+		if err != nil {
+			return dst, fmt.Errorf("%w: segment %d flags: %v", ErrCorrupt, i, err)
+		}
+		payload = payload[n:]
+		s.VirtualStart = flags&flagVirtStart != 0
+		s.VirtualEnd = flags&flagVirtEnd != 0
+		dst = append(dst, s)
+	}
+	if len(payload) != 0 {
+		return dst, fmt.Errorf("%w: %d trailing bytes in record", ErrCorrupt, len(payload))
+	}
+	return dst, nil
+}

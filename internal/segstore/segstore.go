@@ -1,0 +1,637 @@
+// Package segstore is the durability tier under the streaming engine: an
+// append-only, crash-recoverable log of finalized segments per device.
+// The paper's one-pass simplifiers shrink a stream to segment batches;
+// this package is where those batches land so a server restart (or an
+// outright crash) loses nothing that was acknowledged.
+//
+// Layout: one directory per device (ID percent-escaped), holding
+// size-rotated files 00000001.seg, 00000002.seg, … Each file starts with
+// a 4-byte magic and continues with CRC-framed records (enc.AppendFrame)
+// whose payloads are varint delta-coded segment batches (record.go).
+// Records are self-contained, so recovery is a scan that truncates the
+// log at the first incomplete or corrupt frame of the newest file — a
+// torn tail from a crash mid-write — while any damage earlier in the log
+// is reported as corruption rather than silently skipped.
+//
+// Store.Append matches the stream.Sink interface, so a Store plugs
+// directly into stream.Config.Sink.
+package segstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trajsim/internal/enc"
+	"trajsim/internal/traj"
+)
+
+// Errors reported by the Store, besides ErrCorrupt.
+var (
+	// ErrClosed is returned by operations after Close.
+	ErrClosed = errors.New("segstore: store closed")
+	// ErrDeviceID is returned for an empty or over-long device ID.
+	ErrDeviceID = errors.New("segstore: bad device ID")
+)
+
+const (
+	fileMagic  = "TSG1"
+	fileSuffix = ".seg"
+	// maxDeviceID caps device IDs so their escaped form (≤ 3 bytes per
+	// rune byte) stays a legal directory name everywhere. It equals
+	// stream.MaxDevice (asserted in tests) so everything the engine
+	// ingests is persistable.
+	maxDeviceID = 80
+
+	// DefaultMaxFileSize is the rotation threshold when Config.MaxFileSize
+	// is zero.
+	DefaultMaxFileSize = 64 << 20
+	// DefaultSyncEvery is the background fsync period for SyncInterval
+	// when Config.SyncEvery is zero.
+	DefaultSyncEvery = time.Second
+)
+
+// SyncPolicy selects when appended records are fsynced to disk.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs dirty logs from a background
+	// goroutine every Config.SyncEvery — bounded data loss, near-zero
+	// per-append cost.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append (and syncs the directory on
+	// file creation): maximum durability, one fsync per batch.
+	SyncAlways
+	// SyncNever leaves flushing to the OS page cache.
+	SyncNever
+)
+
+// String implements fmt.Stringer (and flag.Value's read side).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses "interval", "always" or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "interval":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("segstore: unknown sync policy %q (interval, always, never)", s)
+}
+
+// Config parameterizes Open. Only Dir is required.
+type Config struct {
+	// Dir is the root directory; created if missing.
+	Dir string
+	// MaxFileSize rotates a device's log file once appending would grow
+	// it past this many bytes; 0 selects DefaultMaxFileSize.
+	MaxFileSize int64
+	// Sync selects the fsync policy.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period; 0 selects DefaultSyncEvery.
+	SyncEvery time.Duration
+}
+
+// Stats are store-wide counters, all cumulative.
+type Stats struct {
+	Appends   int64 `json:"appends"`     // Append calls that wrote records
+	Segments  int64 `json:"segments"`    // segments persisted
+	Bytes     int64 `json:"bytes"`       // record bytes written (incl. framing)
+	Syncs     int64 `json:"syncs"`       // explicit fsync calls
+	Recovered int64 `json:"truncations"` // torn tails truncated during recovery
+}
+
+// Store is an append-only segment log over one directory. All methods
+// are safe for concurrent use; appends for different devices proceed in
+// parallel.
+type Store struct {
+	cfg Config
+
+	mu   sync.Mutex
+	logs map[string]*deviceLog
+
+	appends   atomic.Int64
+	segments  atomic.Int64
+	bytes     atomic.Int64
+	syncs     atomic.Int64
+	recovered atomic.Int64
+
+	closed  atomic.Bool
+	stop    chan struct{}
+	flusher sync.WaitGroup
+}
+
+// deviceLog is one device's on-disk state. Opened lazily: recovery work
+// happens at the first Append or Replay touching the device, not at
+// store Open, so startup cost does not scale with the device population.
+type deviceLog struct {
+	mu     sync.Mutex
+	dir    string
+	opened bool
+	seqs   []int    // existing file numbers, ascending
+	f      *os.File // newest file, open for append; nil until first write
+	size   int64    // valid bytes in the newest file
+	dirty  bool     // has unsynced writes
+	failed error    // sticky write failure; rejects further appends
+}
+
+// Open validates cfg, creates the root directory, and returns a running
+// Store. Per-device recovery is lazy (see deviceLog).
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("segstore: Config.Dir is required")
+	}
+	if cfg.MaxFileSize <= 0 {
+		cfg.MaxFileSize = DefaultMaxFileSize
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = DefaultSyncEvery
+	}
+	if _, err := ParseSyncPolicy(cfg.Sync.String()); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("segstore: %w", err)
+	}
+	s := &Store{
+		cfg:  cfg,
+		logs: make(map[string]*deviceLog),
+		stop: make(chan struct{}),
+	}
+	if cfg.Sync == SyncInterval {
+		s.flusher.Add(1)
+		go s.runFlusher()
+	}
+	return s, nil
+}
+
+// escapeDevice maps a device ID to a filesystem-safe directory name:
+// [a-z0-9_-] kept, every other byte %XX. Uppercase letters are escaped
+// too — uppercase appears only in the (deterministic) hex digits, so two
+// distinct IDs can never produce names differing only in case, which
+// would collide on case-insensitive filesystems (APFS, NTFS). "." and
+// ".." are unrepresentable outputs.
+func escapeDevice(dev string) string {
+	const hex = "0123456789ABCDEF"
+	var sb strings.Builder
+	for i := 0; i < len(dev); i++ {
+		c := dev[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			sb.WriteByte(c)
+			continue
+		}
+		sb.WriteByte('%')
+		sb.WriteByte(hex[c>>4])
+		sb.WriteByte(hex[c&0xF])
+	}
+	return sb.String()
+}
+
+// unescapeDevice inverts escapeDevice; it fails on names a Store never
+// writes, which is how Devices skips foreign directory entries.
+func unescapeDevice(name string) (string, error) {
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '%':
+			if i+2 >= len(name) {
+				return "", fmt.Errorf("segstore: truncated escape in %q", name)
+			}
+			v, err := strconv.ParseUint(name[i+1:i+3], 16, 8)
+			if err != nil {
+				return "", fmt.Errorf("segstore: bad escape in %q", name)
+			}
+			sb.WriteByte(byte(v))
+			i += 2
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '-':
+			sb.WriteByte(c)
+		default:
+			return "", fmt.Errorf("segstore: unexpected byte %q in %q", c, name)
+		}
+	}
+	return sb.String(), nil
+}
+
+func (s *Store) log(device string) (*deviceLog, error) {
+	if device == "" || len(device) > maxDeviceID {
+		return nil, fmt.Errorf("%w: %q", ErrDeviceID, device)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	l := s.logs[device]
+	if l == nil {
+		l = &deviceLog{dir: filepath.Join(s.cfg.Dir, escapeDevice(device))}
+		s.logs[device] = l
+	}
+	return l, nil
+}
+
+func fileName(seq int) string { return fmt.Sprintf("%08d%s", seq, fileSuffix) }
+
+func (l *deviceLog) path(seq int) string { return filepath.Join(l.dir, fileName(seq)) }
+
+// scanLog walks one file's bytes, appending decoded segments to dst and
+// returning the length of the valid prefix. A short or corrupt record
+// ends the scan (validLen marks where); only a bad file header is an
+// outright error.
+func scanLog(dst []traj.Segment, b []byte) ([]traj.Segment, int64, error) {
+	if len(b) < len(fileMagic) {
+		return dst, 0, nil // torn during creation: nothing recoverable
+	}
+	if string(b[:len(fileMagic)]) != fileMagic {
+		return dst, 0, fmt.Errorf("%w: bad file magic %q", ErrCorrupt, b[:len(fileMagic)])
+	}
+	off := int64(len(fileMagic))
+	for off < int64(len(b)) {
+		payload, n, err := enc.Frame(b[off:], maxRecordPayload)
+		if err != nil {
+			return dst, off, nil
+		}
+		decoded, err := decodeRecordPayload(dst, payload)
+		if err != nil {
+			// CRC-valid but undecodable: stop here too, so everything the
+			// scan admits is replayable.
+			return dst, off, nil
+		}
+		dst = decoded
+		off += int64(n)
+	}
+	return dst, off, nil
+}
+
+// open lists the device's files and recovers the newest one, truncating
+// a torn tail so the append offset lands on a record boundary. Caller
+// holds l.mu.
+func (l *deviceLog) open(s *Store) error {
+	if l.opened {
+		return nil
+	}
+	entries, err := os.ReadDir(l.dir)
+	if errors.Is(err, os.ErrNotExist) {
+		l.opened = true
+		return nil
+	} else if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, fileSuffix) {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(name, fileSuffix))
+		if err != nil || seq <= 0 || fileName(seq) != name {
+			continue
+		}
+		l.seqs = append(l.seqs, seq)
+	}
+	sort.Ints(l.seqs)
+	if len(l.seqs) == 0 {
+		l.opened = true
+		return nil
+	}
+	last := l.seqs[len(l.seqs)-1]
+	b, err := os.ReadFile(l.path(last))
+	if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	_, validLen, err := scanLog(nil, b)
+	if err != nil {
+		return fmt.Errorf("%w (%s)", err, l.path(last))
+	}
+	// A torn tail is at most the bytes of one interrupted record write.
+	// Anything longer means damage inside previously acknowledged data —
+	// report it instead of silently truncating acknowledged records away.
+	if torn := int64(len(b)) - validLen; torn > maxTornTail {
+		return fmt.Errorf("%w: %d invalid bytes at offset %d — more than one torn write (%s)",
+			ErrCorrupt, torn, validLen, l.path(last))
+	}
+	f, err := os.OpenFile(l.path(last), os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	if validLen < int64(len(b)) {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return fmt.Errorf("segstore: truncate torn tail: %w", err)
+		}
+		s.recovered.Add(1)
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("segstore: %w", err)
+	}
+	// A file torn during creation recovers to zero bytes; restore its
+	// header now so subsequent appends land in a valid file instead of
+	// producing a magic-less log the next open would call corrupt.
+	if validLen < int64(len(fileMagic)) {
+		if _, err := f.WriteString(fileMagic); err != nil {
+			f.Close()
+			return fmt.Errorf("segstore: rewrite header: %w", err)
+		}
+		validLen = int64(len(fileMagic))
+	}
+	l.f, l.size = f, validLen
+	l.opened = true
+	return nil
+}
+
+// create starts file number seq, writing the header. Caller holds l.mu
+// with l.f == nil (first write or just rotated).
+func (l *deviceLog) create(s *Store, seq int) error {
+	if err := os.MkdirAll(l.dir, 0o755); err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	f, err := os.OpenFile(l.path(seq), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	if _, err := f.WriteString(fileMagic); err != nil {
+		// Remove the header-less file, or every retry of this seq would
+		// hit O_EXCL and wedge the device until restart.
+		f.Close()
+		os.Remove(l.path(seq))
+		return fmt.Errorf("segstore: %w", err)
+	}
+	l.f, l.size = f, int64(len(fileMagic))
+	l.seqs = append(l.seqs, seq)
+	if s.cfg.Sync == SyncAlways {
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so freshly created file entries survive a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("segstore: sync dir: %w", err)
+	}
+	return nil
+}
+
+// rotate closes the current file (fsyncing it unless SyncNever) and
+// starts the next one. Caller holds l.mu.
+func (l *deviceLog) rotate(s *Store) error {
+	if s.cfg.Sync != SyncNever {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("segstore: %w", err)
+		}
+		s.syncs.Add(1)
+		l.dirty = false
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	l.f = nil
+	return l.create(s, l.seqs[len(l.seqs)-1]+1)
+}
+
+// Append persists one batch of finalized segments for device. Batches
+// larger than recordChunk split into multiple records. The write is
+// crash-consistent: a torn append is truncated away on the next open,
+// never replayed as garbage. Append matches stream.Sink.
+func (s *Store) Append(device string, segs []traj.Segment) error {
+	if len(segs) == 0 {
+		return nil
+	}
+	l, err := s.log(device)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Re-check under the log lock: Close closes file handles under it, so
+	// an append that got its log before Close must not reopen files (or
+	// write unsynced data) behind a closed store.
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	if err := l.open(s); err != nil {
+		return err
+	}
+	var written int64
+	for off := 0; off < len(segs); off += recordChunk {
+		chunk := segs[off:min(off+recordChunk, len(segs))]
+		frame := enc.AppendFrame(nil, appendRecordPayload(nil, chunk))
+		switch {
+		case l.f == nil:
+			seq := 1
+			if n := len(l.seqs); n > 0 {
+				seq = l.seqs[n-1] + 1
+			}
+			if err := l.create(s, seq); err != nil {
+				return err
+			}
+		case l.size > int64(len(fileMagic)) && l.size+int64(len(frame)) > s.cfg.MaxFileSize:
+			if err := l.rotate(s); err != nil {
+				return err
+			}
+		}
+		n, err := l.f.Write(frame)
+		l.size += int64(n)
+		written += int64(n)
+		if err != nil {
+			// A partial frame is a torn tail; try to cut it off now so the
+			// log stays clean for in-process readers. If even that fails,
+			// poison the log rather than append after garbage.
+			if n > 0 {
+				if terr := l.f.Truncate(l.size - int64(n)); terr == nil {
+					l.size -= int64(n)
+					if _, serr := l.f.Seek(l.size, 0); serr == nil {
+						return fmt.Errorf("segstore: append %s: %w", device, err)
+					}
+				}
+				l.failed = fmt.Errorf("segstore: log %s unwritable after torn append: %w", device, err)
+				return l.failed
+			}
+			return fmt.Errorf("segstore: append %s: %w", device, err)
+		}
+	}
+	if s.cfg.Sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("segstore: %w", err)
+		}
+		s.syncs.Add(1)
+	} else {
+		l.dirty = true
+	}
+	s.appends.Add(1)
+	s.segments.Add(int64(len(segs)))
+	s.bytes.Add(written)
+	return nil
+}
+
+// Replay returns every persisted segment for device in append order
+// (coordinates quantized to 1 cm, as stored). A device with no log
+// replays as nil. Damage anywhere but the newest file's tail is
+// reported as ErrCorrupt.
+func (s *Store) Replay(device string) ([]traj.Segment, error) {
+	l, err := s.log(device)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Same re-check as Append: don't open file handles behind Close.
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := l.open(s); err != nil {
+		return nil, err
+	}
+	var out []traj.Segment
+	for i, seq := range l.seqs {
+		b, err := os.ReadFile(l.path(seq))
+		if err != nil {
+			return nil, fmt.Errorf("segstore: %w", err)
+		}
+		var validLen int64
+		out, validLen, err = scanLog(out, b)
+		if err != nil {
+			return nil, fmt.Errorf("%w (%s)", err, l.path(seq))
+		}
+		if validLen < int64(len(b)) && i < len(l.seqs)-1 {
+			return nil, fmt.Errorf("%w: torn record mid-log (%s)", ErrCorrupt, l.path(seq))
+		}
+	}
+	return out, nil
+}
+
+// Devices lists every device with a log on disk, sorted.
+func (s *Store) Devices() ([]string, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("segstore: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dev, err := unescapeDevice(e.Name())
+		if err != nil {
+			continue // not ours
+		}
+		out = append(out, dev)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Sync fsyncs every log with unsynced writes. The background flusher
+// calls this on the SyncInterval period.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	logs := make([]*deviceLog, 0, len(s.logs))
+	for _, l := range s.logs {
+		logs = append(logs, l)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, l := range logs {
+		l.mu.Lock()
+		if l.dirty && l.f != nil {
+			if err := l.f.Sync(); err != nil && first == nil {
+				first = fmt.Errorf("segstore: %w", err)
+			} else if err == nil {
+				l.dirty = false
+				s.syncs.Add(1)
+			}
+		}
+		l.mu.Unlock()
+	}
+	return first
+}
+
+func (s *Store) runFlusher() {
+	defer s.flusher.Done()
+	tick := time.NewTicker(s.cfg.SyncEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.Sync()
+		}
+	}
+}
+
+// Stats returns a snapshot of the store-wide counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Appends:   s.appends.Load(),
+		Segments:  s.segments.Load(),
+		Bytes:     s.bytes.Load(),
+		Syncs:     s.syncs.Load(),
+		Recovered: s.recovered.Load(),
+	}
+}
+
+// Close stops the flusher, syncs and closes every open log, and rejects
+// further use. Close the engine writing into the store first, so its
+// final flush lands. Subsequent calls return nil.
+func (s *Store) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stop)
+	s.flusher.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, l := range s.logs {
+		l.mu.Lock()
+		if l.f != nil {
+			if s.cfg.Sync != SyncNever && l.dirty {
+				if err := l.f.Sync(); err != nil && first == nil {
+					first = fmt.Errorf("segstore: %w", err)
+				}
+				s.syncs.Add(1)
+			}
+			if err := l.f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("segstore: %w", err)
+			}
+			l.f = nil
+		}
+		l.mu.Unlock()
+	}
+	return first
+}

@@ -1,0 +1,379 @@
+package segstore
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"trajsim/internal/core"
+	"trajsim/internal/gen"
+	"trajsim/internal/stream"
+	"trajsim/internal/traj"
+)
+
+// A Store is the canonical stream.Sink implementation.
+var _ stream.Sink = (*Store)(nil)
+
+// The engine's device-ID cap and the store's must agree, or a device
+// could ingest but never persist.
+func TestDeviceCapMatchesEngine(t *testing.T) {
+	if maxDeviceID != stream.MaxDevice {
+		t.Fatalf("segstore caps device IDs at %d bytes, stream at %d", maxDeviceID, stream.MaxDevice)
+	}
+}
+
+// quantize maps a segment onto its stored form, for equality checks.
+func quantize(s traj.Segment) traj.Segment {
+	q := func(v float64) float64 { return math.Round(v/quantXY) * quantXY }
+	s.Start.X, s.Start.Y = q(s.Start.X), q(s.Start.Y)
+	s.End.X, s.End.Y = q(s.End.X), q(s.End.Y)
+	return s
+}
+
+func quantizeAll(segs []traj.Segment) []traj.Segment {
+	out := make([]traj.Segment, len(segs))
+	for i, s := range segs {
+		out[i] = quantize(s)
+	}
+	return out
+}
+
+// simplified returns realistic segment batches: OPERB-A output for a
+// synthetic trajectory.
+func simplified(t *testing.T, preset gen.Preset, n int, seed uint64) []traj.Segment {
+	t.Helper()
+	pw, err := core.SimplifyAggressive(gen.One(preset, n, seed), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []traj.Segment(pw)
+}
+
+func openStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestAppendReplay(t *testing.T) {
+	s := openStore(t, Config{Sync: SyncAlways})
+	segsA := simplified(t, gen.Taxi, 400, 1)
+	segsB := simplified(t, gen.Truck, 400, 2)
+
+	// Interleaved appends for two devices stay separate and ordered.
+	if err := s.Append("taxi/1", segsA[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("truck 2", segsB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("taxi/1", segsA[3:]); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.Replay("taxi/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := quantizeAll(segsA); !reflect.DeepEqual(got, want) {
+		t.Fatalf("taxi/1 replay:\n got %v\nwant %v", got, want)
+	}
+	got, err = s.Replay("truck 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := quantizeAll(segsB); !reflect.DeepEqual(got, want) {
+		t.Fatalf("truck 2 replay mismatch")
+	}
+
+	// Unknown device: empty, not an error.
+	if got, err := s.Replay("ghost"); err != nil || got != nil {
+		t.Fatalf("ghost replay: %v, %v", got, err)
+	}
+
+	devs, err := s.Devices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"taxi/1", "truck 2"}; !reflect.DeepEqual(devs, want) {
+		t.Fatalf("devices %v, want %v", devs, want)
+	}
+
+	st := s.Stats()
+	if st.Appends != 3 || st.Segments != int64(len(segsA)+len(segsB)) || st.Bytes == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReplaySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	segs := simplified(t, gen.SerCar, 500, 3)
+	s := openStore(t, Config{Dir: dir, Sync: SyncNever})
+	if err := s.Append("dev", segs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, Config{Dir: dir})
+	got, err := s2.Replay("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, quantizeAll(segs)) {
+		t.Fatal("replay after reopen mismatch")
+	}
+	// And the log keeps accepting appends where it left off.
+	if err := s2.Append("dev", segs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s2.Replay("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(segs)+5 {
+		t.Fatalf("after append: %d segments, want %d", len(got), len(segs)+5)
+	}
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny rotation threshold forces a new file almost every append.
+	s := openStore(t, Config{Dir: dir, MaxFileSize: 256, Sync: SyncNever})
+	segs := simplified(t, gen.Taxi, 2000, 4)
+	var appended []traj.Segment
+	for off := 0; off < len(segs); off += 7 {
+		chunk := segs[off:min(off+7, len(segs))]
+		if err := s.Append("dev", chunk); err != nil {
+			t.Fatal(err)
+		}
+		appended = append(appended, chunk...)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "dev", "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("%d files, want rotation to produce several", len(files))
+	}
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One record may overshoot the threshold (a file always accepts at
+		// least one), but files must stay in that ballpark.
+		if fi.Size() > 256*3 {
+			t.Errorf("%s: %d bytes, rotation not bounding file size", f, fi.Size())
+		}
+	}
+	got, err := s.Replay("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, quantizeAll(appended)) {
+		t.Fatal("replay across rotated files mismatch")
+	}
+}
+
+func TestLargeBatchChunks(t *testing.T) {
+	// A batch beyond recordChunk splits into multiple records and still
+	// replays losslessly.
+	s := openStore(t, Config{Sync: SyncNever})
+	base := simplified(t, gen.Truck, 300, 5)
+	segs := make([]traj.Segment, 0, recordChunk+100)
+	for len(segs) < recordChunk+100 {
+		segs = append(segs, base...)
+	}
+	segs = segs[:recordChunk+100]
+	if err := s.Append("dev", segs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Replay("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(segs) {
+		t.Fatalf("%d segments, want %d", len(got), len(segs))
+	}
+	if st := s.Stats(); st.Appends != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDeviceEscaping(t *testing.T) {
+	s := openStore(t, Config{})
+	ids := []string{"plain-01", "has space", "slash/../../etc", "unicode-héllo", "%00", "."}
+	segs := simplified(t, gen.Taxi, 50, 6)[:2]
+	for _, id := range ids {
+		if err := s.Append(id, segs); err != nil {
+			t.Fatalf("%q: %v", id, err)
+		}
+	}
+	devs, err := s.Devices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != len(ids) {
+		t.Fatalf("devices %v, want %d ids", devs, len(ids))
+	}
+	for _, id := range ids {
+		got, err := s.Replay(id)
+		if err != nil || len(got) != 2 {
+			t.Errorf("%q: replay %d segments, err %v", id, len(got), err)
+		}
+	}
+	// Everything must have landed inside the root, path traversal included.
+	err = filepath.Walk(s.cfg.Dir, func(path string, _ os.FileInfo, err error) error { return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	for _, id := range []string{"a", "A-Z_0", ".", "..", "%", "% %25", "héllo", "a/b\\c", string([]byte{0, 255})} {
+		esc := escapeDevice(id)
+		if esc == "." || esc == ".." || filepath.Base(esc) != esc {
+			t.Errorf("%q escapes to unsafe name %q", id, esc)
+		}
+		back, err := unescapeDevice(esc)
+		if err != nil || back != id {
+			t.Errorf("%q -> %q -> %q (%v)", id, esc, back, err)
+		}
+	}
+	if _, err := unescapeDevice("has space"); err == nil {
+		t.Error("foreign name unescaped without error")
+	}
+	// Case-only differences must not survive into the directory name
+	// (case-insensitive filesystems would merge the logs), and literal
+	// uppercase is a foreign name.
+	if a, b := escapeDevice("Car-1"), escapeDevice("car-1"); strings.EqualFold(a, b) {
+		t.Errorf("%q and %q collide case-insensitively", a, b)
+	}
+	if _, err := unescapeDevice("Car-1"); err == nil {
+		t.Error("literal uppercase unescaped without error")
+	}
+}
+
+func TestBadDeviceIDs(t *testing.T) {
+	s := openStore(t, Config{})
+	long := string(make([]byte, maxDeviceID+1))
+	for _, id := range []string{"", long} {
+		if err := s.Append(id, simplified(t, gen.Taxi, 50, 7)[:1]); !errors.Is(err, ErrDeviceID) {
+			t.Errorf("append %d-byte id: %v", len(id), err)
+		}
+		if _, err := s.Replay(id); !errors.Is(err, ErrDeviceID) {
+			t.Errorf("replay %d-byte id: %v", len(id), err)
+		}
+	}
+}
+
+func TestEmptyAppendIsNoop(t *testing.T) {
+	s := openStore(t, Config{})
+	if err := s.Append("dev", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(s.cfg.Dir, "dev")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("empty append created a log")
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := openStore(t, Config{})
+	segs := simplified(t, gen.Taxi, 50, 8)[:1]
+	if err := s.Append("dev", segs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double close:", err)
+	}
+	if err := s.Append("dev", segs); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close: %v", err)
+	}
+	if _, err := s.Replay("dev"); !errors.Is(err, ErrClosed) {
+		t.Errorf("replay after close: %v", err)
+	}
+	if _, err := s.Devices(); !errors.Is(err, ErrClosed) {
+		t.Errorf("devices after close: %v", err)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	s := openStore(t, Config{MaxFileSize: 4096})
+	const devices = 16
+	segs := simplified(t, gen.GeoLife, 800, 9)
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			dev := string(rune('a'+d)) + "-dev"
+			for off := 0; off < len(segs); off += 11 {
+				if err := s.Append(dev, segs[off:min(off+11, len(segs))]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	want := quantizeAll(segs)
+	for d := 0; d < devices; d++ {
+		got, err := s.Replay(string(rune('a'+d)) + "-dev")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("device %d replay mismatch", d)
+		}
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy parsed")
+	}
+	for _, name := range []string{"interval", "always", "never"} {
+		p, err := ParseSyncPolicy(name)
+		if err != nil || p.String() != name {
+			t.Errorf("%s: %v %v", name, p, err)
+		}
+	}
+	// SyncAlways counts a sync per append; SyncNever counts none.
+	segs := simplified(t, gen.Taxi, 100, 10)[:3]
+	always := openStore(t, Config{Sync: SyncAlways})
+	always.Append("d", segs)
+	always.Append("d", segs)
+	if st := always.Stats(); st.Syncs < 2 {
+		t.Errorf("SyncAlways stats: %+v", st)
+	}
+	never := openStore(t, Config{Sync: SyncNever})
+	never.Append("d", segs)
+	if st := never.Stats(); st.Syncs != 0 {
+		t.Errorf("SyncNever stats: %+v", st)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Error("missing Dir accepted")
+	}
+	if _, err := Open(Config{Dir: t.TempDir(), Sync: SyncPolicy(99)}); err == nil {
+		t.Error("bogus sync policy accepted")
+	}
+}

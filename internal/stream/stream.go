@@ -30,6 +30,11 @@ var (
 	ErrClosed = errors.New("stream: engine closed")
 	// ErrNoDevice is returned by Ingest for an empty device ID.
 	ErrNoDevice = errors.New("stream: empty device ID")
+	// ErrDeviceTooLong is returned by Ingest for a device ID longer than
+	// MaxDevice bytes. Enforced at ingest so the persistence tier — whose
+	// escaped directory names carry the same cap — never silently drops a
+	// device the engine accepted.
+	ErrDeviceTooLong = errors.New("stream: device ID too long")
 	// ErrSessionLimit is returned by Ingest when opening one more session
 	// would exceed Config.MaxSessions.
 	ErrSessionLimit = errors.New("stream: session limit reached")
@@ -42,6 +47,23 @@ var (
 
 // DefaultShards is the shard count used when Config.Shards is zero.
 const DefaultShards = 16
+
+// MaxDevice is the longest accepted device ID in bytes — one limit for
+// the whole stack (engine, segstore directory names, HTTP ingest), so a
+// device cannot be ingestable but unpersistable.
+const MaxDevice = 80
+
+// Sink receives every batch of finalized segments the engine emits — the
+// durability tier under the in-memory sessions (segstore.Store implements
+// it). Append is called with the shard lock held, so calls for one device
+// arrive in emission order and never concurrently; implementations should
+// not call back into the Engine. An Append error is counted in
+// Stats.SinkErrors but does not fail the ingest: the segments were
+// already returned to the caller, so the engine degrades to memory-only
+// rather than dropping traffic.
+type Sink interface {
+	Append(device string, segs []traj.Segment) error
+}
 
 // Config parameterizes an Engine. The zero value is not usable: Zeta must
 // be a positive error bound in meters.
@@ -71,6 +93,9 @@ type Config struct {
 	// OnEvict, when non-nil, receives the trailing segments of every
 	// evicted session (EvictIdle and the janitor both report through it).
 	OnEvict func(device string, segs []traj.Segment)
+	// Sink, when non-nil, persists every emitted segment batch — from
+	// Ingest, Flush, FlushAll, EvictIdle and Close alike. See Sink.
+	Sink Sink
 	// Clock overrides the engine clock, for tests. Nil selects time.Now,
 	// whose monotonic reading makes idle measurement immune to wall-clock
 	// steps.
@@ -79,13 +104,14 @@ type Config struct {
 
 // Stats are engine-wide counters, all cumulative except Sessions.
 type Stats struct {
-	Sessions  int   `json:"sessions"`  // live sessions right now
-	Opened    int64 `json:"opened"`    // sessions ever opened
-	Points    int64 `json:"points"`    // points ingested
-	Segments  int64 `json:"segments"`  // segments emitted, incl. flush/evict tails
-	Flushed   int64 `json:"flushed"`   // sessions finalized by Flush/FlushAll/Close
-	Evicted   int64 `json:"evictions"` // sessions finalized for idleness
-	Contended int64 `json:"contended"` // ingests that blocked on a busy shard lock
+	Sessions   int   `json:"sessions"`    // live sessions right now
+	Opened     int64 `json:"opened"`      // sessions ever opened
+	Points     int64 `json:"points"`      // points ingested
+	Segments   int64 `json:"segments"`    // segments emitted, incl. flush/evict tails
+	Flushed    int64 `json:"flushed"`     // sessions finalized by Flush/FlushAll/Close
+	Evicted    int64 `json:"evictions"`   // sessions finalized for idleness
+	Contended  int64 `json:"contended"`   // ingests that blocked on a busy shard lock
+	SinkErrors int64 `json:"sink_errors"` // segment batches the Sink failed to persist
 }
 
 // Eviction is one idle session finalized by EvictIdle: its device ID and
@@ -132,6 +158,7 @@ type Engine struct {
 	flushed   atomic.Int64
 	evicted   atomic.Int64
 	contended atomic.Int64
+	sinkErrs  atomic.Int64
 
 	closed  atomic.Bool
 	stop    chan struct{}
@@ -201,6 +228,17 @@ func (e *Engine) shard(device string) *shard {
 	return &e.shards[fnv1a(device)%uint32(len(e.shards))]
 }
 
+// persist hands a finalized batch to the Sink. Called with the shard
+// lock held so one device's batches reach the sink in emission order.
+func (e *Engine) persist(device string, segs []traj.Segment) {
+	if e.cfg.Sink == nil || len(segs) == 0 {
+		return
+	}
+	if err := e.cfg.Sink.Append(device, segs); err != nil {
+		e.sinkErrs.Add(1)
+	}
+}
+
 // Ingest feeds a batch of points to device's session, opening it on first
 // contact, and returns the segments the batch finalized. Points must be in
 // increasing time order per device across batches unless CleanWindow is
@@ -211,6 +249,9 @@ func (e *Engine) Ingest(device string, pts []traj.Point) ([]traj.Segment, error)
 	}
 	if device == "" {
 		return nil, ErrNoDevice
+	}
+	if len(device) > MaxDevice {
+		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrDeviceTooLong, len(device), MaxDevice)
 	}
 	if len(pts) == 0 {
 		return nil, nil
@@ -285,6 +326,7 @@ func (e *Engine) Ingest(device string, pts []traj.Point) ([]traj.Segment, error)
 		}
 	}
 	s.last = e.now()
+	e.persist(device, out)
 	sh.mu.Unlock()
 	e.points.Add(int64(len(pts)))
 	e.segments.Add(int64(len(out)))
@@ -316,6 +358,7 @@ func (e *Engine) Flush(device string) ([]traj.Segment, bool) {
 	}
 	delete(sh.sessions, device)
 	segs := s.finish()
+	e.persist(device, segs)
 	// Release the session slot before dropping the lock so a concurrent
 	// first-contact ingest at MaxSessions sees the freed capacity.
 	e.live.Add(-1)
@@ -335,6 +378,7 @@ func (e *Engine) FlushAll() map[string][]traj.Segment {
 		for dev, s := range sh.sessions {
 			delete(sh.sessions, dev)
 			segs := s.finish()
+			e.persist(dev, segs)
 			out[dev] = segs
 			e.live.Add(-1)
 			e.flushed.Add(1)
@@ -363,6 +407,7 @@ func (e *Engine) EvictIdle() []Eviction {
 			}
 			delete(sh.sessions, dev)
 			segs := s.finish()
+			e.persist(dev, segs)
 			evs = append(evs, Eviction{Device: dev, Segments: segs})
 			e.live.Add(-1)
 			e.evicted.Add(1)
@@ -398,13 +443,14 @@ func (e *Engine) Sessions() int { return int(e.live.Load()) }
 // Stats returns a snapshot of the engine-wide counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Sessions:  int(e.live.Load()),
-		Opened:    e.opened.Load(),
-		Points:    e.points.Load(),
-		Segments:  e.segments.Load(),
-		Flushed:   e.flushed.Load(),
-		Evicted:   e.evicted.Load(),
-		Contended: e.contended.Load(),
+		Sessions:   int(e.live.Load()),
+		Opened:     e.opened.Load(),
+		Points:     e.points.Load(),
+		Segments:   e.segments.Load(),
+		Flushed:    e.flushed.Load(),
+		Evicted:    e.evicted.Load(),
+		Contended:  e.contended.Load(),
+		SinkErrors: e.sinkErrs.Load(),
 	}
 }
 

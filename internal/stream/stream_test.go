@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -358,6 +359,13 @@ func TestIngestErrors(t *testing.T) {
 	if _, err := e.Ingest("", gen.One(gen.Taxi, 5, 1)); !errors.Is(err, ErrNoDevice) {
 		t.Errorf("empty device: err = %v, want ErrNoDevice", err)
 	}
+	long := strings.Repeat("x", MaxDevice+1)
+	if _, err := e.Ingest(long, gen.One(gen.Taxi, 5, 1)); !errors.Is(err, ErrDeviceTooLong) {
+		t.Errorf("%d-byte device: err = %v, want ErrDeviceTooLong", len(long), err)
+	}
+	if _, err := e.Ingest(strings.Repeat("x", MaxDevice), gen.One(gen.Taxi, 5, 1)); err != nil {
+		t.Errorf("%d-byte device: err = %v, want accepted", MaxDevice, err)
+	}
 	if segs, err := e.Ingest("d", nil); err != nil || segs != nil {
 		t.Errorf("empty batch: (%v, %v), want (nil, nil)", segs, err)
 	}
@@ -467,6 +475,167 @@ func TestFNVDistribution(t *testing.T) {
 	for i, c := range counts {
 		if c < 128 || c > 384 { // expect 256 ± 50%
 			t.Errorf("shard %d holds %d of 4096 IDs — badly skewed", i, c)
+		}
+	}
+}
+
+// memSink is an in-memory Sink recording every Append, optionally
+// failing on command.
+type memSink struct {
+	mu      sync.Mutex
+	batches int
+	segs    map[string][]traj.Segment
+	fail    error
+}
+
+func (m *memSink) Append(device string, segs []traj.Segment) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return m.fail
+	}
+	if m.segs == nil {
+		m.segs = map[string][]traj.Segment{}
+	}
+	m.batches++
+	m.segs[device] = append(m.segs[device], segs...)
+	return nil
+}
+
+// TestSinkReceivesEverySegment: every emission path — ingest, explicit
+// flush, idle eviction, Close — lands in the Sink, in order, exactly
+// matching what the engine handed back to callers.
+func TestSinkReceivesEverySegment(t *testing.T) {
+	sink := &memSink{}
+	now := time.Now()
+	clock := func() time.Time { return now }
+	e, err := NewEngine(Config{Zeta: 30, Shards: 4, Sink: sink, IdleAfter: time.Minute, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]traj.Segment{}
+	ingest := func(dev string, tr traj.Trajectory) {
+		t.Helper()
+		for off := 0; off < len(tr); off += 100 {
+			segs, err := e.Ingest(dev, tr[off:min(off+100, len(tr))])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[dev] = append(want[dev], segs...)
+		}
+	}
+	ingest("flushed", gen.One(gen.Taxi, 600, 61))
+	ingest("evicted", gen.One(gen.Truck, 600, 62))
+	ingest("closed", gen.One(gen.SerCar, 600, 63))
+
+	segs, ok := e.Flush("flushed")
+	if !ok {
+		t.Fatal("flush failed")
+	}
+	want["flushed"] = append(want["flushed"], segs...)
+
+	now = now.Add(2 * time.Minute)
+	evs := e.EvictIdle()
+	for _, ev := range evs {
+		want[ev.Device] = append(want[ev.Device], ev.Segments...)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("evicted %d sessions, want 2", len(evs))
+	}
+
+	// "closed" was evicted above; reopen it so Close has a tail to flush.
+	tr := gen.One(gen.GeoLife, 300, 64)
+	for i := range tr {
+		tr[i].T += 1 << 40 // after the evicted session's timestamps
+	}
+	ingest("closed", tr)
+	for dev, segs := range e.Close() {
+		want[dev] = append(want[dev], segs...)
+	}
+
+	if len(sink.segs) != len(want) {
+		t.Fatalf("sink saw devices %v", sink.segs)
+	}
+	for dev, w := range want {
+		got := sink.segs[dev]
+		if len(got) != len(w) {
+			t.Fatalf("%s: sink holds %d segments, engine emitted %d", dev, len(got), len(w))
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("%s: segment %d differs: %v vs %v", dev, i, got[i], w[i])
+			}
+		}
+	}
+}
+
+// TestSinkErrorDegradesGracefully: a failing sink must not fail ingest —
+// segments still flow to the caller — but every failed batch is counted.
+func TestSinkErrorDegradesGracefully(t *testing.T) {
+	sink := &memSink{fail: errors.New("disk full")}
+	e, err := NewEngine(Config{Zeta: 30, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.One(gen.Taxi, 500, 65)
+	segs, err := e.Ingest("dev", tr)
+	if err != nil {
+		t.Fatalf("ingest with failing sink: %v", err)
+	}
+	tail, ok := e.Flush("dev")
+	if !ok {
+		t.Fatal("flush failed")
+	}
+	if len(segs)+len(tail) == 0 {
+		t.Fatal("no segments emitted")
+	}
+	st := e.Stats()
+	if st.SinkErrors < 2 { // at least the ingest batch and the flush tail
+		t.Fatalf("stats: %+v, want sink errors counted", st)
+	}
+}
+
+// TestSinkConcurrentDevices: under concurrent ingest the sink's
+// per-device streams stay ordered and complete.
+func TestSinkConcurrentDevices(t *testing.T) {
+	sink := &memSink{}
+	e, err := NewEngine(Config{Zeta: 40, Shards: 4, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const devices = 24
+	var wg sync.WaitGroup
+	wants := make([][]traj.Segment, devices)
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			dev := fmt.Sprintf("dev-%02d", d)
+			tr := gen.One(gen.Taxi, 800, uint64(d)+100)
+			var want []traj.Segment
+			for off := 0; off < len(tr); off += 64 {
+				segs, err := e.Ingest(dev, tr[off:min(off+64, len(tr))])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want = append(want, segs...)
+			}
+			tail, _ := e.Flush(dev)
+			wants[d] = append(want, tail...)
+		}(d)
+	}
+	wg.Wait()
+	for d := 0; d < devices; d++ {
+		dev := fmt.Sprintf("dev-%02d", d)
+		got := sink.segs[dev]
+		if len(got) != len(wants[d]) {
+			t.Fatalf("%s: %d segments in sink, want %d", dev, len(got), len(wants[d]))
+		}
+		for i := range got {
+			if got[i] != wants[d][i] {
+				t.Fatalf("%s: segment %d out of order", dev, i)
+			}
 		}
 	}
 }

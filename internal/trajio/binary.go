@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 
 	"trajsim/internal/enc"
 	"trajsim/internal/traj"
@@ -30,21 +29,13 @@ const (
 func AppendPiecewise(dst []byte, pw traj.Piecewise) []byte {
 	dst = enc.AppendUvarint(dst, pwMagic)
 	dst = enc.AppendUvarint(dst, uint64(len(pw)))
-	var px, py, pt int64
+	pd := enc.PointDelta{Quant: pwQuantXY}
 	var pidx int64
-	put := func(p traj.Point) {
-		x := int64(math.Round(p.X / pwQuantXY))
-		y := int64(math.Round(p.Y / pwQuantXY))
-		dst = enc.AppendVarint(dst, x-px)
-		dst = enc.AppendVarint(dst, y-py)
-		dst = enc.AppendVarint(dst, p.T-pt)
-		px, py, pt = x, y, p.T
-	}
 	for i, s := range pw {
 		if i == 0 {
-			put(s.Start)
+			dst = pd.Append(dst, s.Start.X, s.Start.Y, s.Start.T)
 		}
-		put(s.End)
+		dst = pd.Append(dst, s.End.X, s.End.Y, s.End.T)
 		dst = enc.AppendVarint(dst, int64(s.StartIdx)-pidx)
 		dst = enc.AppendUvarint(dst, uint64(s.EndIdx-s.StartIdx))
 		pidx = int64(s.StartIdx)
@@ -72,24 +63,24 @@ func DecodePiecewise(b []byte) (traj.Piecewise, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadPiecewise, err)
 	}
 	b = b[n:]
-	var px, py, pt int64
+	// Each segment costs at least six varint bytes (the first nine), so a
+	// count beyond the remaining input is malformed; rejecting it here —
+	// and capping the preallocation regardless — keeps an adversarial
+	// count from forcing a huge allocation.
+	if count > uint64(len(b))/6+1 {
+		return nil, fmt.Errorf("%w: %d segments in %d bytes", ErrBadPiecewise, count, len(b))
+	}
+	pd := enc.PointDelta{Quant: pwQuantXY}
 	var pidx int64
 	get := func() (traj.Point, error) {
-		var vals [3]int64
-		for i := range vals {
-			v, n, err := enc.Varint(b)
-			if err != nil {
-				return traj.Point{}, err
-			}
-			vals[i] = v
-			b = b[n:]
+		x, y, tms, n, err := pd.Next(b)
+		if err != nil {
+			return traj.Point{}, err
 		}
-		px += vals[0]
-		py += vals[1]
-		pt += vals[2]
-		return traj.Point{X: float64(px) * pwQuantXY, Y: float64(py) * pwQuantXY, T: pt}, nil
+		b = b[n:]
+		return traj.Point{X: x, Y: y, T: tms}, nil
 	}
-	out := make(traj.Piecewise, 0, count)
+	out := make(traj.Piecewise, 0, min(count, 4096))
 	var prev traj.Point
 	for i := uint64(0); i < count; i++ {
 		var s traj.Segment

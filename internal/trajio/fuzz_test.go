@@ -1,0 +1,110 @@
+package trajio
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trajsim/internal/core"
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+// FuzzDecodePiecewise: the decoder is the trust boundary for bytes off
+// the wire, so it must reject — never panic on, never over-allocate for
+// — arbitrary input, and every rejection must be ErrBadPiecewise.
+func FuzzDecodePiecewise(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendPiecewise(nil, nil))
+	pw, _ := core.Simplify(gen.One(gen.Taxi, 300, 1), 40)
+	valid := AppendPiecewise(nil, pw)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pw, err := DecodePiecewise(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadPiecewise) {
+				t.Fatalf("non-sentinel error %v", err)
+			}
+			return
+		}
+		// Accepted input must re-encode and decode to the same values:
+		// whatever DecodePiecewise accepts is fully representable.
+		again, err := DecodePiecewise(AppendPiecewise(nil, pw))
+		if err != nil {
+			t.Fatalf("re-encode of accepted input rejected: %v", err)
+		}
+		if len(again) != len(pw) {
+			t.Fatalf("re-encode changed segment count %d -> %d", len(pw), len(again))
+		}
+	})
+}
+
+// FuzzDecodeIngest: same contract for the upload-side decoder.
+func FuzzDecodeIngest(f *testing.F) {
+	f.Add([]byte{})
+	valid := AppendIngestBatch(AppendIngestHeader(nil), "dev-1", gen.One(gen.Truck, 100, 2))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-4])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if err := DecodeIngest(b, func(device string, pts []traj.Point) error {
+			if device == "" {
+				t.Fatal("decoder delivered empty device ID")
+			}
+			return nil
+		}); err != nil && !errors.Is(err, ErrBadIngest) {
+			t.Fatalf("non-sentinel error %v", err)
+		}
+	})
+}
+
+// FuzzPiecewiseRoundTrip: for real simplifier output over randomized
+// workloads, encode→decode loses nothing but sub-quantization (≤ 5 mm
+// per coordinate) — timestamps, source ranges, and flags are exact.
+func FuzzPiecewiseRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(300), uint32(40000), false)
+	f.Add(uint64(2), uint16(50), uint32(1500), true)
+	f.Add(uint64(99), uint16(1000), uint32(200000), true)
+	presets := []gen.Preset{gen.Taxi, gen.Truck, gen.SerCar, gen.GeoLife}
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, zetaMM uint32, aggressive bool) {
+		points := 2 + int(n)%1000
+		zeta := float64(1+zetaMM%200000) / 1000 // 1 mm .. 200 m
+		tr := gen.One(presets[seed%4], points, seed)
+		var (
+			pw  traj.Piecewise
+			err error
+		)
+		if aggressive {
+			pw, err = core.SimplifyAggressive(tr, zeta)
+		} else {
+			pw, err = core.Simplify(tr, zeta)
+		}
+		if err != nil {
+			t.Skip() // degenerate generator output
+		}
+		got, err := DecodePiecewise(AppendPiecewise(nil, pw))
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if len(got) != len(pw) {
+			t.Fatalf("segment count %d -> %d", len(pw), len(got))
+		}
+		const tol = pwQuantXY/2 + 1e-9
+		for i := range pw {
+			w, g := pw[i], got[i]
+			if g.StartIdx != w.StartIdx || g.EndIdx != w.EndIdx ||
+				g.VirtualStart != w.VirtualStart || g.VirtualEnd != w.VirtualEnd ||
+				g.Start.T != w.Start.T || g.End.T != w.End.T {
+				t.Fatalf("segment %d: exact fields changed: %+v -> %+v", i, w, g)
+			}
+			for _, d := range []float64{
+				g.Start.X - w.Start.X, g.Start.Y - w.Start.Y,
+				g.End.X - w.End.X, g.End.Y - w.End.Y,
+			} {
+				if math.Abs(d) > tol {
+					t.Fatalf("segment %d: coordinate drift %g beyond quantization", i, d)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package trajio
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trajsim/internal/traj"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCompare checks got against testdata/name, rewriting the fixture
+// under -update. Golden bytes pin the wire formats: any encoding change
+// shows up as a reviewable diff instead of silent corruption for old
+// readers.
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s changed on the wire:\n got %x\nwant %x\nre-bless with -update only for a deliberate format break", name, got, want)
+	}
+}
+
+// goldenPiecewise is a hand-written representation exercising every field:
+// negative coordinates, virtual endpoints, an absorbed-point range.
+func goldenPiecewise() traj.Piecewise {
+	return traj.Piecewise{
+		{Start: traj.At(0, 0, 0), End: traj.At(120.57, -33.02, 60_000),
+			StartIdx: 0, EndIdx: 14},
+		{Start: traj.At(120.57, -33.02, 60_000), End: traj.At(95.11, 40.4, 121_500),
+			StartIdx: 14, EndIdx: 29, VirtualEnd: true},
+		{Start: traj.At(95.11, 40.4, 121_500), End: traj.At(-12.5, 48, 190_000),
+			StartIdx: 29, EndIdx: 55, VirtualStart: true},
+	}
+}
+
+func TestGoldenPiecewise(t *testing.T) {
+	got := AppendPiecewise(nil, goldenPiecewise())
+	goldenCompare(t, "piecewise_v1.golden", got)
+	// The fixture must stay decodable, not just byte-stable.
+	pw, err := DecodePiecewise(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 3 || !pw[1].VirtualEnd || !pw[2].VirtualStart || pw[2].EndIdx != 55 {
+		t.Fatalf("golden fixture decoded wrong: %+v", pw)
+	}
+}
+
+func TestGoldenIngest(t *testing.T) {
+	b := AppendIngestHeader(nil)
+	b = AppendIngestBatch(b, "cab-7", []traj.Point{
+		traj.At(0, 0, 0),
+		traj.At(10.01, -0.25, 1000),
+		traj.At(20.4, -1.17, 2100),
+	})
+	b = AppendIngestBatch(b, "bus-é", []traj.Point{ // non-ASCII device ID
+		traj.At(-500.5, 1200.25, 5000),
+	})
+	goldenCompare(t, "ingest_v1.golden", b)
+	var devices []string
+	if err := DecodeIngest(b, func(dev string, pts []traj.Point) error {
+		devices = append(devices, dev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 2 || devices[0] != "cab-7" || devices[1] != "bus-é" {
+		t.Fatalf("golden fixture decoded wrong: %v", devices)
+	}
+}

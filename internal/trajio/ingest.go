@@ -1,0 +1,104 @@
+package trajio
+
+import (
+	"errors"
+	"fmt"
+
+	"trajsim/internal/enc"
+	"trajsim/internal/traj"
+)
+
+// Binary ingest wire format: what a fleet of devices transmits upstream
+// before simplification. A stream is a magic word followed by per-device
+// frames, each carrying one batch of raw GPS fixes quantized (1 cm /
+// 1 ms) and delta-coded — the upload-side counterpart of the PWB1
+// piecewise encoding a server transmits back down. Frames are
+// self-contained (delta state resets per frame), so batches for many
+// devices concatenate freely and a decoder never needs cross-frame
+// state.
+
+// ErrBadIngest is returned for malformed binary ingest input.
+var ErrBadIngest = errors.New("trajio: malformed binary ingest stream")
+
+// IngestContentType is the Content-Type identifying the binary ingest
+// wire format over HTTP.
+const IngestContentType = "application/x-trajsim-binary"
+
+const (
+	ibMagic = 0x54534231 // "TSB1"
+	// ibMaxDevice caps the device-ID length: IDs are hostnames or vehicle
+	// tags, and an unbounded length field is an allocation attack.
+	ibMaxDevice = 256
+)
+
+// AppendIngestHeader appends the stream magic to dst. Call once, before
+// the first batch.
+func AppendIngestHeader(dst []byte) []byte {
+	return enc.AppendUvarint(dst, ibMagic)
+}
+
+// AppendIngestBatch appends one device's point batch to dst as a
+// self-contained frame. Coordinates are quantized to 1 cm.
+func AppendIngestBatch(dst []byte, device string, pts []traj.Point) []byte {
+	dst = enc.AppendUvarint(dst, uint64(len(device)))
+	dst = append(dst, device...)
+	dst = enc.AppendUvarint(dst, uint64(len(pts)))
+	pd := enc.PointDelta{Quant: pwQuantXY}
+	for _, p := range pts {
+		dst = pd.Append(dst, p.X, p.Y, p.T)
+	}
+	return dst
+}
+
+// DecodeIngest decodes a binary ingest stream, invoking fn once per
+// device frame in stream order. The points slice is freshly allocated
+// and owned by the callback. fn returning an error aborts the scan and
+// surfaces that error; decode failures are reported as ErrBadIngest.
+func DecodeIngest(b []byte, fn func(device string, pts []traj.Point) error) error {
+	u, n, err := enc.Uvarint(b)
+	if err != nil || u != ibMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadIngest)
+	}
+	b = b[n:]
+	for frame := 1; len(b) > 0; frame++ {
+		devLen, n, err := enc.Uvarint(b)
+		if err != nil {
+			return fmt.Errorf("%w: frame %d: device length: %v", ErrBadIngest, frame, err)
+		}
+		b = b[n:]
+		if devLen == 0 || devLen > ibMaxDevice {
+			return fmt.Errorf("%w: frame %d: device length %d (max %d)", ErrBadIngest, frame, devLen, ibMaxDevice)
+		}
+		if uint64(len(b)) < devLen {
+			return fmt.Errorf("%w: frame %d: truncated device ID", ErrBadIngest, frame)
+		}
+		device := string(b[:devLen])
+		b = b[devLen:]
+		count, n, err := enc.Uvarint(b)
+		if err != nil {
+			return fmt.Errorf("%w: frame %d: point count: %v", ErrBadIngest, frame, err)
+		}
+		b = b[n:]
+		// Every point costs at least three varint bytes; bounding the
+		// count by the remaining input — and capping the preallocation
+		// regardless — keeps a garbage count from forcing a huge
+		// allocation.
+		if count > uint64(len(b))/3 {
+			return fmt.Errorf("%w: frame %d: %d points in %d bytes", ErrBadIngest, frame, count, len(b))
+		}
+		pts := make([]traj.Point, 0, min(count, 4096))
+		pd := enc.PointDelta{Quant: pwQuantXY}
+		for i := uint64(0); i < count; i++ {
+			x, y, tms, n, err := pd.Next(b)
+			if err != nil {
+				return fmt.Errorf("%w: frame %d point %d: %v", ErrBadIngest, frame, i, err)
+			}
+			b = b[n:]
+			pts = append(pts, traj.Point{X: x, Y: y, T: tms})
+		}
+		if err := fn(device, pts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

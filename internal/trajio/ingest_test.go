@@ -1,0 +1,131 @@
+package trajio
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"trajsim/internal/enc"
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+func TestIngestRoundTrip(t *testing.T) {
+	batches := []struct {
+		device string
+		pts    traj.Trajectory
+	}{
+		{"taxi-1", gen.One(gen.Taxi, 200, 1)},
+		{"truck-2", gen.One(gen.Truck, 50, 2)},
+		{"taxi-1", gen.One(gen.Taxi, 3, 3)}, // same device again: frames are independent
+	}
+	b := AppendIngestHeader(nil)
+	for _, batch := range batches {
+		b = AppendIngestBatch(b, batch.device, batch.pts)
+	}
+
+	var got []struct {
+		device string
+		pts    []traj.Point
+	}
+	err := DecodeIngest(b, func(device string, pts []traj.Point) error {
+		got = append(got, struct {
+			device string
+			pts    []traj.Point
+		}{device, pts})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batches) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(batches))
+	}
+	for i, batch := range batches {
+		if got[i].device != batch.device {
+			t.Errorf("frame %d: device %q, want %q", i, got[i].device, batch.device)
+		}
+		if len(got[i].pts) != len(batch.pts) {
+			t.Fatalf("frame %d: %d points, want %d", i, len(got[i].pts), len(batch.pts))
+		}
+		for k, p := range batch.pts {
+			q := got[i].pts[k]
+			if q.T != p.T {
+				t.Fatalf("frame %d point %d: T=%d, want %d", i, k, q.T, p.T)
+			}
+			if math.Abs(q.X-p.X) > pwQuantXY/2+1e-9 || math.Abs(q.Y-p.Y) > pwQuantXY/2+1e-9 {
+				t.Fatalf("frame %d point %d: %v drifted beyond quantization from %v", i, k, q, p)
+			}
+		}
+	}
+}
+
+func TestIngestEmptyStream(t *testing.T) {
+	b := AppendIngestHeader(nil)
+	err := DecodeIngest(b, func(string, []traj.Point) error {
+		t.Fatal("callback for empty stream")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestCallbackError(t *testing.T) {
+	b := AppendIngestHeader(nil)
+	b = AppendIngestBatch(b, "d1", gen.One(gen.Taxi, 5, 1))
+	b = AppendIngestBatch(b, "d2", gen.One(gen.Taxi, 5, 2))
+	sentinel := errors.New("stop here")
+	var seen int
+	err := DecodeIngest(b, func(string, []traj.Point) error {
+		seen++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || seen != 1 {
+		t.Fatalf("err=%v seen=%d, want sentinel after first frame", err, seen)
+	}
+}
+
+func TestIngestMalformed(t *testing.T) {
+	valid := AppendIngestBatch(AppendIngestHeader(nil), "d1", gen.One(gen.Taxi, 20, 1))
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"bad magic", enc.AppendUvarint(nil, 0xBAD)},
+		{"torn frame", valid[:len(valid)-3]},
+		{"zero device length", enc.AppendUvarint(AppendIngestHeader(nil), 0)},
+		{"oversized device length",
+			enc.AppendUvarint(AppendIngestHeader(nil), ibMaxDevice+1)},
+		{"truncated device",
+			append(enc.AppendUvarint(AppendIngestHeader(nil), 10), 'x')},
+		{"huge point count", enc.AppendUvarint(append(
+			enc.AppendUvarint(AppendIngestHeader(nil), 2), "d1"...), 1<<40)},
+	}
+	for _, c := range cases {
+		err := DecodeIngest(c.b, func(string, []traj.Point) error { return nil })
+		if !errors.Is(err, ErrBadIngest) {
+			t.Errorf("%s: err=%v, want ErrBadIngest", c.name, err)
+		}
+	}
+	// Sanity: the valid buffer the torn case was cut from does decode.
+	if err := DecodeIngest(valid, func(string, []traj.Point) error { return nil }); err != nil {
+		t.Fatalf("valid stream: %v", err)
+	}
+}
+
+func TestIngestCompactness(t *testing.T) {
+	// The point of the binary format: far fewer bytes than the NDJSON
+	// equivalent (~70 bytes/point) for a realistic upload.
+	pts := gen.One(gen.Taxi, 1000, 7)
+	b := AppendIngestBatch(AppendIngestHeader(nil), "vehicle-0001", pts)
+	perPoint := float64(len(b)) / float64(len(pts))
+	if perPoint > 12 {
+		t.Errorf("%.1f bytes/point, want ≤ 12", perPoint)
+	}
+	if strings.Contains(string(b), "vehicle-0001") == false {
+		t.Error("device ID should appear verbatim in the frame")
+	}
+}

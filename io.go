@@ -64,3 +64,24 @@ func EncodePiecewise(dst []byte, pw Piecewise) []byte {
 func DecodePiecewise(b []byte) (Piecewise, error) {
 	return trajio.DecodePiecewise(b)
 }
+
+// IngestContentType is the Content-Type identifying the binary ingest
+// wire format over HTTP (trajserve's POST /ingest accepts it).
+const IngestContentType = trajio.IngestContentType
+
+// AppendIngestHeader starts a binary ingest stream — the compact upload
+// format a device transmits instead of CSV/NDJSON. Call once, then
+// append batches.
+func AppendIngestHeader(dst []byte) []byte { return trajio.AppendIngestHeader(dst) }
+
+// AppendIngestBatch appends one device's point batch to a binary ingest
+// stream (coordinates quantized to 1 cm, delta-coded).
+func AppendIngestBatch(dst []byte, device string, pts []Point) []byte {
+	return trajio.AppendIngestBatch(dst, device, pts)
+}
+
+// DecodeIngest decodes a binary ingest stream, invoking fn once per
+// device batch in stream order.
+func DecodeIngest(b []byte, fn func(device string, pts []Point) error) error {
+	return trajio.DecodeIngest(b, fn)
+}

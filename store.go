@@ -1,0 +1,55 @@
+package trajsim
+
+import (
+	"trajsim/internal/segstore"
+)
+
+// Durable segment persistence, re-exported from internal/segstore: an
+// append-only, crash-recoverable per-device log of finalized segments.
+// Plug a SegmentStore into EngineConfig.Sink and every segment the
+// engine emits survives a restart; Replay serves it back.
+type (
+	// SegmentStore is an append-only segment log over one directory:
+	// CRC-framed, varint delta-coded records in size-rotated files, with
+	// torn-tail recovery on open.
+	SegmentStore = segstore.Store
+	// SegmentStoreConfig parameterizes OpenSegmentStore; Dir is required.
+	SegmentStoreConfig = segstore.Config
+	// SegmentStoreStats are the store-wide counters: appends, segments,
+	// bytes, fsyncs, recovery truncations.
+	SegmentStoreStats = segstore.Stats
+	// SyncPolicy selects when appends are fsynced.
+	SyncPolicy = segstore.SyncPolicy
+)
+
+// Fsync policies for SegmentStoreConfig.Sync.
+const (
+	// SyncInterval fsyncs dirty logs in the background (the default).
+	SyncInterval = segstore.SyncInterval
+	// SyncAlways fsyncs every append.
+	SyncAlways = segstore.SyncAlways
+	// SyncNever leaves flushing to the OS.
+	SyncNever = segstore.SyncNever
+)
+
+// Segment-store errors, re-exported for errors.Is.
+var (
+	ErrStoreClosed  = segstore.ErrClosed
+	ErrStoreCorrupt = segstore.ErrCorrupt
+	ErrDeviceID     = segstore.ErrDeviceID
+)
+
+// OpenSegmentStore opens (creating if needed) a durable segment store.
+//
+//	store, _ := trajsim.OpenSegmentStore(trajsim.SegmentStoreConfig{Dir: "data"})
+//	eng, _ := trajsim.NewEngine(trajsim.EngineConfig{Zeta: 40, Sink: store})
+//	...
+//	eng.Close()  // flush tails into the store
+//	store.Close()
+//	segs, _ := store.Replay("vehicle-7") // everything persisted, in order
+func OpenSegmentStore(cfg SegmentStoreConfig) (*SegmentStore, error) {
+	return segstore.Open(cfg)
+}
+
+// ParseSyncPolicy parses "interval", "always" or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return segstore.ParseSyncPolicy(s) }

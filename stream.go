@@ -20,14 +20,23 @@ type (
 	EngineStats = stream.Stats
 	// Eviction is one idle session finalized by Engine.EvictIdle.
 	Eviction = stream.Eviction
+	// SegmentSink receives every finalized segment batch the engine
+	// emits; a *SegmentStore is the canonical implementation. Set it on
+	// EngineConfig.Sink for durability.
+	SegmentSink = stream.Sink
 )
+
+// MaxDevice is the longest accepted device ID in bytes, shared by the
+// engine and the segment store.
+const MaxDevice = stream.MaxDevice
 
 // Engine errors, re-exported for errors.Is.
 var (
-	ErrEngineClosed = stream.ErrClosed
-	ErrNoDevice     = stream.ErrNoDevice
-	ErrSessionLimit = stream.ErrSessionLimit
-	ErrTimeOrder    = stream.ErrTimeOrder
+	ErrEngineClosed  = stream.ErrClosed
+	ErrNoDevice      = stream.ErrNoDevice
+	ErrDeviceTooLong = stream.ErrDeviceTooLong
+	ErrSessionLimit  = stream.ErrSessionLimit
+	ErrTimeOrder     = stream.ErrTimeOrder
 )
 
 // NewEngine returns a live-session streaming engine.

@@ -26,6 +26,12 @@
 // (Douglas-Peucker, TD-TR, OPW, OPW-TR, BQS, FBQS), quality metrics,
 // synthetic GPS workload generators, and stream cleaning for duplicated or
 // out-of-order fixes.
+//
+// Server-side, an Engine multiplexes thousands of live per-device encoder
+// sessions (stream.go), a SegmentStore persists every finalized segment
+// to crash-recoverable per-device logs (store.go), and compact binary
+// wire formats cover both directions: AppendIngestBatch for uploads,
+// EncodePiecewise for simplified output (io.go).
 package trajsim
 
 import (
