@@ -7,7 +7,8 @@
 // Usage:
 //
 //	trajserve -addr :8080 -zeta 40 -aggressive -shards 16 -idle 5m \
-//	          -data-dir /var/lib/trajsim -fsync interval
+//	          -data-dir /var/lib/trajsim -fsync interval \
+//	          -max-open-files 1024 -retention-bytes 268435456 -retention-age 720h
 //
 // Endpoints:
 //
@@ -43,9 +44,16 @@
 // With -data-dir every finalized segment — from ingest, flush, idle
 // eviction and shutdown alike — is also appended to a crash-recoverable
 // per-device log (internal/segstore); -fsync picks the durability/latency
-// trade-off (interval, always, never). Request bodies are capped at
-// -max-body bytes; larger uploads get 413. SIGINT/SIGTERM drain in-flight
-// requests and flush all live sessions into the store.
+// trade-off (interval, always, never). The store is resource-bounded:
+// -max-open-files caps how many device logs hold an open file descriptor
+// (an LRU transparently reopens cold logs), and -retention-bytes /
+// -retention-age bound each device's log on disk by deleting whole
+// rotated files oldest-first. GET /stats reports the storage tier's
+// counters (appends, bytes, handle hits/misses/evictions, bytes
+// reclaimed, files deleted) under "store" alongside the engine's.
+// Request bodies are capped at -max-body bytes; larger uploads get 413.
+// SIGINT/SIGTERM drain in-flight requests and flush all live sessions
+// into the store.
 package main
 
 import (
@@ -84,6 +92,9 @@ func main() {
 		idle       = flag.Duration("idle", 5*time.Minute, "evict /ingest sessions idle this long; without -data-dir their trailing segments are logged and DROPPED (0 = never evict)")
 		dataDir    = flag.String("data-dir", "", "persist finalized segments to per-device logs under this directory (empty = in-memory only)")
 		fsync      = flag.String("fsync", "interval", "segment-log fsync policy: interval, always, or never")
+		maxOpen    = flag.Int("max-open-files", 0, "cap on simultaneously open segment-log file handles; cold device logs are transparently closed and reopened (0 = store default)")
+		retBytes   = flag.Int64("retention-bytes", 0, "per-device segment-log disk budget; rotated files are deleted oldest-first beyond it (0 = keep everything)")
+		retAge     = flag.Duration("retention-age", 0, "delete rotated segment-log files whose last append is older than this (0 = keep everything)")
 	)
 	flag.Parse()
 
@@ -95,7 +106,13 @@ func main() {
 			os.Exit(1)
 		}
 		var err2 error
-		store, err2 = segstore.Open(segstore.Config{Dir: *dataDir, Sync: policy})
+		store, err2 = segstore.Open(segstore.Config{
+			Dir:          *dataDir,
+			Sync:         policy,
+			MaxOpenFiles: *maxOpen,
+			MaxLogBytes:  *retBytes,
+			MaxLogAge:    *retAge,
+		})
 		if err2 != nil {
 			fmt.Fprintln(os.Stderr, "trajserve:", err2)
 			os.Exit(1)
@@ -135,6 +152,9 @@ func main() {
 	persistence := "no persistence"
 	if store != nil {
 		persistence = fmt.Sprintf("segment logs in %s, fsync=%s", *dataDir, *fsync)
+		if *retBytes > 0 || *retAge > 0 {
+			persistence += fmt.Sprintf(", retention %dB/%s per device", *retBytes, *retAge)
+		}
 	}
 	log.Printf("trajserve listening on %s (ζ=%g m, %d shards, %s)", *addr, *zeta, *shards, persistence)
 

@@ -52,7 +52,14 @@ func testServer(t *testing.T, maxBody int64) *httptest.Server {
 // the store.
 func persistentServer(t *testing.T, dir string) (*httptest.Server, func()) {
 	t.Helper()
-	store, err := segstore.Open(segstore.Config{Dir: dir, Sync: segstore.SyncAlways})
+	return persistentServerCfg(t, segstore.Config{Dir: dir, Sync: segstore.SyncAlways})
+}
+
+// persistentServerCfg is persistentServer with full control of the
+// storage knobs — the -max-open-files/-retention-* configurations.
+func persistentServerCfg(t *testing.T, cfg segstore.Config) (*httptest.Server, func()) {
+	t.Helper()
+	store, err := segstore.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -864,5 +871,96 @@ func TestIngestDeviceTooLong(t *testing.T) {
 	}
 	if _, ok := out.Failed[long]; !ok {
 		t.Fatalf("failed map %v missing the long device", out.Failed)
+	}
+}
+
+// TestStatsReportsStoreCounters is the end-to-end acceptance test for
+// the bounded storage tier: with a tiny handle cap and a tight per-device
+// retention budget, real ingest traffic must surface nonzero
+// handle-eviction and retention counters in GET /stats — and the replay
+// endpoint must keep serving intact records from what retention left.
+func TestStatsReportsStoreCounters(t *testing.T) {
+	srv, _ := persistentServerCfg(t, segstore.Config{
+		Dir:          t.TempDir(),
+		Sync:         segstore.SyncNever,
+		MaxOpenFiles: 1,   // 4 devices below → constant evict/reopen churn
+		MaxFileSize:  256, // rotate early…
+		MaxLogBytes:  512, // …and delete rotated files almost immediately
+	})
+
+	devs := []string{"fleet-a", "fleet-b", "fleet-c", "fleet-d"}
+	presets := []gen.Preset{gen.Taxi, gen.Truck, gen.SerCar, gen.GeoLife}
+	for i, dev := range devs {
+		tr := gen.One(presets[i], 2000, uint64(70+i))
+		// Several batches per device so appends interleave across devices
+		// and the handle LRU actually churns.
+		for off := 0; off < len(tr); off += 500 {
+			body := deviceCSV(map[string][]traj.Point{dev: tr[off : off+500]})
+			resp, err := http.Post(srv.URL+"/ingest", "text/csv", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("ingest %s: status %d", dev, resp.StatusCode)
+			}
+		}
+	}
+	resp, err := http.Post(srv.URL+"/flush", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st stream.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Store == nil {
+		t.Fatal("GET /stats has no store block with -data-dir set")
+	}
+	if st.Store.Appends == 0 || st.Store.Segments == 0 || st.Store.Bytes == 0 {
+		t.Fatalf("store counters empty: %+v", *st.Store)
+	}
+	if st.Store.HandleEvictions == 0 || st.Store.HandleMisses == 0 {
+		t.Fatalf("no handle churn under MaxOpenFiles=1: %+v", *st.Store)
+	}
+	if st.Store.OpenHandles > 1 {
+		t.Fatalf("%d open handles, cap 1: %+v", st.Store.OpenHandles, *st.Store)
+	}
+	if st.Store.DeletedFiles == 0 || st.Store.ReclaimedBytes == 0 {
+		t.Fatalf("no retention activity under MaxLogBytes=512: %+v", *st.Store)
+	}
+
+	// Replay still serves clean NDJSON records from the retained suffix.
+	for _, dev := range devs {
+		resp, err := http.Get(segmentsURL(srv, dev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("replay %s after retention: status %d", dev, resp.StatusCode)
+		}
+		dec := json.NewDecoder(resp.Body)
+		var count int
+		for {
+			var rec segmentRecord
+			if err := dec.Decode(&rec); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("replay %s: %v", dev, err)
+			}
+			count++
+		}
+		resp.Body.Close()
+		if count == 0 {
+			t.Fatalf("replay %s: no segments survived retention", dev)
+		}
 	}
 }

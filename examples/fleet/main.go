@@ -63,7 +63,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dataDir)
-	store, err := trajsim.OpenSegmentStore(trajsim.SegmentStoreConfig{Dir: dataDir})
+	store, err := trajsim.OpenSegmentStore(trajsim.SegmentStoreConfig{
+		Dir: dataDir,
+		// Far fewer handles than trucks: the store transparently closes and
+		// reopens cold device logs, so 40 concurrent writers cost 8 fds.
+		MaxOpenFiles: 8,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,6 +124,8 @@ func main() {
 	fmt.Printf("\ndurable segment store (%s):\n", dataDir)
 	fmt.Printf("  %d segments in %d appends, %d bytes on disk (%.1f bytes/segment)\n",
 		sst.Segments, sst.Appends, sst.Bytes, float64(sst.Bytes)/float64(sst.Segments))
+	fmt.Printf("  handle LRU capped at 8 of %d devices: %d hits, %d misses, %d evictions\n",
+		vehicles, sst.HandleHits, sst.HandleMisses, sst.HandleEvictions)
 
 	reopened, err := trajsim.OpenSegmentStore(trajsim.SegmentStoreConfig{Dir: dataDir})
 	if err != nil {

@@ -1,0 +1,152 @@
+package segstore
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Retention bounds each device's log on disk (Config.MaxLogBytes,
+// Config.MaxLogAge) by deleting whole rotated files oldest-first —
+// records are never split, so whatever survives replays as an intact,
+// contiguous suffix of the append history. The newest file is never
+// deleted: it is the live append target, which also means a log can
+// always answer "where was this device last" even under the tightest
+// budget.
+//
+// Enforcement points: after every rotation (the moment a log grows past
+// a file boundary), at a log's first open in a process, on every
+// maintenance tick for logs this process has touched, and on demand for
+// every device on disk via CompactNow.
+
+// retentionOn reports whether any retention limit is configured.
+func (s *Store) retentionOn() bool {
+	return s.cfg.MaxLogBytes > 0 || s.cfg.MaxLogAge > 0
+}
+
+// compactLocked enforces retention on one device log. Caller holds l.mu.
+// It works on unopened logs too, listing the directory directly, so a
+// full sweep does not pay recovery cost for cold devices.
+func (s *Store) compactLocked(l *deviceLog) error {
+	if !s.retentionOn() {
+		return nil
+	}
+	seqs := l.seqs
+	if !l.opened {
+		var err error
+		if seqs, err = listSeqs(l.dir); err != nil {
+			return err
+		}
+	}
+	if len(seqs) <= 1 {
+		return nil
+	}
+	sizes := make([]int64, len(seqs))
+	mtimes := make([]time.Time, len(seqs))
+	var total int64
+	for i, seq := range seqs {
+		fi, err := os.Stat(l.path(seq))
+		if err != nil {
+			return fmt.Errorf("segstore: retention: %w", err)
+		}
+		sizes[i], mtimes[i] = fi.Size(), fi.ModTime()
+		total += fi.Size()
+	}
+	var cutoff time.Time
+	if s.cfg.MaxLogAge > 0 {
+		cutoff = time.Now().Add(-s.cfg.MaxLogAge)
+	}
+	removed := 0
+	for removed < len(seqs)-1 {
+		// A rotated file's mtime is its last append, so every record inside
+		// is at least that old.
+		expired := s.cfg.MaxLogAge > 0 && mtimes[removed].Before(cutoff)
+		over := s.cfg.MaxLogBytes > 0 && total > s.cfg.MaxLogBytes
+		if !expired && !over {
+			break
+		}
+		if err := os.Remove(l.path(seqs[removed])); err != nil {
+			if l.opened {
+				l.seqs = append(l.seqs[:0], seqs[removed:]...)
+			}
+			return fmt.Errorf("segstore: retention: %w", err)
+		}
+		s.reclaimedBytes.Add(sizes[removed])
+		s.deletedFiles.Add(1)
+		total -= sizes[removed]
+		removed++
+	}
+	if removed > 0 && l.opened {
+		l.seqs = append(l.seqs[:0], seqs[removed:]...)
+	}
+	return nil
+}
+
+// compactKnown runs retention over every log this process has opened —
+// the maintenance loop's cheap per-tick pass, metadata-only for any log
+// it visits. Cold devices from earlier runs are compacted when first
+// opened, or all at once by CompactNow; logs CompactNow registered but
+// never opened are skipped here, or every tick would re-list their
+// directories forever.
+func (s *Store) compactKnown() {
+	s.mu.Lock()
+	logs := make([]*deviceLog, 0, len(s.logs))
+	for _, l := range s.logs {
+		logs = append(logs, l)
+	}
+	s.mu.Unlock()
+	for _, l := range logs {
+		l.mu.Lock()
+		if l.opened {
+			_ = s.compactLocked(l)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// CompactNow synchronously enforces retention for every device with a
+// log on disk — including devices this process has never touched, which
+// the background pass skips. It is a no-op when no retention limit is
+// configured, and returns the first error while still visiting every
+// device.
+func (s *Store) CompactNow() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if !s.retentionOn() {
+		return nil
+	}
+	// One ReadDir of the root, not Devices(): its per-device emptiness
+	// filter would list every directory a second time right before
+	// compactLocked lists it for real, and compaction treats empty and
+	// foreign-content directories as no-ops anyway.
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	var first error
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dev, err := unescapeDevice(e.Name())
+		if err != nil {
+			continue // not ours
+		}
+		l, err := s.log(dev)
+		if err != nil {
+			// Close raced in, or a foreign directory escaped to an
+			// unusable device ID.
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		l.mu.Lock()
+		if err := s.compactLocked(l); err != nil && first == nil {
+			first = err
+		}
+		l.mu.Unlock()
+	}
+	return first
+}

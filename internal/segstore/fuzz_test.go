@@ -1,0 +1,52 @@
+package segstore
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// FuzzEscapeDeviceRoundTrip: directory names are the store's only
+// mapping from device IDs to disk, so the escape must be lossless, emit
+// only filesystem-safe names, and be canonical — no two directory names
+// may unescape to the same device ID, or Devices would report phantom
+// duplicates and foreign directories could alias a real device's log.
+func FuzzEscapeDeviceRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		"", "plain-01", "has space", "slash/../../etc", "unicode-héllo",
+		"%00", "%2F", "%2f", "%61", ".", "..", "Car-1", "a_b-c9",
+		string([]byte{0, 255, '%'}),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := escapeDevice(s)
+		if s != "" {
+			// Safety: always a single, non-special path element.
+			if esc == "" || esc == "." || esc == ".." || filepath.Base(esc) != esc {
+				t.Fatalf("%q escapes to unsafe name %q", s, esc)
+			}
+			for i := 0; i < len(esc); i++ {
+				c := esc[i]
+				if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' ||
+					c == '_' || c == '-' || c == '%' || c >= 'A' && c <= 'F') {
+					t.Fatalf("%q escapes to %q containing byte %q", s, esc, c)
+				}
+			}
+		}
+		// Lossless: every ID round-trips through its directory name.
+		back, err := unescapeDevice(esc)
+		if err != nil {
+			t.Fatalf("%q -> %q does not unescape: %v", s, esc, err)
+		}
+		if back != s {
+			t.Fatalf("%q -> %q -> %q", s, esc, back)
+		}
+		// Canonical: any name unescapeDevice accepts must be exactly what
+		// escapeDevice would emit for the decoded ID.
+		if dev, err := unescapeDevice(s); err == nil {
+			if again := escapeDevice(dev); again != s {
+				t.Fatalf("non-canonical name %q accepted (device %q canonically escapes to %q)", s, dev, again)
+			}
+		}
+	})
+}

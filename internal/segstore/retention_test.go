@@ -1,0 +1,293 @@
+package segstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"trajsim/internal/traj"
+)
+
+// diskUsage sums the log files of dev and returns their count.
+func diskUsage(t *testing.T, dir, dev string) (int64, int) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, escapeDevice(dev), "*"+fileSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	n := 0
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if os.IsNotExist(err) {
+			continue // deleted by a concurrent retention pass
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+		n++
+	}
+	return total, n
+}
+
+// requireSuffix asserts got is a contiguous suffix of want — retention
+// may only drop whole records from the old end, never punch holes or
+// tear a record.
+func requireSuffix(t *testing.T, got, want []traj.Segment) {
+	t.Helper()
+	if len(got) > len(want) {
+		t.Fatalf("replay has %d segments, only %d were appended", len(got), len(want))
+	}
+	if !reflect.DeepEqual(got, want[len(want)-len(got):]) {
+		t.Fatalf("replay (%d segments) is not a contiguous suffix of the %d appended", len(got), len(want))
+	}
+}
+
+// TestRetentionMaxLogBytes drives one device's log far past MaxLogBytes
+// and checks the acceptance property: the log shrinks on disk while
+// Replay still returns only intact, contiguous records.
+func TestRetentionMaxLogBytes(t *testing.T) {
+	const (
+		maxFile  = 512
+		budget   = 1536
+		chunk    = 5
+		segments = 600
+	)
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir, MaxFileSize: maxFile, MaxLogBytes: budget, Sync: SyncNever})
+	segs := syntheticSegs(segments)
+	appendInChunks(t, s, "dev", segs, chunk)
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	st := s.Stats()
+	onDisk, files := diskUsage(t, dir, "dev")
+	if onDisk >= st.Bytes {
+		t.Fatalf("log did not shrink: %d bytes on disk of %d written", onDisk, st.Bytes)
+	}
+	// Compaction runs at rotation, so the steady-state bound is the budget
+	// plus the file that was filling while the budget was last enforced.
+	if limit := int64(budget + maxFile + 512); onDisk > limit {
+		t.Fatalf("%d bytes on disk across %d files, want ≤ %d", onDisk, files, limit)
+	}
+	if st.DeletedFiles == 0 || st.ReclaimedBytes == 0 {
+		t.Fatalf("retention counters empty: %+v", st)
+	}
+	if st.ReclaimedBytes+onDisk != st.Bytes+int64(files+int(st.DeletedFiles))*int64(len(fileMagic)) {
+		t.Fatalf("reclaimed %d + on-disk %d inconsistent with %d written (%d files, %d deleted)",
+			st.ReclaimedBytes, onDisk, st.Bytes, files, st.DeletedFiles)
+	}
+
+	got, err := s.Replay("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) >= segments {
+		t.Fatalf("replay returned %d of %d segments, want a proper suffix", len(got), segments)
+	}
+	requireSuffix(t, got, quantizeAll(segs))
+}
+
+// backdate rewinds the mtime of every log file of dev by d.
+func backdate(t *testing.T, dir, dev string, d time.Duration) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, escapeDevice(dev), "*"+fileSuffix))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("glob: %v, %v", files, err)
+	}
+	old := time.Now().Add(-d)
+	for _, f := range files {
+		if err := os.Chtimes(f, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRetentionMaxLogAge: rotated files older than MaxLogAge are deleted
+// — by CompactNow for devices the process never touched — while the
+// newest file survives no matter its age.
+func TestRetentionMaxLogAge(t *testing.T) {
+	dir := t.TempDir()
+	segs := syntheticSegs(400)
+	writer := openStore(t, Config{Dir: dir, MaxFileSize: 512, Sync: SyncNever})
+	appendInChunks(t, writer, "dev", segs, 5)
+	if err := writer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, files := diskUsage(t, dir, "dev"); files < 3 {
+		t.Fatalf("only %d files, need several rotations", files)
+	}
+	backdate(t, dir, "dev", 2*time.Hour)
+
+	s := openStore(t, Config{Dir: dir, MaxFileSize: 512, MaxLogAge: time.Hour, Sync: SyncNever})
+	// CompactNow sweeps cold devices: this store has never touched "dev".
+	if err := s.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, files := diskUsage(t, dir, "dev"); files != 1 {
+		t.Fatalf("%d files after CompactNow, want only the newest", files)
+	}
+	if st := s.Stats(); st.DeletedFiles == 0 {
+		t.Fatalf("no deletions counted: %+v", st)
+	}
+	got, err := s.Replay("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSuffix(t, got, quantizeAll(segs))
+	if len(got) == 0 {
+		t.Fatal("newest file must survive: replay is empty")
+	}
+	// Still listed, still appendable.
+	devs, err := s.Devices()
+	if err != nil || len(devs) != 1 || devs[0] != "dev" {
+		t.Fatalf("devices after retention: %v, %v", devs, err)
+	}
+	if err := s.Append("dev", segs[:3]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetentionAtFirstOpen: a log written without limits is brought
+// within budget the first time a retention-configured store touches it —
+// no CompactNow needed.
+func TestRetentionAtFirstOpen(t *testing.T) {
+	dir := t.TempDir()
+	segs := syntheticSegs(400)
+	writer := openStore(t, Config{Dir: dir, MaxFileSize: 512, Sync: SyncNever})
+	appendInChunks(t, writer, "dev", segs, 5)
+	if err := writer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, filesBefore := diskUsage(t, dir, "dev")
+
+	s := openStore(t, Config{Dir: dir, MaxFileSize: 512, MaxLogBytes: 1024, Sync: SyncNever})
+	got, err := s.Replay("dev") // first touch opens, and opening compacts
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, filesAfter := diskUsage(t, dir, "dev")
+	if after >= before || filesAfter >= filesBefore {
+		t.Fatalf("first open did not compact: %d→%d bytes, %d→%d files", before, after, filesBefore, filesAfter)
+	}
+	requireSuffix(t, got, quantizeAll(segs))
+}
+
+// TestBackgroundCompactor: the maintenance goroutine enforces MaxLogAge
+// on logs the process has touched, with no append to trigger it.
+func TestBackgroundCompactor(t *testing.T) {
+	dir := t.TempDir()
+	segs := syntheticSegs(400)
+	s := openStore(t, Config{
+		Dir: dir, MaxFileSize: 512, MaxLogAge: time.Hour,
+		Sync: SyncInterval, SyncEvery: 10 * time.Millisecond,
+	})
+	appendInChunks(t, s, "dev", segs, 5)
+	if _, files := diskUsage(t, dir, "dev"); files < 3 {
+		t.Fatalf("only %d files, need several rotations", files)
+	}
+	backdate(t, dir, "dev", 2*time.Hour)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, files := diskUsage(t, dir, "dev"); files == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, files := diskUsage(t, dir, "dev")
+			t.Fatalf("background compactor left %d files after 5s", files)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, err := s.Replay("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSuffix(t, got, quantizeAll(segs))
+}
+
+// TestCompactNowValidation: closed stores refuse; without retention
+// configured it is a documented no-op.
+func TestCompactNowValidation(t *testing.T) {
+	s := openStore(t, Config{})
+	if err := s.CompactNow(); err != nil {
+		t.Fatalf("retention-less CompactNow: %v", err)
+	}
+	s.Close()
+	noRet := openStore(t, Config{MaxLogBytes: 1 << 20})
+	noRet.Close()
+	if err := noRet.CompactNow(); err != ErrClosed {
+		t.Fatalf("closed CompactNow: %v, want ErrClosed", err)
+	}
+}
+
+// TestOpenValidatesBounds: the new knobs reject nonsense.
+func TestOpenValidatesBounds(t *testing.T) {
+	for _, cfg := range []Config{
+		{Dir: t.TempDir(), MaxOpenFiles: -1},
+		{Dir: t.TempDir(), MaxLogBytes: -1},
+		{Dir: t.TempDir(), MaxLogAge: -time.Second},
+	} {
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestDevicesSkipsStrayEntries: loose files, foreign directories and
+// file-less device directories in the data dir must not surface as
+// devices or errors.
+func TestDevicesSkipsStrayEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir, Sync: SyncNever})
+	if err := s.Append("real", syntheticSegs(2)); err != nil {
+		t.Fatal(err)
+	}
+	// A loose file with a device-like name, a foreign directory, a
+	// valid-named directory with no log files, and a directory holding
+	// only foreign files.
+	if err := os.WriteFile(filepath.Join(dir, "strayfile"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"Foreign Dir", "emptydev", "junkdev"} {
+		if err := os.Mkdir(filepath.Join(dir, d), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junkdev", "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	devs, err := s.Devices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 1 || devs[0] != "real" {
+		t.Fatalf("devices = %v, want [real]", devs)
+	}
+}
+
+// TestDefaultFileSizeScalesWithBudget: retention's granularity is one
+// rotated file, so a configured disk budget shrinks the default rotation
+// threshold to a quarter of itself — an explicit MaxFileSize still wins.
+func TestDefaultFileSizeScalesWithBudget(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int64
+	}{
+		{Config{}, DefaultMaxFileSize},
+		{Config{MaxLogBytes: 1 << 20}, (1 << 20) / 4},
+		{Config{MaxLogBytes: 1024}, 4 << 10}, // floored
+		{Config{MaxLogBytes: 1 << 32}, DefaultMaxFileSize},
+		{Config{MaxLogBytes: 1 << 20, MaxFileSize: 123456}, 123456},
+	}
+	for _, c := range cases {
+		s := openStore(t, c.cfg)
+		if s.cfg.MaxFileSize != c.want {
+			t.Errorf("MaxLogBytes=%d MaxFileSize=%d: rotation threshold %d, want %d",
+				c.cfg.MaxLogBytes, c.cfg.MaxFileSize, s.cfg.MaxFileSize, c.want)
+		}
+		s.Close()
+	}
+}

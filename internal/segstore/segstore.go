@@ -13,11 +13,20 @@
 // torn tail from a crash mid-write — while any damage earlier in the log
 // is reported as corruption rather than silently skipped.
 //
+// The store is resource-bounded the same way the paper's encoders are:
+// at most Config.MaxOpenFiles device logs hold an open file handle (an
+// LRU transparently closes and reopens cold logs), and per-device disk
+// usage is bounded by Config.MaxLogBytes / Config.MaxLogAge retention,
+// enforced by deleting whole rotated files oldest-first (compact.go) —
+// so millions of devices streaming forever cost neither millions of
+// descriptors nor unbounded disk.
+//
 // Store.Append matches the stream.Sink interface, so a Store plugs
 // directly into stream.Config.Sink.
 package segstore
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"os"
@@ -56,6 +65,10 @@ const (
 	// DefaultSyncEvery is the background fsync period for SyncInterval
 	// when Config.SyncEvery is zero.
 	DefaultSyncEvery = time.Second
+	// DefaultMaxOpenFiles is the open-handle cap when Config.MaxOpenFiles
+	// is zero: generous enough that modest fleets never evict, far below
+	// typical fd rlimits.
+	DefaultMaxOpenFiles = 1024
 )
 
 // SyncPolicy selects when appended records are fsynced to disk.
@@ -104,21 +117,49 @@ type Config struct {
 	// Dir is the root directory; created if missing.
 	Dir string
 	// MaxFileSize rotates a device's log file once appending would grow
-	// it past this many bytes; 0 selects DefaultMaxFileSize.
+	// it past this many bytes; 0 selects DefaultMaxFileSize — or, when
+	// MaxLogBytes is set, a quarter of that budget (floored at 4 KiB),
+	// since retention deletes whole rotated files and 64 MiB monoliths
+	// would give a small budget no granularity to work with.
 	MaxFileSize int64
 	// Sync selects the fsync policy.
 	Sync SyncPolicy
-	// SyncEvery is the SyncInterval period; 0 selects DefaultSyncEvery.
+	// SyncEvery is the period of the background maintenance loop —
+	// SyncInterval fsyncs and retention passes alike; 0 selects
+	// DefaultSyncEvery.
 	SyncEvery time.Duration
+	// MaxOpenFiles caps how many device logs hold an open file handle at
+	// once; colder logs are transparently closed and reopened on their
+	// next append. 0 selects DefaultMaxOpenFiles; negative is an error.
+	// The cap may be exceeded transiently while every open log is
+	// mid-operation (see handleLRU).
+	MaxOpenFiles int
+	// MaxLogBytes, when positive, bounds each device's log on disk:
+	// whole rotated files are deleted oldest-first while the total
+	// exceeds it. The active file is never deleted, so the effective
+	// bound is MaxLogBytes + one file. 0 keeps everything.
+	MaxLogBytes int64
+	// MaxLogAge, when positive, deletes rotated files whose last append
+	// (mtime) is older than this. The active file is never deleted. 0
+	// keeps everything.
+	MaxLogAge time.Duration
 }
 
-// Stats are store-wide counters, all cumulative.
+// Stats are store-wide counters, all cumulative except OpenHandles.
 type Stats struct {
 	Appends   int64 `json:"appends"`     // Append calls that wrote records
 	Segments  int64 `json:"segments"`    // segments persisted
 	Bytes     int64 `json:"bytes"`       // record bytes written (incl. framing)
 	Syncs     int64 `json:"syncs"`       // explicit fsync calls
 	Recovered int64 `json:"truncations"` // torn tails truncated during recovery
+
+	OpenHandles     int64 `json:"open_handles"`     // device logs holding an open file now
+	HandleHits      int64 `json:"handle_hits"`      // appends that found their file open
+	HandleMisses    int64 `json:"handle_misses"`    // appends that had to open (or create) a file
+	HandleEvictions int64 `json:"handle_evictions"` // cold handles closed by the MaxOpenFiles LRU
+
+	ReclaimedBytes int64 `json:"reclaimed_bytes"` // bytes deleted by retention
+	DeletedFiles   int64 `json:"deleted_files"`   // files deleted by retention
 }
 
 // Store is an append-only segment log over one directory. All methods
@@ -130,29 +171,41 @@ type Store struct {
 	mu   sync.Mutex
 	logs map[string]*deviceLog
 
+	handles handleLRU
+
 	appends   atomic.Int64
 	segments  atomic.Int64
 	bytes     atomic.Int64
 	syncs     atomic.Int64
 	recovered atomic.Int64
 
-	closed  atomic.Bool
-	stop    chan struct{}
-	flusher sync.WaitGroup
+	handleHits      atomic.Int64
+	handleMisses    atomic.Int64
+	handleEvictions atomic.Int64
+	reclaimedBytes  atomic.Int64
+	deletedFiles    atomic.Int64
+
+	closed atomic.Bool
+	stop   chan struct{}
+	maint  sync.WaitGroup
 }
 
 // deviceLog is one device's on-disk state. Opened lazily: recovery work
 // happens at the first Append or Replay touching the device, not at
 // store Open, so startup cost does not scale with the device population.
+// The metadata (file list, append offset) stays resident once opened;
+// the file handle itself comes and goes under the MaxOpenFiles LRU.
 type deviceLog struct {
 	mu     sync.Mutex
 	dir    string
 	opened bool
 	seqs   []int    // existing file numbers, ascending
-	f      *os.File // newest file, open for append; nil until first write
+	f      *os.File // newest file, open for append; nil until first write or after eviction
 	size   int64    // valid bytes in the newest file
 	dirty  bool     // has unsynced writes
 	failed error    // sticky write failure; rejects further appends
+
+	elem *list.Element // LRU position while f is open; guarded by handleLRU.mu
 }
 
 // Open validates cfg, creates the root directory, and returns a running
@@ -161,11 +214,28 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("segstore: Config.Dir is required")
 	}
+	if cfg.MaxLogBytes < 0 {
+		return nil, fmt.Errorf("segstore: negative MaxLogBytes %d", cfg.MaxLogBytes)
+	}
 	if cfg.MaxFileSize <= 0 {
 		cfg.MaxFileSize = DefaultMaxFileSize
+		if cfg.MaxLogBytes > 0 {
+			if q := cfg.MaxLogBytes / 4; q < cfg.MaxFileSize {
+				cfg.MaxFileSize = max(q, 4<<10)
+			}
+		}
 	}
 	if cfg.SyncEvery <= 0 {
 		cfg.SyncEvery = DefaultSyncEvery
+	}
+	if cfg.MaxOpenFiles < 0 {
+		return nil, fmt.Errorf("segstore: negative MaxOpenFiles %d", cfg.MaxOpenFiles)
+	}
+	if cfg.MaxOpenFiles == 0 {
+		cfg.MaxOpenFiles = DefaultMaxOpenFiles
+	}
+	if cfg.MaxLogAge < 0 {
+		return nil, fmt.Errorf("segstore: negative MaxLogAge %v", cfg.MaxLogAge)
 	}
 	if _, err := ParseSyncPolicy(cfg.Sync.String()); err != nil {
 		return nil, err
@@ -178,9 +248,10 @@ func Open(cfg Config) (*Store, error) {
 		logs: make(map[string]*deviceLog),
 		stop: make(chan struct{}),
 	}
-	if cfg.Sync == SyncInterval {
-		s.flusher.Add(1)
-		go s.runFlusher()
+	s.handles.cap = cfg.MaxOpenFiles
+	if cfg.Sync == SyncInterval || s.retentionOn() {
+		s.maint.Add(1)
+		go s.runMaintenance()
 	}
 	return s, nil
 }
@@ -207,8 +278,23 @@ func escapeDevice(dev string) string {
 	return sb.String()
 }
 
+// unhex decodes one uppercase hex digit — exactly the alphabet
+// escapeDevice emits, so lowercase hex is a foreign name, not an alias.
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
 // unescapeDevice inverts escapeDevice; it fails on names a Store never
-// writes, which is how Devices skips foreign directory entries.
+// writes, which is how Devices skips foreign directory entries. Accepted
+// names are canonical — escapeDevice(unescapeDevice(name)) == name — so
+// two distinct directory names can never alias one device ID (lowercase
+// hex and escapes of bytes escapeDevice keeps verbatim are rejected).
 func unescapeDevice(name string) (string, error) {
 	var sb strings.Builder
 	for i := 0; i < len(name); i++ {
@@ -218,11 +304,16 @@ func unescapeDevice(name string) (string, error) {
 			if i+2 >= len(name) {
 				return "", fmt.Errorf("segstore: truncated escape in %q", name)
 			}
-			v, err := strconv.ParseUint(name[i+1:i+3], 16, 8)
-			if err != nil {
+			hi, ok1 := unhex(name[i+1])
+			lo, ok2 := unhex(name[i+2])
+			if !ok1 || !ok2 {
 				return "", fmt.Errorf("segstore: bad escape in %q", name)
 			}
-			sb.WriteByte(byte(v))
+			v := hi<<4 | lo
+			if v >= 'a' && v <= 'z' || v >= '0' && v <= '9' || v == '_' || v == '-' {
+				return "", fmt.Errorf("segstore: non-canonical escape %%%c%c in %q", name[i+1], name[i+2], name)
+			}
+			sb.WriteByte(v)
 			i += 2
 		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '-':
 			sb.WriteByte(c)
@@ -283,20 +374,17 @@ func scanLog(dst []traj.Segment, b []byte) ([]traj.Segment, int64, error) {
 	return dst, off, nil
 }
 
-// open lists the device's files and recovers the newest one, truncating
-// a torn tail so the append offset lands on a record boundary. Caller
-// holds l.mu.
-func (l *deviceLog) open(s *Store) error {
-	if l.opened {
-		return nil
-	}
-	entries, err := os.ReadDir(l.dir)
+// listSeqs returns the ascending log-file sequence numbers in dir; a
+// missing directory lists as empty. Entries a Store never writes are
+// skipped.
+func listSeqs(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
-		l.opened = true
-		return nil
+		return nil, nil
 	} else if err != nil {
-		return fmt.Errorf("segstore: %w", err)
+		return nil, fmt.Errorf("segstore: %w", err)
 	}
+	var seqs []int
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, fileSuffix) {
@@ -306,9 +394,26 @@ func (l *deviceLog) open(s *Store) error {
 		if err != nil || seq <= 0 || fileName(seq) != name {
 			continue
 		}
-		l.seqs = append(l.seqs, seq)
+		seqs = append(seqs, seq)
 	}
-	sort.Ints(l.seqs)
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// open lists the device's files and recovers the newest one, truncating
+// a torn tail so the append offset lands on a record boundary. It leaves
+// no file handle behind — the append path opens one on demand, under the
+// MaxOpenFiles LRU, so a replay-only sweep of a million devices costs no
+// lingering descriptors. Caller holds l.mu.
+func (l *deviceLog) open(s *Store) error {
+	if l.opened {
+		return nil
+	}
+	seqs, err := listSeqs(l.dir)
+	if err != nil {
+		return err
+	}
+	l.seqs = seqs
 	if len(l.seqs) == 0 {
 		l.opened = true
 		return nil
@@ -329,33 +434,37 @@ func (l *deviceLog) open(s *Store) error {
 		return fmt.Errorf("%w: %d invalid bytes at offset %d — more than one torn write (%s)",
 			ErrCorrupt, torn, validLen, l.path(last))
 	}
-	f, err := os.OpenFile(l.path(last), os.O_RDWR, 0)
-	if err != nil {
-		return fmt.Errorf("segstore: %w", err)
-	}
-	if validLen < int64(len(b)) {
-		if err := f.Truncate(validLen); err != nil {
-			f.Close()
-			return fmt.Errorf("segstore: truncate torn tail: %w", err)
+	if validLen < int64(len(b)) || validLen < int64(len(fileMagic)) {
+		f, err := os.OpenFile(l.path(last), os.O_RDWR, 0)
+		if err != nil {
+			return fmt.Errorf("segstore: %w", err)
 		}
-		s.recovered.Add(1)
-	}
-	if _, err := f.Seek(validLen, 0); err != nil {
-		f.Close()
-		return fmt.Errorf("segstore: %w", err)
-	}
-	// A file torn during creation recovers to zero bytes; restore its
-	// header now so subsequent appends land in a valid file instead of
-	// producing a magic-less log the next open would call corrupt.
-	if validLen < int64(len(fileMagic)) {
-		if _, err := f.WriteString(fileMagic); err != nil {
-			f.Close()
-			return fmt.Errorf("segstore: rewrite header: %w", err)
+		if validLen < int64(len(b)) {
+			if err := f.Truncate(validLen); err != nil {
+				f.Close()
+				return fmt.Errorf("segstore: truncate torn tail: %w", err)
+			}
+			s.recovered.Add(1)
 		}
-		validLen = int64(len(fileMagic))
+		// A file torn during creation recovers to zero bytes; restore its
+		// header now so subsequent appends land in a valid file instead of
+		// producing a magic-less log the next open would call corrupt.
+		if validLen < int64(len(fileMagic)) {
+			if _, err := f.WriteAt([]byte(fileMagic), 0); err != nil {
+				f.Close()
+				return fmt.Errorf("segstore: rewrite header: %w", err)
+			}
+			validLen = int64(len(fileMagic))
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("segstore: %w", err)
+		}
 	}
-	l.f, l.size = f, validLen
+	l.size = validLen
 	l.opened = true
+	// First contact in this process: bring a log written under older (or
+	// no) retention limits within budget.
+	_ = s.compactLocked(l)
 	return nil
 }
 
@@ -378,6 +487,7 @@ func (l *deviceLog) create(s *Store, seq int) error {
 	}
 	l.f, l.size = f, int64(len(fileMagic))
 	l.seqs = append(l.seqs, seq)
+	s.registerHandle(l)
 	if s.cfg.Sync == SyncAlways {
 		if err := syncDir(l.dir); err != nil {
 			return err
@@ -443,6 +553,11 @@ func (s *Store) Append(device string, segs []traj.Segment) error {
 	if err := l.open(s); err != nil {
 		return err
 	}
+	// Reopen the newest file if the handle LRU evicted it (or mark the
+	// handle warm if not); a log with no files yet is created below.
+	if err := l.handle(s); err != nil {
+		return err
+	}
 	var written int64
 	for off := 0; off < len(segs); off += recordChunk {
 		chunk := segs[off:min(off+recordChunk, len(segs))]
@@ -460,6 +575,11 @@ func (s *Store) Append(device string, segs []traj.Segment) error {
 			if err := l.rotate(s); err != nil {
 				return err
 			}
+			// Rotation is the moment the log grows past a file boundary:
+			// enforce retention now, while the budget overshoot is one file.
+			// Failure here must not fail the append — the maintenance loop
+			// retries on its next tick.
+			_ = s.compactLocked(l)
 		}
 		n, err := l.f.Write(frame)
 		l.size += int64(n)
@@ -531,7 +651,11 @@ func (s *Store) Replay(device string) ([]traj.Segment, error) {
 	return out, nil
 }
 
-// Devices lists every device with a log on disk, sorted.
+// Devices lists every device with a log on disk, sorted. Stray entries
+// in the data dir — loose files, foreign or unreadable directories, and
+// directories holding no log files (e.g. a crash between creating a
+// device directory and its first file) — are skipped, not reported as
+// devices and not errors.
 func (s *Store) Devices() ([]string, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
@@ -548,6 +672,10 @@ func (s *Store) Devices() ([]string, error) {
 		dev, err := unescapeDevice(e.Name())
 		if err != nil {
 			continue // not ours
+		}
+		seqs, err := listSeqs(filepath.Join(s.cfg.Dir, e.Name()))
+		if err != nil || len(seqs) == 0 {
+			continue // unreadable or empty: nothing to replay
 		}
 		out = append(out, dev)
 	}
@@ -580,8 +708,11 @@ func (s *Store) Sync() error {
 	return first
 }
 
-func (s *Store) runFlusher() {
-	defer s.flusher.Done()
+// runMaintenance is the store's one background goroutine: every
+// SyncEvery it fsyncs dirty logs (SyncInterval policy) and runs the
+// retention pass over the logs this process has touched.
+func (s *Store) runMaintenance() {
+	defer s.maint.Done()
 	tick := time.NewTicker(s.cfg.SyncEvery)
 	defer tick.Stop()
 	for {
@@ -589,7 +720,12 @@ func (s *Store) runFlusher() {
 		case <-s.stop:
 			return
 		case <-tick.C:
-			s.Sync()
+			if s.cfg.Sync == SyncInterval {
+				s.Sync()
+			}
+			if s.retentionOn() {
+				s.compactKnown()
+			}
 		}
 	}
 }
@@ -602,6 +738,14 @@ func (s *Store) Stats() Stats {
 		Bytes:     s.bytes.Load(),
 		Syncs:     s.syncs.Load(),
 		Recovered: s.recovered.Load(),
+
+		OpenHandles:     int64(s.handles.open()),
+		HandleHits:      s.handleHits.Load(),
+		HandleMisses:    s.handleMisses.Load(),
+		HandleEvictions: s.handleEvictions.Load(),
+
+		ReclaimedBytes: s.reclaimedBytes.Load(),
+		DeletedFiles:   s.deletedFiles.Load(),
 	}
 }
 
@@ -613,7 +757,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	close(s.stop)
-	s.flusher.Wait()
+	s.maint.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
@@ -626,10 +770,9 @@ func (s *Store) Close() error {
 				}
 				s.syncs.Add(1)
 			}
-			if err := l.f.Close(); err != nil && first == nil {
+			if err := s.dropHandle(l); err != nil && first == nil {
 				first = fmt.Errorf("segstore: %w", err)
 			}
-			l.f = nil
 		}
 		l.mu.Unlock()
 	}

@@ -12,20 +12,13 @@ import (
 
 	"trajsim/internal/core"
 	"trajsim/internal/gen"
-	"trajsim/internal/stream"
 	"trajsim/internal/traj"
 )
 
-// A Store is the canonical stream.Sink implementation.
-var _ stream.Sink = (*Store)(nil)
-
-// The engine's device-ID cap and the store's must agree, or a device
-// could ingest but never persist.
-func TestDeviceCapMatchesEngine(t *testing.T) {
-	if maxDeviceID != stream.MaxDevice {
-		t.Fatalf("segstore caps device IDs at %d bytes, stream at %d", maxDeviceID, stream.MaxDevice)
-	}
-}
+// The stream.Sink conformance assertion and the device-ID-cap cross
+// check live in stream_compat_test.go (package segstore_test): stream
+// imports segstore for sink stats, so importing it from an in-package
+// test would be an import cycle.
 
 // quantize maps a segment onto its stored form, for equality checks.
 func quantize(s traj.Segment) traj.Segment {
@@ -45,7 +38,7 @@ func quantizeAll(segs []traj.Segment) []traj.Segment {
 
 // simplified returns realistic segment batches: OPERB-A output for a
 // synthetic trajectory.
-func simplified(t *testing.T, preset gen.Preset, n int, seed uint64) []traj.Segment {
+func simplified(t testing.TB, preset gen.Preset, n int, seed uint64) []traj.Segment {
 	t.Helper()
 	pw, err := core.SimplifyAggressive(gen.One(preset, n, seed), 30)
 	if err != nil {

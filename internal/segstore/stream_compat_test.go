@@ -1,0 +1,38 @@
+package segstore_test
+
+// External test package: stream imports segstore (to surface sink stats
+// through Engine.Stats), so the cross-package checks live out here where
+// importing both is not a cycle.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"trajsim/internal/segstore"
+	"trajsim/internal/stream"
+	"trajsim/internal/traj"
+)
+
+// A Store is the canonical stream.Sink implementation.
+var _ stream.Sink = (*segstore.Store)(nil)
+
+// The engine's device-ID cap and the store's must agree, or a device
+// could ingest but never persist. The store's cap is unexported, so
+// probe it behaviorally: an ID of exactly stream.MaxDevice bytes must
+// append, one byte more must be rejected.
+func TestDeviceCapMatchesEngine(t *testing.T) {
+	s, err := segstore.Open(segstore.Config{Dir: t.TempDir(), Sync: segstore.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	segs := []traj.Segment{{Start: traj.At(0, 0, 0), End: traj.At(1, 1, 1000), EndIdx: 1}}
+	atCap := strings.Repeat("x", stream.MaxDevice)
+	if err := s.Append(atCap, segs); err != nil {
+		t.Fatalf("append %d-byte id (= stream.MaxDevice): %v", len(atCap), err)
+	}
+	if err := s.Append(atCap+"x", segs); !errors.Is(err, segstore.ErrDeviceID) {
+		t.Fatalf("append %d-byte id: %v, want ErrDeviceID", stream.MaxDevice+1, err)
+	}
+}

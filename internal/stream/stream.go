@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"trajsim/internal/core"
+	"trajsim/internal/segstore"
 	"trajsim/internal/traj"
 )
 
@@ -102,6 +103,14 @@ type Config struct {
 	Clock func() time.Time
 }
 
+// StatsSink is the optional second face of a Sink: one that exposes
+// storage-tier counters for Engine.Stats to surface. *segstore.Store
+// implements it; custom sinks may too.
+type StatsSink interface {
+	Sink
+	Stats() segstore.Stats
+}
+
 // Stats are engine-wide counters, all cumulative except Sessions.
 type Stats struct {
 	Sessions   int   `json:"sessions"`    // live sessions right now
@@ -112,6 +121,12 @@ type Stats struct {
 	Evicted    int64 `json:"evictions"`   // sessions finalized for idleness
 	Contended  int64 `json:"contended"`   // ingests that blocked on a busy shard lock
 	SinkErrors int64 `json:"sink_errors"` // segment batches the Sink failed to persist
+
+	// Store carries the durability tier's counters when the configured
+	// Sink exposes them (see StatsSink); nil otherwise. One Stats call
+	// answers for the whole storage path: sessions in memory, segments on
+	// disk, handle-LRU and retention activity underneath.
+	Store *segstore.Stats `json:"store,omitempty"`
 }
 
 // Eviction is one idle session finalized by EvictIdle: its device ID and
@@ -440,9 +455,10 @@ func (e *Engine) runJanitor() {
 // Sessions returns the number of live sessions.
 func (e *Engine) Sessions() int { return int(e.live.Load()) }
 
-// Stats returns a snapshot of the engine-wide counters.
+// Stats returns a snapshot of the engine-wide counters, including the
+// sink's storage counters when the Sink exposes them.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Sessions:   int(e.live.Load()),
 		Opened:     e.opened.Load(),
 		Points:     e.points.Load(),
@@ -452,6 +468,11 @@ func (e *Engine) Stats() Stats {
 		Contended:  e.contended.Load(),
 		SinkErrors: e.sinkErrs.Load(),
 	}
+	if ss, ok := e.cfg.Sink.(StatsSink); ok {
+		sst := ss.Stats()
+		st.Store = &sst
+	}
+	return st
 }
 
 // Close stops the janitor, rejects further ingest, and finalizes every

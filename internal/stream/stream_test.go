@@ -11,6 +11,7 @@ import (
 
 	"trajsim/internal/gen"
 	"trajsim/internal/metrics"
+	"trajsim/internal/segstore"
 	"trajsim/internal/traj"
 )
 
@@ -639,3 +640,49 @@ func TestSinkConcurrentDevices(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsSurfacesStoreCounters: when the Sink is a segment store (or
+// anything else implementing StatsSink), one Engine.Stats call answers
+// for the whole storage path; sinks without counters leave Store nil.
+func TestStatsSurfacesStoreCounters(t *testing.T) {
+	store, err := segstore.Open(segstore.Config{Dir: t.TempDir(), Sync: segstore.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	e, err := NewEngine(Config{Zeta: 20, Sink: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Ingest("dev", gen.One(gen.Taxi, 400, 61)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Flush("dev"); !ok {
+		t.Fatal("flush found no session")
+	}
+	st := e.Stats()
+	if st.Store == nil {
+		t.Fatal("Stats.Store is nil with a segment-store sink")
+	}
+	if want := store.Stats(); *st.Store != want {
+		t.Errorf("Stats.Store = %+v, want %+v", *st.Store, want)
+	}
+	if st.Store.Segments == 0 || st.Store.Appends == 0 {
+		t.Errorf("store counters empty after flush: %+v", *st.Store)
+	}
+
+	plain, err := NewEngine(Config{Zeta: 20, Sink: discardSink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if st := plain.Stats(); st.Store != nil {
+		t.Errorf("counter-less sink surfaced store stats: %+v", st.Store)
+	}
+}
+
+// discardSink is a Sink with no Stats method.
+type discardSink struct{}
+
+func (discardSink) Append(string, []traj.Segment) error { return nil }

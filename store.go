@@ -8,19 +8,34 @@ import (
 // append-only, crash-recoverable per-device log of finalized segments.
 // Plug a SegmentStore into EngineConfig.Sink and every segment the
 // engine emits survives a restart; Replay serves it back.
+//
+// The store is resource-bounded: SegmentStoreConfig.MaxOpenFiles caps
+// how many device logs hold an open file handle (cold logs are
+// transparently closed and reopened by an LRU), and MaxLogBytes /
+// MaxLogAge bound each device's disk usage via retention — whole rotated
+// files are deleted oldest-first, never splitting a record, so whatever
+// survives replays as an intact, contiguous suffix. Retention runs at
+// rotation, at first open, on a background tick, and on demand via
+// SegmentStore.CompactNow.
 type (
 	// SegmentStore is an append-only segment log over one directory:
 	// CRC-framed, varint delta-coded records in size-rotated files, with
-	// torn-tail recovery on open.
+	// torn-tail recovery on open, a bounded file-handle LRU, and
+	// per-device retention.
 	SegmentStore = segstore.Store
 	// SegmentStoreConfig parameterizes OpenSegmentStore; Dir is required.
 	SegmentStoreConfig = segstore.Config
 	// SegmentStoreStats are the store-wide counters: appends, segments,
-	// bytes, fsyncs, recovery truncations.
+	// bytes, fsyncs, recovery truncations, handle hits/misses/evictions,
+	// and retention's bytes reclaimed / files deleted.
 	SegmentStoreStats = segstore.Stats
 	// SyncPolicy selects when appends are fsynced.
 	SyncPolicy = segstore.SyncPolicy
 )
+
+// DefaultMaxOpenFiles is the file-handle cap applied when
+// SegmentStoreConfig.MaxOpenFiles is zero.
+const DefaultMaxOpenFiles = segstore.DefaultMaxOpenFiles
 
 // Fsync policies for SegmentStoreConfig.Sync.
 const (

@@ -16,7 +16,8 @@ type (
 	// EngineConfig parameterizes NewEngine; Zeta (meters) is required.
 	EngineConfig = stream.Config
 	// EngineStats are the engine-wide counters: live sessions, points
-	// ingested, segments emitted, flushes and evictions.
+	// ingested, segments emitted, flushes and evictions — plus, when the
+	// Sink is a SegmentStore, the storage tier's counters in .Store.
 	EngineStats = stream.Stats
 	// Eviction is one idle session finalized by Engine.EvictIdle.
 	Eviction = stream.Eviction
