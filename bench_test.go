@@ -68,8 +68,10 @@ func compressAll(b *testing.B, fn algo.Func, ds []traj.Trajectory, zeta float64)
 // BenchmarkTable1Datasets measures synthetic dataset generation, the
 // substrate behind Table 1.
 func BenchmarkTable1Datasets(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range gen.Presets {
 		b.Run(p.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tr := gen.One(p, 2000, uint64(i))
 				if len(tr) != 2000 {
@@ -84,6 +86,7 @@ func BenchmarkTable1Datasets(b *testing.B) {
 // BenchmarkFig12Size reproduces Figure 12: runtime vs trajectory size at
 // ζ=40 m for DP, FBQS, OPERB and OPERB-A.
 func BenchmarkFig12Size(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEnv()
 	for _, p := range gen.Presets {
 		for _, size := range benchScale.SizeSweep {
@@ -92,6 +95,7 @@ func BenchmarkFig12Size(b *testing.B) {
 			for _, a := range algo.Comparison() {
 				name := fmt.Sprintf("%s/size=%d/%s", p, size, a.Name)
 				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						compressAll(b, a.Fn, ds, 40)
 					}
@@ -105,6 +109,7 @@ func BenchmarkFig12Size(b *testing.B) {
 // BenchmarkFig13Epsilon reproduces Figure 13: runtime vs ζ on the whole
 // datasets.
 func BenchmarkFig13Epsilon(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEnv()
 	for _, p := range gen.Presets {
 		ds := e.Whole(p)
@@ -113,6 +118,7 @@ func BenchmarkFig13Epsilon(b *testing.B) {
 			for _, a := range algo.Comparison() {
 				name := fmt.Sprintf("%s/zeta=%g/%s", p, zeta, a.Name)
 				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						compressAll(b, a.Fn, ds, zeta)
 					}
@@ -127,6 +133,7 @@ func BenchmarkFig13Epsilon(b *testing.B) {
 // the §4.4 optimization techniques (Raw-OPERB vs OPERB and the OPERB-A
 // pair) at ζ=40 m.
 func BenchmarkFig14Optimizations(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEnv()
 	lineup := []string{"Raw-OPERB", "OPERB", "Raw-OPERB-A", "OPERB-A"}
 	for _, p := range gen.Presets {
@@ -137,6 +144,7 @@ func BenchmarkFig14Optimizations(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.Run(fmt.Sprintf("%s/%s", p, name), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					compressAll(b, a.Fn, ds, 40)
 				}
@@ -148,6 +156,7 @@ func BenchmarkFig14Optimizations(b *testing.B) {
 // BenchmarkFig15Ratio reproduces Figure 15: compression ratio vs ζ,
 // reported as the "ratio" metric (segments per point; lower is better).
 func BenchmarkFig15Ratio(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEnv()
 	for _, p := range gen.Presets {
 		ds := e.Whole(p)
@@ -155,6 +164,7 @@ func BenchmarkFig15Ratio(b *testing.B) {
 			for _, a := range algo.Comparison() {
 				name := fmt.Sprintf("%s/zeta=%g/%s", p, zeta, a.Name)
 				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
 					var ratio float64
 					for i := 0; i < b.N; i++ {
 						pws := compressAll(b, a.Fn, ds, zeta)
@@ -174,6 +184,7 @@ func BenchmarkFig15Ratio(b *testing.B) {
 // BenchmarkFig16OptimizationRatio reproduces Figure 16: the ratio impact
 // of the optimization techniques at ζ=40 m.
 func BenchmarkFig16OptimizationRatio(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEnv()
 	lineup := []string{"Raw-OPERB", "OPERB", "Raw-OPERB-A", "OPERB-A"}
 	for _, p := range gen.Presets {
@@ -184,6 +195,7 @@ func BenchmarkFig16OptimizationRatio(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.Run(fmt.Sprintf("%s/%s", p, name), func(b *testing.B) {
+				b.ReportAllocs()
 				var ratio float64
 				for i := 0; i < b.N; i++ {
 					pws := compressAll(b, a.Fn, ds, 40)
@@ -203,12 +215,14 @@ func BenchmarkFig16OptimizationRatio(b *testing.B) {
 // distribution at ζ=40 m; the "heavy" metric counts segments representing
 // 10+ points (the tail the paper highlights).
 func BenchmarkFig17Distribution(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEnv()
 	size := benchScale.SizeSweep[len(benchScale.SizeSweep)-1]
 	for _, p := range gen.Presets {
 		ds := e.Subset(p, size)
 		for _, a := range algo.Comparison() {
 			b.Run(fmt.Sprintf("%s/%s", p, a.Name), func(b *testing.B) {
+				b.ReportAllocs()
 				var heavy int
 				for i := 0; i < b.N; i++ {
 					pws := compressAll(b, a.Fn, ds, 40)
@@ -229,6 +243,7 @@ func BenchmarkFig17Distribution(b *testing.B) {
 // BenchmarkFig18AvgError reproduces Figure 18: average error vs ζ,
 // reported as the "avg-err-m" metric.
 func BenchmarkFig18AvgError(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEnv()
 	for _, p := range gen.Presets {
 		ds := e.Whole(p)
@@ -236,6 +251,7 @@ func BenchmarkFig18AvgError(b *testing.B) {
 			for _, a := range algo.Comparison() {
 				name := fmt.Sprintf("%s/zeta=%g/%s", p, zeta, a.Name)
 				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
 					var avg float64
 					for i := 0; i < b.N; i++ {
 						pws := compressAll(b, a.Fn, ds, zeta)
@@ -255,11 +271,13 @@ func BenchmarkFig18AvgError(b *testing.B) {
 // BenchmarkFig19PatchingZeta reproduces Figure 19(1): OPERB-A's patching
 // ratio vs ζ (γm=π/3), reported as the "patch-ratio" metric.
 func BenchmarkFig19PatchingZeta(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEnv()
 	for _, p := range gen.Presets {
 		ds := e.Whole(p)
 		for _, zeta := range benchScale.TimeZetas {
 			b.Run(fmt.Sprintf("%s/zeta=%g", p, zeta), func(b *testing.B) {
+				b.ReportAllocs()
 				var st core.PatchStats
 				for i := 0; i < b.N; i++ {
 					st = core.PatchStats{}
@@ -281,12 +299,14 @@ func BenchmarkFig19PatchingZeta(b *testing.B) {
 // BenchmarkFig19PatchingGamma reproduces Figure 19(2): patching ratio vs
 // γm at ζ=40 m.
 func BenchmarkFig19PatchingGamma(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEnv()
 	size := benchScale.SizeSweep[len(benchScale.SizeSweep)-1]
 	for _, p := range gen.Presets {
 		ds := e.Subset(p, size)
 		for _, deg := range benchScale.GammaDegrees {
 			b.Run(fmt.Sprintf("%s/gamma=%g", p, deg), func(b *testing.B) {
+				b.ReportAllocs()
 				opts := core.DefaultOptions()
 				opts.Gamma = float64(deg) * 3.14159265358979323846 / 180
 				if opts.Gamma == 0 {
@@ -313,8 +333,10 @@ func BenchmarkFig19PatchingGamma(b *testing.B) {
 // BenchmarkEncoderPush measures the steady-state per-point cost of the
 // streaming OPERB encoder — the number the O(n)/O(1) claims are about.
 func BenchmarkEncoderPush(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.SerCar, 100_000, 3)
 	b.Run("OPERB", func(b *testing.B) {
+		b.ReportAllocs()
 		enc, err := core.NewEncoder(40, core.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -325,6 +347,7 @@ func BenchmarkEncoderPush(b *testing.B) {
 		}
 	})
 	b.Run("OPERB-A", func(b *testing.B) {
+		b.ReportAllocs()
 		enc, err := core.NewAggressiveEncoder(40, core.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -339,9 +362,11 @@ func BenchmarkEncoderPush(b *testing.B) {
 // BenchmarkAlgorithmsThroughput compares all registered algorithms on one
 // standard 10k-point urban trajectory, ζ=40 m.
 func BenchmarkAlgorithmsThroughput(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.SerCar, 10_000, 5)
 	for _, a := range algo.All() {
 		b.Run(a.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := a.Fn(tr, 40); err != nil {
 					b.Fatal(err)
@@ -357,6 +382,7 @@ func BenchmarkAlgorithmsThroughput(b *testing.B) {
 // This is the fine-grained version of Figures 14/16 for the design choices
 // DESIGN.md calls out.
 func BenchmarkAblationOptimizations(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.SerCar, 10_000, 11)
 	variants := []struct {
 		name string
@@ -373,6 +399,7 @@ func BenchmarkAblationOptimizations(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var segs int
 			for i := 0; i < b.N; i++ {
 				pw, err := core.SimplifyOpts(tr, 40, v.opts)
@@ -390,9 +417,11 @@ func BenchmarkAblationOptimizations(b *testing.B) {
 // BenchmarkAblationGamma sweeps OPERB-A's γm to expose the patching
 // crossover the paper discusses in Exp-4.2.
 func BenchmarkAblationGamma(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.Taxi, 10_000, 13)
 	for _, deg := range []float64{15, 60, 105, 150} {
 		b.Run(fmt.Sprintf("gamma=%g", deg), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := core.DefaultOptions()
 			opts.Gamma = deg * 3.141592653589793 / 180
 			var st core.PatchStats
@@ -410,9 +439,11 @@ func BenchmarkAblationGamma(b *testing.B) {
 
 // BenchmarkCompressFleet measures the parallel fleet path.
 func BenchmarkCompressFleet(b *testing.B) {
+	b.ReportAllocs()
 	fleet := GenerateDataset(PresetSerCar, 16, 2000, 9)
 	for _, workers := range []int{1, 4, 0} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := CompressFleet(fleet, 40, "OPERB-A", workers); err != nil {
 					b.Fatal(err)
@@ -426,6 +457,7 @@ func BenchmarkCompressFleet(b *testing.B) {
 // facade: a fixed fleet of devices pushing 64-point batches round-robin,
 // at 1, 8 and 64 shards. One iteration = one batch.
 func BenchmarkEngineIngest(b *testing.B) {
+	b.ReportAllocs()
 	const (
 		devices = 64
 		batch   = 64
@@ -433,6 +465,7 @@ func BenchmarkEngineIngest(b *testing.B) {
 	fleet := GenerateDataset(PresetTruck, devices, 4096, 17)
 	for _, shards := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			eng, err := NewEngine(EngineConfig{Zeta: 40, Shards: shards})
 			if err != nil {
 				b.Fatal(err)

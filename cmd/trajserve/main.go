@@ -8,7 +8,9 @@
 //
 //	trajserve -addr :8080 -zeta 40 -aggressive -shards 16 -idle 5m \
 //	          -data-dir /var/lib/trajsim -fsync interval \
-//	          -max-open-files 1024 -retention-bytes 268435456 -retention-age 720h
+//	          -max-open-files 1024 -retention-bytes 268435456 -retention-age 720h \
+//	          -sink-writers 4 -sink-queue 256 -sink-full block \
+//	          -compact-every 1h -pprof localhost:6060
 //
 // Endpoints:
 //
@@ -44,7 +46,15 @@
 // With -data-dir every finalized segment — from ingest, flush, idle
 // eviction and shutdown alike — is also appended to a crash-recoverable
 // per-device log (internal/segstore); -fsync picks the durability/latency
-// trade-off (interval, always, never). The store is resource-bounded:
+// trade-off (interval, always, never). Disk writes happen on an async
+// per-device-ordered sink pipeline, outside the ingest critical section:
+// -sink-writers and -sink-queue size it, -sink-full picks what a full
+// queue does (block ingest for durability, or drop batches for
+// availability — drops are counted in /stats), and -sink-sync restores
+// the old write-under-lock behavior for comparison. -compact-every runs
+// a periodic full-disk retention sweep that also reaches cold devices;
+// -pprof serves net/http/pprof on a separate listener for live
+// profiling. The store is resource-bounded:
 // -max-open-files caps how many device logs hold an open file descriptor
 // (an LRU transparently reopens cold logs), and -retention-bytes /
 // -retention-age bound each device's log on disk by deleting whole
@@ -66,10 +76,12 @@ import (
 	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -pprof: profiling endpoints on their own listener
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -95,6 +107,14 @@ func main() {
 		maxOpen    = flag.Int("max-open-files", 0, "cap on simultaneously open segment-log file handles; cold device logs are transparently closed and reopened (0 = store default)")
 		retBytes   = flag.Int64("retention-bytes", 0, "per-device segment-log disk budget; rotated files are deleted oldest-first beyond it (0 = keep everything)")
 		retAge     = flag.Duration("retention-age", 0, "delete rotated segment-log files whose last append is older than this (0 = keep everything)")
+
+		sinkWriters = flag.Int("sink-writers", 0, "goroutines draining the async segment-sink queue (0 = engine default)")
+		sinkQueue   = flag.Int("sink-queue", 0, "per-writer sink queue depth in batches (0 = engine default)")
+		sinkFull    = flag.String("sink-full", "block", "full sink-queue policy: block (durability) or drop (availability)")
+		sinkSync    = flag.Bool("sink-sync", false, "bypass the async sink queue and write segments to disk inside the ingest critical section (pre-v4 behavior, for comparison)")
+
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		compactEvery = flag.Duration("compact-every", 0, "run a full-disk retention sweep (Store.CompactNow) on this period, covering cold devices the background pass never visits (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -119,6 +139,11 @@ func main() {
 		}
 	}
 
+	fullPolicy, err := stream.ParseSinkFullPolicy(*sinkFull)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trajserve:", err)
+		os.Exit(1)
+	}
 	evictEvery := *idle / 4
 	if evictEvery < time.Second {
 		evictEvery = time.Second
@@ -130,6 +155,10 @@ func main() {
 		CleanWindow: *clean,
 		IdleAfter:   *idle,
 		EvictEvery:  evictEvery,
+		SinkWriters: *sinkWriters,
+		SinkQueue:   *sinkQueue,
+		SinkFull:    fullPolicy,
+		SinkSync:    *sinkSync,
 		OnEvict: func(dev string, segs []traj.Segment) {
 			log.Printf("evicted idle session %s (%d trailing segments)", dev, len(segs))
 		},
@@ -146,6 +175,21 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: newHandler(eng, store, *maxBody)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// The service mux never exposes /debug/pprof; the profiler lives on
+		// its own listener (typically bound to localhost) so production
+		// traffic and diagnostics can be firewalled apart.
+		go func() {
+			log.Printf("trajserve: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("trajserve: pprof: %v", err)
+			}
+		}()
+	}
+	if *compactEvery > 0 && store != nil {
+		go compactLoop(ctx, store, *compactEvery)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -176,6 +220,25 @@ func main() {
 		// After eng.Close, so every trailing segment is in the log.
 		if err := store.Close(); err != nil {
 			log.Printf("trajserve: segment store: %v", err)
+		}
+	}
+}
+
+// compactLoop runs a full-disk retention sweep on every tick until ctx
+// is done — the -compact-every flag. The store's own background pass
+// only visits logs touched in this process; the sweep also reaches cold
+// devices from earlier runs.
+func compactLoop(ctx context.Context, store *segstore.Store, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if err := store.CompactNow(); err != nil && !errors.Is(err, segstore.ErrClosed) {
+				log.Printf("trajserve: compact: %v", err)
+			}
 		}
 	}
 }
@@ -288,20 +351,61 @@ func (s *server) handleCompress(w http.ResponseWriter, r *http.Request) {
 }
 
 // batch is the parsed upload of one /ingest request: per-device point
-// batches in arrival order.
+// batches in arrival order. Batches are pooled — getBatch/release reuse
+// the order slice, the device map, and the point slices across requests,
+// so the steady-state parse path allocates only what the request's shape
+// forces (new devices, growth past any previous request).
 type batch struct {
 	order  []string
 	points map[string][]traj.Point
+	spare  [][]traj.Point // emptied point slices awaiting reuse
+}
+
+var batchPool = sync.Pool{New: func() any {
+	return &batch{points: make(map[string][]traj.Point)}
+}}
+
+func getBatch() *batch { return batchPool.Get().(*batch) }
+
+// release returns the batch's buffers to the pool. The caller must be
+// done with every point slice handed out via points.
+func (b *batch) release() {
+	for dev, pts := range b.points {
+		b.spare = append(b.spare, pts[:0])
+		delete(b.points, dev)
+	}
+	b.order = b.order[:0]
+	batchPool.Put(b)
 }
 
 func (b *batch) add(device string, p traj.Point) {
-	if b.points == nil {
-		b.points = make(map[string][]traj.Point)
-	}
-	if _, seen := b.points[device]; !seen {
+	pts, seen := b.points[device]
+	if !seen {
 		b.order = append(b.order, device)
+		if n := len(b.spare); n > 0 {
+			pts, b.spare = b.spare[n-1], b.spare[:n-1]
+		}
 	}
-	b.points[device] = append(b.points[device], p)
+	b.points[device] = append(pts, p)
+}
+
+// addAll merges one decoded point chunk — the streaming binary decoder's
+// callback, which reuses its slice, so the points are copied in. An
+// empty chunk registers nothing: a frame with point count 0 must not
+// create a device entry, matching the per-point whole-buffer path.
+func (b *batch) addAll(device string, pts []traj.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	cur, seen := b.points[device]
+	if !seen {
+		b.order = append(b.order, device)
+		if n := len(b.spare); n > 0 {
+			cur, b.spare = b.spare[n-1], b.spare[:n-1]
+		}
+	}
+	b.points[device] = append(cur, pts...)
+	return nil
 }
 
 // ingestPoint is one NDJSON line of an /ingest body. Coordinate fields
@@ -315,20 +419,23 @@ type ingestPoint struct {
 }
 
 func parseNDJSON(r io.Reader) (*batch, error) {
-	var b batch
+	b := getBatch()
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	for line := 1; ; line++ {
 		var p ingestPoint
 		if err := dec.Decode(&p); err == io.EOF {
-			return &b, nil
+			return b, nil
 		} else if err != nil {
+			b.release()
 			return nil, fmt.Errorf("record %d: %w", line, err)
 		}
 		if p.Device == "" {
+			b.release()
 			return nil, fmt.Errorf("record %d: missing device", line)
 		}
 		if p.T == nil || p.X == nil || p.Y == nil {
+			b.release()
 			return nil, fmt.Errorf("record %d: missing t_ms/x_m/y_m", line)
 		}
 		b.add(p.Device, traj.At(*p.X, *p.Y, *p.T))
@@ -346,27 +453,32 @@ func parseDeviceCSV(r io.Reader) (*batch, error) {
 	if header[0] != "device" || header[1] != "t_ms" || header[2] != "x_m" || header[3] != "y_m" {
 		return nil, fmt.Errorf("header %q: want device,t_ms,x_m,y_m", strings.Join(header, ","))
 	}
-	var b batch
+	b := getBatch()
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return &b, nil
+			return b, nil
 		} else if err != nil {
+			b.release()
 			return nil, err
 		}
 		if rec[0] == "" {
+			b.release()
 			return nil, fmt.Errorf("line %d: missing device", line)
 		}
 		t, err := strconv.ParseInt(rec[1], 10, 64)
 		if err != nil {
+			b.release()
 			return nil, fmt.Errorf("line %d: t_ms: %w", line, err)
 		}
 		x, err := strconv.ParseFloat(rec[2], 64)
 		if err != nil {
+			b.release()
 			return nil, fmt.Errorf("line %d: x_m: %w", line, err)
 		}
 		y, err := strconv.ParseFloat(rec[3], 64)
 		if err != nil {
+			b.release()
 			return nil, fmt.Errorf("line %d: y_m: %w", line, err)
 		}
 		b.add(rec[0], traj.At(x, y, t))
@@ -401,19 +513,17 @@ func writeSegments(w io.Writer, device string, segs []traj.Segment) error {
 	return nil
 }
 
-// parseBinary decodes the compact binary ingest wire format.
+// parseBinary decodes the compact binary ingest wire format, streaming:
+// the body is consumed chunk by chunk through the decoder's fixed pooled
+// buffer, never materialized whole — a large upload costs the memory of
+// its parsed points, not of its bytes too.
 func parseBinary(r io.Reader) (*batch, error) {
-	raw, err := io.ReadAll(r)
-	if err != nil {
+	b := getBatch()
+	if err := trajio.DecodeIngestStream(r, b.addAll); err != nil {
+		b.release()
 		return nil, err
 	}
-	var b batch
-	return &b, trajio.DecodeIngest(raw, func(device string, pts []traj.Point) error {
-		for _, p := range pts {
-			b.add(device, p)
-		}
-		return nil
-	})
+	return b, nil
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -434,6 +544,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		bodyErr(w, err, "bad ingest body")
 		return
 	}
+	defer b.release()
 
 	// An empty (but well-formed) body is a no-op, not a failure — and it
 	// must not reach the all-failed branch below, whose status would be
@@ -444,18 +555,35 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	wantSegments := r.URL.Query().Get("out") == "segments"
 	// Device batches commit independently (bulk semantics): one device's
 	// rejection must not block the others — and must not poison a client
 	// retry of the whole body, since the accepted devices are reported.
 	// All ingests run before anything is written so a whole-batch failure
 	// can still set the response status.
 	var points, segments int
-	results := make(map[string][]traj.Segment, len(b.order))
+	var results map[string][]traj.Segment
+	if wantSegments {
+		results = make(map[string][]traj.Segment, len(b.order))
+	}
 	failed := make(map[string]string)
 	worst := 0
 	for _, dev := range b.order {
 		pts := b.points[dev]
-		segs, err := s.eng.Ingest(dev, pts)
+		var (
+			segs []traj.Segment
+			err  error
+		)
+		if wantSegments {
+			// IngestAppend copies under the engine's shard lock: a private
+			// snapshot a concurrent request for the same device cannot
+			// overwrite while we hold it for the response.
+			segs, err = s.eng.IngestAppend(dev, pts, nil)
+		} else {
+			// Only len(segs) is read below, which is safe on the engine's
+			// reusable out-buffer.
+			segs, err = s.eng.Ingest(dev, pts)
+		}
 		if err != nil {
 			status := http.StatusInternalServerError
 			switch {
@@ -478,7 +606,9 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		points += len(pts)
 		segments += len(segs)
-		results[dev] = segs
+		if wantSegments {
+			results[dev] = segs // already a private copy (IngestAppend)
+		}
 	}
 	// Only when every device failed does the request itself fail.
 	if len(failed) == len(b.order) {
@@ -487,7 +617,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]any{"failed": failed})
 		return
 	}
-	if r.URL.Query().Get("out") == "segments" {
+	if wantSegments {
 		// Failed devices appear in the NDJSON stream as error records.
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -524,6 +525,19 @@ func TestBodyCap(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("small ingest: status %d, want 200", resp.StatusCode)
 	}
+
+	// Binary bodies stream through the chunked decoder; the cap must
+	// still surface as 413, not as a 400 decode failure.
+	bin := trajio.AppendIngestHeader(nil)
+	bin = trajio.AppendIngestBatch(bin, "d1", gen.One(gen.Taxi, 400, 53)) // ≫ 512 bytes
+	resp, err = http.Post(srv.URL+"/ingest", trajio.IngestContentType, bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("binary ingest over cap: status %d, want 413", resp.StatusCode)
+	}
 }
 
 // binaryIngestBody renders device batches in the binary wire format.
@@ -962,5 +976,132 @@ func TestStatsReportsStoreCounters(t *testing.T) {
 		if count == 0 {
 			t.Fatalf("replay %s: no segments survived retention", dev)
 		}
+	}
+}
+
+// TestPprofSeparateMux: the -pprof listener serves net/http/pprof from
+// the default mux, which the service mux never exposes — profiling and
+// production traffic stay separable.
+func TestPprofSeparateMux(t *testing.T) {
+	pprofSrv := httptest.NewServer(http.DefaultServeMux)
+	defer pprofSrv.Close()
+	resp, err := http.Get(pprofSrv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+
+	srv := testServer(t, testMaxBody)
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("service mux exposes /debug/pprof; it must stay on the -pprof listener")
+	}
+}
+
+// TestCompactLoop: the -compact-every sweep reaches cold devices — logs
+// written by an earlier process that the background retention pass never
+// visits because nothing touches them in this one.
+func TestCompactLoop(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := segstore.Open(segstore.Config{Dir: dir, Sync: segstore.SyncNever, MaxFileSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]traj.Segment, 64)
+	tr := gen.One(gen.Taxi, 128, 91)
+	for i := range segs {
+		segs[i] = traj.Segment{Start: tr[i], End: tr[i+1], StartIdx: i, EndIdx: i + 1}
+	}
+	for i := 0; i < 8; i++ { // force several rotated files
+		if err := writer.Append("cold-truck", segs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// New process: the device is never touched, only the sweep can see it.
+	store, err := segstore.Open(segstore.Config{
+		Dir: dir, Sync: segstore.SyncNever, MaxFileSize: 256, MaxLogBytes: 512,
+		SyncEvery: time.Hour, // keep the store's own pass out of the picture
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); compactLoop(ctx, store, 5*time.Millisecond) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for store.Stats().DeletedFiles == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	if st := store.Stats(); st.DeletedFiles == 0 || st.ReclaimedBytes == 0 {
+		t.Fatalf("compact loop reclaimed nothing from a cold over-budget device: %+v", st)
+	}
+	if segs, err := store.Replay("cold-truck"); err != nil || len(segs) == 0 {
+		t.Fatalf("replay after sweep: %d segments, err %v", len(segs), err)
+	}
+}
+
+// TestStatsReportsSinkQueue: the async pipeline's counters appear in
+// GET /stats so operators can see backpressure building.
+func TestStatsReportsSinkQueue(t *testing.T) {
+	srv, shutdown := persistentServer(t, t.TempDir())
+	body := deviceCSV(map[string][]traj.Point{"q-dev": gen.One(gen.Taxi, 500, 93)})
+	resp, err := http.Post(srv.URL+"/ingest", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"sink_queued", "sink_blocked", "sink_dropped", "sink_dropped_segments"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("GET /stats missing %q", key)
+		}
+	}
+	shutdown()
+}
+
+// TestIngestBinaryEmptyFrame: a frame with point count 0 registers no
+// device — same as the whole-buffer decoder's per-point path — so an
+// all-empty body takes the no-op branch.
+func TestIngestBinaryEmptyFrame(t *testing.T) {
+	srv := testServer(t, testMaxBody)
+	b := trajio.AppendIngestHeader(nil)
+	b = trajio.AppendIngestBatch(b, "ghost", nil)
+	resp, err := http.Post(srv.URL+"/ingest", trajio.IngestContentType, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["devices"] != float64(0) || got["points"] != float64(0) {
+		t.Fatalf("empty frame registered a device: %v", got)
 	}
 }

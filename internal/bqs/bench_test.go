@@ -10,9 +10,11 @@ import (
 var sink traj.Piecewise
 
 func BenchmarkFBQS(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{1_000, 10_000, 100_000} {
 		tr := gen.One(gen.SerCar, n, 7)
 		b.Run(size(n), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(n))
 			for i := 0; i < b.N; i++ {
 				pw, err := SimplifyFast(tr, 40)
@@ -26,6 +28,7 @@ func BenchmarkFBQS(b *testing.B) {
 }
 
 func BenchmarkBQSFull(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.SerCar, 10_000, 7)
 	b.SetBytes(10_000)
 	for i := 0; i < b.N; i++ {

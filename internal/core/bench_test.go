@@ -15,9 +15,11 @@ func benchTrajectory(b *testing.B, n int) traj.Trajectory {
 }
 
 func BenchmarkSimplify(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{1_000, 10_000, 100_000} {
 		tr := benchTrajectory(b, n)
 		b.Run(itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(n))
 			for i := 0; i < b.N; i++ {
 				pw, err := Simplify(tr, 40)
@@ -31,6 +33,7 @@ func BenchmarkSimplify(b *testing.B) {
 }
 
 func BenchmarkSimplifyRaw(b *testing.B) {
+	b.ReportAllocs()
 	tr := benchTrajectory(b, 10_000)
 	for i := 0; i < b.N; i++ {
 		pw, err := SimplifyOpts(tr, 40, RawOptions())
@@ -42,6 +45,7 @@ func BenchmarkSimplifyRaw(b *testing.B) {
 }
 
 func BenchmarkSimplifyAggressive(b *testing.B) {
+	b.ReportAllocs()
 	tr := benchTrajectory(b, 10_000)
 	for i := 0; i < b.N; i++ {
 		pw, err := SimplifyAggressive(tr, 40)
@@ -55,6 +59,7 @@ func BenchmarkSimplifyAggressive(b *testing.B) {
 // Linear scaling evidence: ns/point should stay flat across sizes (read
 // the per-size ns/op divided by SetBytes in BenchmarkSimplify output).
 func BenchmarkFitterUpdate(b *testing.B) {
+	b.ReportAllocs()
 	f := &fitter{zeta: 40, opts: DefaultOptions()}
 	f.reset(gen.Line(2, 1)[0].P())
 	tr := gen.One(gen.Taxi, 4096, 3)

@@ -10,9 +10,11 @@ import (
 var sink traj.Piecewise
 
 func BenchmarkSimplify(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{1_000, 10_000, 100_000} {
 		tr := gen.One(gen.SerCar, n, 7)
 		b.Run(size(n), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(n))
 			for i := 0; i < b.N; i++ {
 				pw, err := Simplify(tr, 40)
@@ -26,6 +28,7 @@ func BenchmarkSimplify(b *testing.B) {
 }
 
 func BenchmarkSimplifySED(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.SerCar, 10_000, 7)
 	for i := 0; i < b.N; i++ {
 		pw, err := SimplifySED(tr, 40)
@@ -38,6 +41,7 @@ func BenchmarkSimplifySED(b *testing.B) {
 
 // Worst case for DP: a shape forcing maximally unbalanced splits.
 func BenchmarkSimplifyAdversarial(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.Spiral(10_000, 1, 0.5, 0.2)
 	b.SetBytes(10_000)
 	for i := 0; i < b.N; i++ {

@@ -127,8 +127,10 @@ func TestBadEpsilon(t *testing.T) {
 var sink traj.Piecewise
 
 func BenchmarkHullVsPlainDP(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.Taxi, 50_000, 7)
 	b.Run("hull", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(len(tr)))
 		for i := 0; i < b.N; i++ {
 			pw, err := Simplify(tr, 40)
@@ -139,6 +141,7 @@ func BenchmarkHullVsPlainDP(b *testing.B) {
 		}
 	})
 	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(len(tr)))
 		for i := 0; i < b.N; i++ {
 			pw, err := dp.Simplify(tr, 40)

@@ -10,6 +10,7 @@ var sinkP Point
 var sinkI int
 
 func BenchmarkPointLineDistance(b *testing.B) {
+	b.ReportAllocs()
 	p, s, e := Pt(3, 7), Pt(0, 0), Pt(100, 40)
 	for i := 0; i < b.N; i++ {
 		sinkF = PointLineDistance(p, s, e)
@@ -17,6 +18,7 @@ func BenchmarkPointLineDistance(b *testing.B) {
 }
 
 func BenchmarkPointRayDistance(b *testing.B) {
+	b.ReportAllocs()
 	p, o := Pt(3, 7), Pt(0, 0)
 	for i := 0; i < b.N; i++ {
 		sinkF = PointRayDistance(p, o, 0.5)
@@ -24,6 +26,7 @@ func BenchmarkPointRayDistance(b *testing.B) {
 }
 
 func BenchmarkNorm(b *testing.B) {
+	b.ReportAllocs()
 	p := Pt(3.123, -7.456)
 	for i := 0; i < b.N; i++ {
 		sinkF = p.Norm()
@@ -31,6 +34,7 @@ func BenchmarkNorm(b *testing.B) {
 }
 
 func BenchmarkAngleOf(b *testing.B) {
+	b.ReportAllocs()
 	p := Pt(3.123, -7.456)
 	for i := 0; i < b.N; i++ {
 		sinkF = AngleOf(p)
@@ -38,18 +42,21 @@ func BenchmarkAngleOf(b *testing.B) {
 }
 
 func BenchmarkNormalizeAngle(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sinkF = NormalizeAngle(float64(i) * 0.37)
 	}
 }
 
 func BenchmarkLineIntersection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sinkP, _ = LineIntersection(Pt(0, 0), 0.3, Pt(10, -5), 2.1)
 	}
 }
 
 func BenchmarkClipPolygonHalfPlane(b *testing.B) {
+	b.ReportAllocs()
 	square := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
 	for i := 0; i < b.N; i++ {
 		out := ClipPolygonHalfPlane(square, Pt(1, 0), math.Pi/2, true)
@@ -58,6 +65,7 @@ func BenchmarkClipPolygonHalfPlane(b *testing.B) {
 }
 
 func BenchmarkProjection(b *testing.B) {
+	b.ReportAllocs()
 	pr := NewProjection(116.4, 39.9)
 	for i := 0; i < b.N; i++ {
 		sinkP = pr.ToPlane(116.41, 39.91)

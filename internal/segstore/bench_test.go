@@ -10,6 +10,7 @@ import (
 // under a cap of one makes every append a miss — close (with eviction),
 // reopen, seek — on top of the write itself.
 func BenchmarkAppendColdHandle(b *testing.B) {
+	b.ReportAllocs()
 	s, err := Open(Config{Dir: b.TempDir(), MaxOpenFiles: 1, Sync: SyncNever})
 	if err != nil {
 		b.Fatal(err)
@@ -38,6 +39,7 @@ func BenchmarkAppendColdHandle(b *testing.B) {
 // BenchmarkAppendWarmHandle is the baseline: same append with the
 // handle already open, the common case under a generous cap.
 func BenchmarkAppendWarmHandle(b *testing.B) {
+	b.ReportAllocs()
 	s, err := Open(Config{Dir: b.TempDir(), Sync: SyncNever})
 	if err != nil {
 		b.Fatal(err)
@@ -59,8 +61,10 @@ func BenchmarkAppendWarmHandle(b *testing.B) {
 // BenchmarkReplay measures a cold replay of a multi-file log at several
 // sizes — the restart-recovery read path.
 func BenchmarkReplay(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{64, 1024} {
 		b.Run(fmt.Sprintf("segments=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			dir := b.TempDir()
 			s, err := Open(Config{Dir: dir, MaxFileSize: 4096, Sync: SyncNever})
 			if err != nil {

@@ -205,6 +205,11 @@ type deviceLog struct {
 	dirty  bool     // has unsynced writes
 	failed error    // sticky write failure; rejects further appends
 
+	// Reusable append scratch (payload encode + CRC framing), guarded by
+	// mu like the rest of the log: steady-state appends allocate nothing.
+	payload []byte
+	frame   []byte
+
 	elem *list.Element // LRU position while f is open; guarded by handleLRU.mu
 }
 
@@ -561,7 +566,9 @@ func (s *Store) Append(device string, segs []traj.Segment) error {
 	var written int64
 	for off := 0; off < len(segs); off += recordChunk {
 		chunk := segs[off:min(off+recordChunk, len(segs))]
-		frame := enc.AppendFrame(nil, appendRecordPayload(nil, chunk))
+		l.payload = appendRecordPayload(l.payload[:0], chunk)
+		l.frame = enc.AppendFrame(l.frame[:0], l.payload)
+		frame := l.frame
 		switch {
 		case l.f == nil:
 			seq := 1

@@ -1,0 +1,40 @@
+package stream
+
+import (
+	"testing"
+
+	"trajsim/internal/gen"
+)
+
+// TestIngestWarmSessionAllocs is the engine-level allocation gate: once
+// a session is warm (encoder scratch and the per-session out-buffer at
+// working size) an Ingest batch must not allocate — the whole point of
+// reusing the session out-buffer instead of growing a fresh slice per
+// batch. Measured without a sink so only the engine's own path counts;
+// the async queue's pooled copies are covered by the sink benchmarks.
+func TestIngestWarmSessionAllocs(t *testing.T) {
+	const (
+		batch = 64
+		warm  = 100 // batches before measuring
+		runs  = 200
+	)
+	e, err := NewEngine(Config{Zeta: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tr := gen.One(gen.Truck, (warm+runs+2)*batch, 19)
+	off := 0
+	ingest := func() {
+		if _, err := e.Ingest("hot", tr[off:off+batch]); err != nil {
+			t.Fatal(err)
+		}
+		off += batch
+	}
+	for i := 0; i < warm; i++ {
+		ingest()
+	}
+	if avg := testing.AllocsPerRun(runs, ingest); avg > 0 {
+		t.Errorf("warm Ingest allocates %g per %d-point batch, want 0", avg, batch)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"trajsim/internal/gen"
+	"trajsim/internal/segstore"
 	"trajsim/internal/traj"
 )
 
@@ -16,10 +17,12 @@ import (
 //
 //	go test ./internal/stream -bench=Ingest -cpu=8
 func BenchmarkIngest(b *testing.B) {
+	b.ReportAllocs()
 	const batch = 64
 	tr := gen.One(gen.Truck, 4096, 11)
 	for _, shards := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			e, err := NewEngine(Config{Zeta: 40, Shards: shards})
 			if err != nil {
 				b.Fatal(err)
@@ -60,6 +63,7 @@ func BenchmarkIngest(b *testing.B) {
 // lock acquisition plus real encoder work. The sharded BenchmarkIngest
 // numbers converge to this as contention disappears.
 func BenchmarkIngestSingleSession(b *testing.B) {
+	b.ReportAllocs()
 	const batch = 64
 	tr := gen.One(gen.Truck, 4096, 11)
 	e, err := NewEngine(Config{Zeta: 40, Shards: 8})
@@ -81,12 +85,64 @@ func BenchmarkIngestSingleSession(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestWithSink is the end-to-end ingest path over a real
+// segment store with the strictest durability policy (fsync per append)
+// — the workload the async sink pipeline exists for. The async and sync
+// sub-benchmarks run in the same process against the same store config,
+// so their points/s are directly comparable: sync pays the fsync inside
+// the shard lock on every emitting batch; async hands off a memcpy and
+// lets the writers group-commit the backlog.
+//
+//	go test ./internal/stream -bench=IngestWithSink -benchtime=2s
+func BenchmarkIngestWithSink(b *testing.B) {
+	const batch = 64
+	tr := gen.One(gen.Truck, 4096, 11)
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"async", false}, {"sync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			store, err := segstore.Open(segstore.Config{Dir: b.TempDir(), Sync: segstore.SyncAlways})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := NewEngine(Config{Zeta: 5, Shards: 8, Sink: store, SinkSync: mode.sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			off := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if off+batch > len(tr) {
+					e.Flush("hot")
+					off = 0
+				}
+				if _, err := e.Ingest("hot", tr[off:off+batch]); err != nil {
+					b.Fatal(err)
+				}
+				off += batch
+			}
+			b.StopTimer()
+			st := e.Stats()
+			b.ReportMetric(float64(st.Points)/b.Elapsed().Seconds(), "points/s")
+			e.Close()
+			if sst := store.Stats(); sst.Segments == 0 && b.N > 20 {
+				b.Fatalf("sink saw no segments: %+v", sst)
+			}
+			store.Close()
+		})
+	}
+}
+
 // BenchmarkForEach measures the worker pool against a trivially cheap
 // body, exposing its scheduling overhead per item.
 func BenchmarkForEach(b *testing.B) {
+	b.ReportAllocs()
 	var sink atomic.Int64
 	work := make([]traj.Point, 256)
 	b.Run(fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = ForEach(len(work), 0, func(j int) error {
 				sink.Add(int64(j))

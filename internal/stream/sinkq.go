@@ -1,0 +1,312 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"trajsim/internal/traj"
+)
+
+// The async sink pipeline: finalized segment batches are handed off
+// under the shard lock to a bounded queue sharded by device hash, and N
+// writer goroutines drain it, calling the real Sink outside any ingest
+// lock. The paper's encoder processes a point in nanoseconds (§4); a
+// sink append is a disk write — potentially an fsync under SyncAlways —
+// so calling it inside the ingest critical section gates every device on
+// a shard by storage latency. With the queue, the critical section ends
+// at a memcpy.
+//
+// Ordering: one device always maps to one writer (FNV-1a hash), and
+// every enqueue for a device happens under that device's shard lock, so
+// a device's ops sit in a single FIFO in emission order — the property
+// the segment log's replay (and PR 2's restart-identity test) depends
+// on. Cross-device order is unspecified, exactly as it was under the
+// synchronous path where shards raced to the sink.
+//
+// Backpressure: a full queue either blocks the producer (SinkBlock —
+// ingest slows to storage speed, nothing is lost) or drops the batch
+// (SinkDrop — ingest never stalls, the gap is counted, and the in-memory
+// result the caller already received is unaffected). Session handoffs
+// from Flush/FlushAll/EvictIdle/Close always block: callers rely on
+// those segments reaching the sink before the call returns.
+
+// SinkFullPolicy selects what a full sink queue does with an ingest-path
+// batch.
+type SinkFullPolicy int
+
+const (
+	// SinkBlock (the default) blocks the ingest until the queue has
+	// room: durability — acknowledged segments always reach the sink,
+	// and a slow disk is felt as ingest latency.
+	SinkBlock SinkFullPolicy = iota
+	// SinkDrop drops the batch and counts it: availability — ingest
+	// never waits for storage, at the cost of gaps in the persisted log
+	// (Stats.SinkDropped / SinkDroppedSegs say how many).
+	SinkDrop
+)
+
+// String implements fmt.Stringer (and flag.Value's read side).
+func (p SinkFullPolicy) String() string {
+	switch p {
+	case SinkBlock:
+		return "block"
+	case SinkDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("SinkFullPolicy(%d)", int(p))
+}
+
+// ParseSinkFullPolicy parses "block" or "drop".
+func ParseSinkFullPolicy(s string) (SinkFullPolicy, error) {
+	switch s {
+	case "block":
+		return SinkBlock, nil
+	case "drop":
+		return SinkDrop, nil
+	}
+	return 0, fmt.Errorf("stream: unknown sink-full policy %q (block, drop)", s)
+}
+
+const (
+	// DefaultSinkWriters is the writer-goroutine count when
+	// Config.SinkWriters is zero.
+	DefaultSinkWriters = 4
+	// DefaultSinkQueue is the per-writer queue depth (in batches) when
+	// Config.SinkQueue is zero.
+	DefaultSinkQueue = 256
+)
+
+// segBatch is a pooled copy of one emitted batch. The engine reuses the
+// per-session out-buffer it hands to callers, so the queue must own its
+// bytes; pooling the copies keeps the steady-state ingest path
+// allocation-free.
+type segBatch struct {
+	segs []traj.Segment
+}
+
+// finishWait carries one session handoff's result back to the caller.
+// The worker stores the finished tail and signals wg after the sink
+// append completes, which is what gives Flush/FlushAll/EvictIdle/Close
+// their persisted-before-return guarantee.
+type finishWait struct {
+	wg   *sync.WaitGroup
+	segs []traj.Segment
+}
+
+// sinkOp is one queue entry: exactly one of batch, sess, or barrier is
+// set.
+type sinkOp struct {
+	device  string
+	batch   *segBatch     // ingest-path batch, pooled
+	sess    *session      // session handoff: worker runs finish() then appends
+	res     *finishWait   // result slot for a session handoff
+	barrier chan struct{} // closed once every earlier op on this worker is done
+}
+
+// sinkQueue is the bounded, device-ordered pipeline between the engine's
+// shard locks and the real Sink.
+type sinkQueue struct {
+	sink    Sink
+	policy  SinkFullPolicy
+	workers []chan sinkOp
+	wg      sync.WaitGroup
+	pool    sync.Pool // of *segBatch
+
+	// stopMu serializes enqueues against close: producers hold the read
+	// side for the duration of a send, so close can wait out in-flight
+	// sends before closing the channels. Post-stop enqueues are no-ops —
+	// by then every session is flushed and the queue drained.
+	stopMu  sync.RWMutex
+	stopped bool
+
+	depth   atomic.Int64 // ops queued right now, across workers
+	blocked atomic.Int64 // enqueues that found the queue full and waited
+	dropped atomic.Int64 // batches dropped under SinkDrop
+	dropSeg atomic.Int64 // segments inside those batches
+
+	errs *atomic.Int64 // the engine's SinkErrors counter
+}
+
+func newSinkQueue(sink Sink, writers, queue int, policy SinkFullPolicy, errs *atomic.Int64) *sinkQueue {
+	q := &sinkQueue{
+		sink:    sink,
+		policy:  policy,
+		workers: make([]chan sinkOp, writers),
+		errs:    errs,
+	}
+	q.pool.New = func() any { return &segBatch{} }
+	for i := range q.workers {
+		q.workers[i] = make(chan sinkOp, queue)
+		q.wg.Add(1)
+		go q.run(q.workers[i])
+	}
+	return q
+}
+
+// worker returns the one channel device's ops travel through.
+func (q *sinkQueue) worker(device string) chan sinkOp {
+	return q.workers[fnv1a(device)%uint32(len(q.workers))]
+}
+
+func (q *sinkQueue) run(ch chan sinkOp) {
+	defer q.wg.Done()
+	for {
+		op, ok := <-ch
+		if !ok {
+			return
+		}
+		q.depth.Add(-1)
+		// Group commit: while the op in hand is a plain batch, fold any
+		// immediately queued batches for the same device into it before
+		// touching the sink — one append (one fsync, under SyncAlways)
+		// amortized over whatever backlog a storage stall built up. Ops
+		// for other devices or of other kinds end the merge and are
+		// handled next, so FIFO order is untouched.
+		for op.batch != nil {
+			var next sinkOp
+			var got bool
+			select {
+			case next, got = <-ch:
+			default:
+			}
+			if !got {
+				break
+			}
+			q.depth.Add(-1)
+			if next.batch != nil && next.device == op.device {
+				op.batch.segs = append(op.batch.segs, next.batch.segs...)
+				next.batch.segs = next.batch.segs[:0]
+				q.pool.Put(next.batch)
+				continue
+			}
+			q.exec(op)
+			op = next
+		}
+		q.exec(op)
+	}
+}
+
+// exec performs one op against the sink.
+func (q *sinkQueue) exec(op sinkOp) {
+	switch {
+	case op.barrier != nil:
+		close(op.barrier)
+	case op.sess != nil:
+		segs := op.sess.finish()
+		q.append(op.device, segs)
+		op.res.segs = segs
+		op.res.wg.Done()
+	default:
+		q.append(op.device, op.batch.segs)
+		op.batch.segs = op.batch.segs[:0]
+		q.pool.Put(op.batch)
+	}
+}
+
+func (q *sinkQueue) append(device string, segs []traj.Segment) {
+	if len(segs) == 0 {
+		return
+	}
+	if err := q.sink.Append(device, segs); err != nil {
+		q.errs.Add(1)
+	}
+}
+
+// putBatch enqueues a copy of one ingest-path batch. Called under the
+// device's shard lock, which is what keeps a device's queue order equal
+// to its emission order.
+func (q *sinkQueue) putBatch(device string, segs []traj.Segment) {
+	if len(segs) == 0 {
+		return
+	}
+	q.stopMu.RLock()
+	defer q.stopMu.RUnlock()
+	if q.stopped {
+		return
+	}
+	b := q.pool.Get().(*segBatch)
+	b.segs = append(b.segs[:0], segs...)
+	op := sinkOp{device: device, batch: b}
+	ch := q.worker(device)
+	q.depth.Add(1)
+	select {
+	case ch <- op:
+		return
+	default:
+	}
+	if q.policy == SinkDrop {
+		q.depth.Add(-1)
+		q.dropped.Add(1)
+		q.dropSeg.Add(int64(len(segs)))
+		b.segs = b.segs[:0]
+		q.pool.Put(b)
+		return
+	}
+	q.blocked.Add(1)
+	ch <- op
+}
+
+// putFinish enqueues a session handoff: the worker finishes the session
+// (draining its cleaner and flushing its encoder) and appends the tail
+// to the sink, then fills res. Called under the device's shard lock —
+// right after the session leaves the map — so the tail lands after every
+// batch the session emitted and before anything a successor session
+// emits. Handoffs always block: they carry a caller waiting on res.
+func (q *sinkQueue) putFinish(device string, s *session, res *finishWait) {
+	q.stopMu.RLock()
+	defer q.stopMu.RUnlock()
+	if q.stopped {
+		// The queue is gone (racing Close already drained it); finish
+		// inline so the caller still gets the tail.
+		res.segs = s.finish()
+		res.wg.Done()
+		return
+	}
+	ch := q.worker(device)
+	q.depth.Add(1)
+	select {
+	case ch <- sinkOp{device: device, sess: s, res: res}:
+		return
+	default:
+	}
+	q.blocked.Add(1)
+	ch <- sinkOp{device: device, sess: s, res: res}
+}
+
+// drain blocks until every op enqueued before the call has been handed
+// to the sink, across all workers.
+func (q *sinkQueue) drain() {
+	q.stopMu.RLock()
+	if q.stopped {
+		q.stopMu.RUnlock()
+		return
+	}
+	barriers := make([]chan struct{}, len(q.workers))
+	for i, ch := range q.workers {
+		barriers[i] = make(chan struct{})
+		q.depth.Add(1)
+		ch <- sinkOp{barrier: barriers[i]}
+	}
+	q.stopMu.RUnlock()
+	for _, b := range barriers {
+		<-b
+	}
+}
+
+// close drains the queue and stops the workers. Enqueues after close are
+// no-ops; the engine only closes the queue once every session is flushed
+// and every shard rejects new ingest.
+func (q *sinkQueue) close() {
+	q.stopMu.Lock()
+	if q.stopped {
+		q.stopMu.Unlock()
+		return
+	}
+	q.stopped = true
+	q.stopMu.Unlock()
+	for _, ch := range q.workers {
+		close(ch)
+	}
+	q.wg.Wait()
+}

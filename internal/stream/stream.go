@@ -56,9 +56,12 @@ const MaxDevice = 80
 
 // Sink receives every batch of finalized segments the engine emits — the
 // durability tier under the in-memory sessions (segstore.Store implements
-// it). Append is called with the shard lock held, so calls for one device
-// arrive in emission order and never concurrently; implementations should
-// not call back into the Engine. An Append error is counted in
+// it). By default Append runs on the engine's sink-writer goroutines,
+// outside every ingest lock; calls for one device still arrive in
+// emission order and never concurrently (a device maps to exactly one
+// writer). Under Config.SinkSync, Append instead runs synchronously with
+// the shard lock held, as in earlier versions. Either way implementations
+// must not call back into the Engine. An Append error is counted in
 // Stats.SinkErrors but does not fail the ingest: the segments were
 // already returned to the caller, so the engine degrades to memory-only
 // rather than dropping traffic.
@@ -97,6 +100,23 @@ type Config struct {
 	// Sink, when non-nil, persists every emitted segment batch — from
 	// Ingest, Flush, FlushAll, EvictIdle and Close alike. See Sink.
 	Sink Sink
+	// SinkWriters is the number of goroutines draining the async sink
+	// queue; 0 selects DefaultSinkWriters. Ignored without a Sink or
+	// under SinkSync.
+	SinkWriters int
+	// SinkQueue is each writer's queue depth in batches; 0 selects
+	// DefaultSinkQueue. A deeper queue absorbs longer storage stalls
+	// before the SinkFull policy engages.
+	SinkQueue int
+	// SinkFull selects what a full queue does with an ingest-path batch:
+	// SinkBlock (default, durability) or SinkDrop (availability). Session
+	// tails from Flush/EvictIdle/Close always block regardless.
+	SinkFull SinkFullPolicy
+	// SinkSync disables the async pipeline and calls Sink.Append
+	// synchronously under the shard lock — the pre-queue behavior, kept
+	// for benchmarks comparing the two and for sinks that need the
+	// engine stalled while they run.
+	SinkSync bool
 	// Clock overrides the engine clock, for tests. Nil selects time.Now,
 	// whose monotonic reading makes idle measurement immune to wall-clock
 	// steps.
@@ -121,6 +141,11 @@ type Stats struct {
 	Evicted    int64 `json:"evictions"`   // sessions finalized for idleness
 	Contended  int64 `json:"contended"`   // ingests that blocked on a busy shard lock
 	SinkErrors int64 `json:"sink_errors"` // segment batches the Sink failed to persist
+
+	SinkQueued      int64 `json:"sink_queued"`           // sink-queue ops in flight right now
+	SinkBlocked     int64 `json:"sink_blocked"`          // enqueues that found the queue full and waited
+	SinkDropped     int64 `json:"sink_dropped"`          // batches dropped by the SinkDrop policy
+	SinkDroppedSegs int64 `json:"sink_dropped_segments"` // segments inside those batches
 
 	// Store carries the durability tier's counters when the configured
 	// Sink exposes them (see StatsSink); nil otherwise. One Stats call
@@ -147,8 +172,9 @@ type encoder interface {
 type session struct {
 	clean *traj.Cleaner
 	enc   encoder
-	last  time.Time // engine-clock time of the latest ingest
-	lastT int64     // timestamp of the latest accepted point (no cleaner)
+	last  time.Time      // engine-clock time of the latest ingest
+	lastT int64          // timestamp of the latest accepted point (no cleaner)
+	out   []traj.Segment // reusable Ingest out-buffer; valid until the next batch
 }
 
 // shard is one of the Engine's session maps. Padding would buy little
@@ -165,6 +191,7 @@ type Engine struct {
 	opts   core.Options
 	now    func() time.Time
 	shards []shard
+	q      *sinkQueue // async sink pipeline; nil without a Sink or under SinkSync
 
 	live      atomic.Int64
 	opened    atomic.Int64
@@ -192,6 +219,21 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = DefaultShards
 	}
+	if cfg.SinkWriters < 0 {
+		return nil, fmt.Errorf("stream: negative sink writer count %d", cfg.SinkWriters)
+	}
+	if cfg.SinkWriters == 0 {
+		cfg.SinkWriters = DefaultSinkWriters
+	}
+	if cfg.SinkQueue < 0 {
+		return nil, fmt.Errorf("stream: negative sink queue depth %d", cfg.SinkQueue)
+	}
+	if cfg.SinkQueue == 0 {
+		cfg.SinkQueue = DefaultSinkQueue
+	}
+	if cfg.SinkFull != SinkBlock && cfg.SinkFull != SinkDrop {
+		return nil, fmt.Errorf("stream: unknown SinkFull policy %d (use SinkBlock or SinkDrop)", int(cfg.SinkFull))
+	}
 	opts := core.DefaultOptions()
 	if cfg.Options != nil {
 		opts = *cfg.Options
@@ -213,6 +255,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	for i := range e.shards {
 		e.shards[i].sessions = make(map[string]*session)
+	}
+	if cfg.Sink != nil && !cfg.SinkSync {
+		e.q = newSinkQueue(cfg.Sink, cfg.SinkWriters, cfg.SinkQueue, cfg.SinkFull, &e.sinkErrs)
 	}
 	if cfg.EvictEvery > 0 && cfg.IdleAfter > 0 {
 		e.janitor.Add(1)
@@ -243,10 +288,16 @@ func (e *Engine) shard(device string) *shard {
 	return &e.shards[fnv1a(device)%uint32(len(e.shards))]
 }
 
-// persist hands a finalized batch to the Sink. Called with the shard
-// lock held so one device's batches reach the sink in emission order.
+// persist hands a finalized batch to the Sink — synchronously under
+// SinkSync (caller holds the shard lock), or through the async queue
+// otherwise. Called with the shard lock held either way, which is what
+// keeps one device's batches in emission order.
 func (e *Engine) persist(device string, segs []traj.Segment) {
 	if e.cfg.Sink == nil || len(segs) == 0 {
+		return
+	}
+	if e.q != nil {
+		e.q.putBatch(device, segs)
 		return
 	}
 	if err := e.cfg.Sink.Append(device, segs); err != nil {
@@ -254,11 +305,50 @@ func (e *Engine) persist(device string, segs []traj.Segment) {
 	}
 }
 
+// handoff finalizes a just-removed session and routes its tail to the
+// Sink, returning a wait whose segs field is valid once wg is done.
+// Caller holds the shard lock (so the tail is ordered after the
+// session's batches and before any successor's) and must wg.Wait after
+// releasing it. Without a queue the session finishes inline.
+func (e *Engine) handoff(device string, s *session, wg *sync.WaitGroup) *finishWait {
+	res := &finishWait{wg: wg}
+	wg.Add(1)
+	if e.q != nil {
+		e.q.putFinish(device, s, res)
+		return res
+	}
+	res.segs = s.finish()
+	e.persist(device, res.segs)
+	wg.Done()
+	return res
+}
+
 // Ingest feeds a batch of points to device's session, opening it on first
 // contact, and returns the segments the batch finalized. Points must be in
 // increasing time order per device across batches unless CleanWindow is
-// set. The returned slice is owned by the caller.
+// set. The returned slice is the session's reusable out-buffer: it is
+// valid until the next Ingest for the same device, so callers that keep
+// segment values past that point — in particular past a moment when a
+// concurrent caller might ingest the same device — must use IngestAppend
+// instead (reading len() of the result is always safe).
 func (e *Engine) Ingest(device string, pts []traj.Point) ([]traj.Segment, error) {
+	return e.ingest(device, pts, nil)
+}
+
+// IngestAppend is Ingest for callers that retain segments: the batch's
+// finalized segments are appended to dst — copied while the shard lock
+// is still held, so the result can never be overwritten by a concurrent
+// ingest for the same device — and the extended slice is returned. On
+// error dst is returned unchanged.
+func (e *Engine) IngestAppend(device string, pts []traj.Point, dst []traj.Segment) ([]traj.Segment, error) {
+	out, err := e.ingest(device, pts, &dst)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+func (e *Engine) ingest(device string, pts []traj.Point, dst *[]traj.Segment) ([]traj.Segment, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -269,6 +359,9 @@ func (e *Engine) Ingest(device string, pts []traj.Point) ([]traj.Segment, error)
 		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrDeviceTooLong, len(device), MaxDevice)
 	}
 	if len(pts) == 0 {
+		if dst != nil {
+			return *dst, nil
+		}
 		return nil, nil
 	}
 	sh := e.shard(device)
@@ -328,7 +421,7 @@ func (e *Engine) Ingest(device string, pts []traj.Point) ([]traj.Segment, error)
 		e.opened.Add(1)
 	}
 	s.lastT = batchLastT
-	var out []traj.Segment
+	out := s.out[:0]
 	for _, p := range pts {
 		// Encoder Push returns a scratch slice reused by the next call;
 		// append copies the segments out before that happens.
@@ -340,12 +433,24 @@ func (e *Engine) Ingest(device string, pts []traj.Point) ([]traj.Segment, error)
 			out = append(out, s.enc.Push(p)...)
 		}
 	}
+	s.out = out
 	s.last = e.now()
+	// The queue copies out before the lock drops (the session reuses the
+	// buffer on its next batch); under SinkSync this is the disk write
+	// itself. Either way this is the only sink work in the critical
+	// section — a memcpy, not I/O, on the default async path.
 	e.persist(device, out)
+	result := out
+	if dst != nil {
+		// IngestAppend: the caller's copy is taken before the lock drops,
+		// so no concurrent same-device ingest can overwrite it mid-read.
+		*dst = append(*dst, out...)
+		result = *dst
+	}
 	sh.mu.Unlock()
 	e.points.Add(int64(len(pts)))
 	e.segments.Add(int64(len(out)))
-	return out, nil
+	return result, nil
 }
 
 // finish drains the cleaner into the encoder and flushes it, returning the
@@ -362,7 +467,8 @@ func (s *session) finish() []traj.Segment {
 
 // Flush finalizes and removes device's session, returning its trailing
 // segments. The second result is false if no session exists — e.g. on a
-// duplicate flush.
+// duplicate flush. Flush returns only after the tail (and every batch
+// the session emitted before it) has been handed to the Sink.
 func (e *Engine) Flush(device string) ([]traj.Segment, bool) {
 	sh := e.shard(device)
 	sh.mu.Lock()
@@ -372,47 +478,68 @@ func (e *Engine) Flush(device string) ([]traj.Segment, bool) {
 		return nil, false
 	}
 	delete(sh.sessions, device)
-	segs := s.finish()
-	e.persist(device, segs)
+	var wg sync.WaitGroup
+	res := e.handoff(device, s, &wg)
 	// Release the session slot before dropping the lock so a concurrent
 	// first-contact ingest at MaxSessions sees the freed capacity.
 	e.live.Add(-1)
 	sh.mu.Unlock()
+	wg.Wait()
 	e.flushed.Add(1)
-	e.segments.Add(int64(len(segs)))
-	return segs, true
+	e.segments.Add(int64(len(res.segs)))
+	return res.segs, true
 }
 
 // FlushAll finalizes every live session and returns their trailing
-// segments by device.
+// segments by device. Each shard lock covers only session removal and
+// queue handoff; the encoder flushes and sink appends run on the sink
+// writers, in parallel across devices. FlushAll returns only after every
+// segment emitted before the call — tails and queued ingest batches
+// alike — has been handed to the Sink.
 func (e *Engine) FlushAll() map[string][]traj.Segment {
-	out := make(map[string][]traj.Segment)
+	var (
+		wg    sync.WaitGroup
+		devs  []string
+		waits []*finishWait
+	)
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.Lock()
 		for dev, s := range sh.sessions {
 			delete(sh.sessions, dev)
-			segs := s.finish()
-			e.persist(dev, segs)
-			out[dev] = segs
+			devs = append(devs, dev)
+			waits = append(waits, e.handoff(dev, s, &wg))
 			e.live.Add(-1)
 			e.flushed.Add(1)
-			e.segments.Add(int64(len(segs)))
 		}
 		sh.mu.Unlock()
+	}
+	wg.Wait()
+	out := make(map[string][]traj.Segment, len(devs))
+	for i, dev := range devs {
+		out[dev] = waits[i].segs
+		e.segments.Add(int64(len(waits[i].segs)))
+	}
+	if e.q != nil {
+		e.q.drain()
 	}
 	return out
 }
 
 // EvictIdle finalizes every session idle for at least Config.IdleAfter on
-// the engine clock and returns the evictions. OnEvict, if set, observes
-// each one. A zero IdleAfter makes this a no-op.
+// the engine clock and returns the evictions, each persisted before the
+// call returns. OnEvict, if set, observes each one. A zero IdleAfter
+// makes this a no-op.
 func (e *Engine) EvictIdle() []Eviction {
 	if e.cfg.IdleAfter <= 0 {
 		return nil
 	}
 	now := e.now()
-	var evs []Eviction
+	var (
+		wg    sync.WaitGroup
+		evs   []Eviction
+		waits []*finishWait
+	)
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.Lock()
@@ -421,14 +548,17 @@ func (e *Engine) EvictIdle() []Eviction {
 				continue
 			}
 			delete(sh.sessions, dev)
-			segs := s.finish()
-			e.persist(dev, segs)
-			evs = append(evs, Eviction{Device: dev, Segments: segs})
+			evs = append(evs, Eviction{Device: dev})
+			waits = append(waits, e.handoff(dev, s, &wg))
 			e.live.Add(-1)
 			e.evicted.Add(1)
-			e.segments.Add(int64(len(segs)))
 		}
 		sh.mu.Unlock()
+	}
+	wg.Wait()
+	for i := range evs {
+		evs[i].Segments = waits[i].segs
+		e.segments.Add(int64(len(waits[i].segs)))
 	}
 	if e.cfg.OnEvict != nil {
 		for _, ev := range evs {
@@ -468,6 +598,12 @@ func (e *Engine) Stats() Stats {
 		Contended:  e.contended.Load(),
 		SinkErrors: e.sinkErrs.Load(),
 	}
+	if e.q != nil {
+		st.SinkQueued = e.q.depth.Load()
+		st.SinkBlocked = e.q.blocked.Load()
+		st.SinkDropped = e.q.dropped.Load()
+		st.SinkDroppedSegs = e.q.dropSeg.Load()
+	}
 	if ss, ok := e.cfg.Sink.(StatsSink); ok {
 		sst := ss.Stats()
 		st.Store = &sst
@@ -475,14 +611,20 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// Close stops the janitor, rejects further ingest, and finalizes every
-// live session, returning their trailing segments by device. Subsequent
-// calls return nil.
+// Close stops the janitor, rejects further ingest, finalizes every live
+// session, and drains and stops the sink pipeline, returning the
+// sessions' trailing segments by device. When Close returns, everything
+// the engine ever emitted has been handed to the Sink. Subsequent calls
+// return nil.
 func (e *Engine) Close() map[string][]traj.Segment {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	close(e.stop)
 	e.janitor.Wait()
-	return e.FlushAll()
+	out := e.FlushAll()
+	if e.q != nil {
+		e.q.close()
+	}
+	return out
 }

@@ -12,6 +12,7 @@ var (
 )
 
 func BenchmarkPositionAt(b *testing.B) {
+	b.ReportAllocs()
 	tr := line(10_000, 5)
 	for i := 0; i < b.N; i++ {
 		p := tr.PositionAt(int64(i%9_000)*1000 + 500)
@@ -20,6 +21,7 @@ func BenchmarkPositionAt(b *testing.B) {
 }
 
 func BenchmarkSEDistance(b *testing.B) {
+	b.ReportAllocs()
 	tr := line(100, 10)
 	s := NewSegment(tr, 0, 99)
 	p := Point{X: 333, Y: 5, T: 33_300}
@@ -29,6 +31,7 @@ func BenchmarkSEDistance(b *testing.B) {
 }
 
 func BenchmarkLineDistance(b *testing.B) {
+	b.ReportAllocs()
 	tr := line(100, 10)
 	s := NewSegment(tr, 0, 99)
 	p := Point{X: 333, Y: 5, T: 33_300}
@@ -38,6 +41,7 @@ func BenchmarkLineDistance(b *testing.B) {
 }
 
 func BenchmarkCoveringSegments(b *testing.B) {
+	b.ReportAllocs()
 	tr := line(10_000, 5)
 	pw := make(Piecewise, 0, 1000)
 	for i := 0; i+10 < len(tr); i += 10 {
@@ -49,6 +53,7 @@ func BenchmarkCoveringSegments(b *testing.B) {
 }
 
 func BenchmarkCleanerPush(b *testing.B) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(1))
 	c := NewCleaner(4)
 	for i := 0; i < b.N; i++ {

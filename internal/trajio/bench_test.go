@@ -15,6 +15,7 @@ var (
 )
 
 func BenchmarkWriteCSV(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.SerCar, 10_000, 7)
 	b.SetBytes(10_000)
 	for i := 0; i < b.N; i++ {
@@ -27,6 +28,7 @@ func BenchmarkWriteCSV(b *testing.B) {
 }
 
 func BenchmarkReadCSV(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.SerCar, 10_000, 7)
 	var buf bytes.Buffer
 	if err := WriteCSV(&buf, tr, CSVOptions{Format: Planar, Header: true}); err != nil {
@@ -45,6 +47,7 @@ func BenchmarkReadCSV(b *testing.B) {
 }
 
 func BenchmarkPiecewiseEncode(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.SerCar, 10_000, 7)
 	pw := make(traj.Piecewise, 0, 500)
 	for i := 0; i+20 < len(tr); i += 20 {
@@ -56,6 +59,7 @@ func BenchmarkPiecewiseEncode(b *testing.B) {
 }
 
 func BenchmarkPiecewiseDecode(b *testing.B) {
+	b.ReportAllocs()
 	tr := gen.One(gen.SerCar, 10_000, 7)
 	pw := make(traj.Piecewise, 0, 500)
 	for i := 0; i+20 < len(tr); i += 20 {

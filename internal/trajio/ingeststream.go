@@ -1,0 +1,198 @@
+package trajio
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"trajsim/internal/enc"
+	"trajsim/internal/traj"
+)
+
+// Streaming side of the TSB1 binary ingest wire format: DecodeIngest
+// needs the whole upload in memory, which on the server means io.ReadAll
+// of every request body — an allocation proportional to body size on the
+// hottest path there is. DecodeIngestStream decodes the same format
+// incrementally from an io.Reader through one pooled fixed-size buffer,
+// so a gigabyte upload costs the same memory as a kilobyte one.
+
+const (
+	// ingestBufSize is the read buffer: comfortably larger than the
+	// biggest atom the format contains (a device ID plus a few varints).
+	ingestBufSize = 64 << 10
+	// ingestChunkPts caps the points delivered per callback; frames with
+	// more points arrive as several consecutive callbacks.
+	ingestChunkPts = 4096
+	// maxPointEnc is the worst-case encoding of one point: three 10-byte
+	// varints.
+	maxPointEnc = 30
+)
+
+// ingestDecoder is the pooled state of one streaming decode.
+type ingestDecoder struct {
+	src  io.Reader
+	buf  []byte
+	r, w int
+	eof  bool
+	pts  []traj.Point
+	// readErr records a reader failure seen by fill: it must surface
+	// verbatim (e.g. http.MaxBytesError → 413), never relabeled as
+	// ErrBadIngest data corruption.
+	readErr error
+}
+
+var ingestDecPool = sync.Pool{New: func() any {
+	return &ingestDecoder{
+		buf: make([]byte, ingestBufSize),
+		pts: make([]traj.Point, 0, ingestChunkPts),
+	}
+}}
+
+// fill slides the unread tail to the front of the buffer and reads more
+// input, guaranteeing progress: it returns having added at least one
+// byte or having set eof.
+func (d *ingestDecoder) fill() error {
+	if d.r > 0 {
+		d.w = copy(d.buf, d.buf[d.r:d.w])
+		d.r = 0
+	}
+	for !d.eof && d.w < len(d.buf) {
+		n, err := d.src.Read(d.buf[d.w:])
+		d.w += n
+		if err == io.EOF {
+			d.eof = true
+			return nil
+		}
+		if err != nil {
+			d.readErr = err
+			return err
+		}
+		if n > 0 {
+			return nil
+		}
+	}
+	if d.w == len(d.buf) {
+		// Buffer full of undecodable bytes: nothing in the format is this
+		// large, so the stream is garbage, not short.
+		d.eof = true
+	}
+	return nil
+}
+
+func (d *ingestDecoder) avail() int { return d.w - d.r }
+
+// uvarint decodes one uvarint, refilling across chunk boundaries.
+func (d *ingestDecoder) uvarint() (uint64, error) {
+	for {
+		v, n, err := enc.Uvarint(d.buf[d.r:d.w])
+		if err == nil {
+			d.r += n
+			return v, nil
+		}
+		if d.eof || d.avail() >= maxPointEnc {
+			return 0, err
+		}
+		if ferr := d.fill(); ferr != nil {
+			return 0, ferr
+		}
+	}
+}
+
+// DecodeIngestStream decodes a binary ingest stream incrementally from
+// r, invoking fn with consecutive point chunks in stream order. A frame
+// produces one callback per ingestChunkPts points (at least one, even
+// when empty), always tagged with its device. The points slice is reused
+// after fn returns — callbacks that keep points must copy them. fn
+// returning an error aborts the scan and surfaces that error; decode
+// failures are reported as ErrBadIngest, read failures verbatim.
+//
+// Memory stays constant in the input size: one pooled 64 KiB buffer and
+// one pooled point chunk, regardless of how large the stream is.
+func DecodeIngestStream(r io.Reader, fn func(device string, pts []traj.Point) error) error {
+	d := ingestDecPool.Get().(*ingestDecoder)
+	defer func() {
+		d.src = nil
+		d.r, d.w, d.eof = 0, 0, false
+		d.readErr = nil
+		d.pts = d.pts[:0]
+		ingestDecPool.Put(d)
+	}()
+	d.src = r
+
+	magic, err := d.uvarint()
+	if err != nil || magic != ibMagic {
+		if d.readErr != nil {
+			return d.readErr
+		}
+		return fmt.Errorf("%w: bad magic", ErrBadIngest)
+	}
+	for frame := 1; ; frame++ {
+		if d.avail() == 0 {
+			if !d.eof {
+				if err := d.fill(); err != nil {
+					return err
+				}
+			}
+			if d.avail() == 0 && d.eof {
+				return nil // clean end at a frame boundary
+			}
+		}
+		devLen, err := d.uvarint()
+		if err != nil {
+			if d.readErr != nil {
+				return d.readErr
+			}
+			return fmt.Errorf("%w: frame %d: device length: %v", ErrBadIngest, frame, err)
+		}
+		if devLen == 0 || devLen > ibMaxDevice {
+			return fmt.Errorf("%w: frame %d: device length %d (max %d)", ErrBadIngest, frame, devLen, ibMaxDevice)
+		}
+		for uint64(d.avail()) < devLen && !d.eof {
+			if err := d.fill(); err != nil {
+				return err
+			}
+		}
+		if uint64(d.avail()) < devLen {
+			return fmt.Errorf("%w: frame %d: truncated device ID", ErrBadIngest, frame)
+		}
+		device := string(d.buf[d.r : d.r+int(devLen)])
+		d.r += int(devLen)
+		count, err := d.uvarint()
+		if err != nil {
+			if d.readErr != nil {
+				return d.readErr
+			}
+			return fmt.Errorf("%w: frame %d: point count: %v", ErrBadIngest, frame, err)
+		}
+		pts := d.pts[:0]
+		pd := enc.PointDelta{Quant: pwQuantXY}
+		for i := uint64(0); i < count; i++ {
+			x, y, tms, n, err := pd.Next(d.buf[d.r:d.w])
+			if err != nil {
+				// Next leaves pd untouched on error, so a refill-and-retry
+				// is safe. If no more bytes can come, or plenty are already
+				// here, the error is the data's fault.
+				if d.eof || d.avail() >= maxPointEnc {
+					return fmt.Errorf("%w: frame %d point %d: %v", ErrBadIngest, frame, i, err)
+				}
+				if ferr := d.fill(); ferr != nil {
+					return ferr
+				}
+				i--
+				continue
+			}
+			d.r += n
+			pts = append(pts, traj.Point{X: x, Y: y, T: tms})
+			if len(pts) == ingestChunkPts && i+1 < count {
+				if err := fn(device, pts); err != nil {
+					return err
+				}
+				pts = pts[:0]
+			}
+		}
+		d.pts = pts
+		if err := fn(device, pts); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package trajio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+// chunkReader yields at most n bytes per Read, exercising every refill
+// boundary in the streaming decoder.
+type chunkReader struct {
+	b []byte
+	n int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.b) == 0 {
+		return 0, io.EOF
+	}
+	n := min(min(len(p), c.n), len(c.b))
+	copy(p, c.b[:n])
+	c.b = c.b[n:]
+	return n, nil
+}
+
+// flatten collects a decode as (device, point) pairs so frame-chunking
+// differences between the two decoders vanish.
+type devPoint struct {
+	dev string
+	p   traj.Point
+}
+
+func collectStream(r io.Reader) ([]devPoint, error) {
+	var out []devPoint
+	err := DecodeIngestStream(r, func(device string, pts []traj.Point) error {
+		for _, p := range pts {
+			out = append(out, devPoint{device, p})
+		}
+		return nil
+	})
+	return out, err
+}
+
+func collectWhole(b []byte) ([]devPoint, error) {
+	var out []devPoint
+	err := DecodeIngest(b, func(device string, pts []traj.Point) error {
+		for _, p := range pts {
+			out = append(out, devPoint{device, p})
+		}
+		return nil
+	})
+	return out, err
+}
+
+// buildIngestStream encodes a few frames, including one much larger than
+// both the decoder's read buffer and its per-callback chunk.
+func buildIngestStream(t testing.TB) []byte {
+	t.Helper()
+	b := AppendIngestHeader(nil)
+	b = AppendIngestBatch(b, "truck-1", gen.One(gen.Truck, 500, 1))
+	b = AppendIngestBatch(b, "taxi-2", gen.One(gen.Taxi, 3, 2))
+	b = AppendIngestBatch(b, "big-3", gen.One(gen.SerCar, 30000, 3)) // > 64 KiB encoded, > 4096 pts
+	b = AppendIngestBatch(b, "truck-1", gen.One(gen.Truck, 64, 4))
+	return b
+}
+
+// TestDecodeIngestStreamMatchesDecodeIngest: the streaming decoder is a
+// drop-in for the whole-buffer one at every reader granularity.
+func TestDecodeIngestStreamMatchesDecodeIngest(t *testing.T) {
+	raw := buildIngestStream(t)
+	want, err := collectWhole(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 500+3+30000+64 {
+		t.Fatalf("whole-buffer decode saw %d points", len(want))
+	}
+	for _, chunk := range []int{1 << 20, 64 << 10, 4096, 333, 1} {
+		got, err := collectStream(&chunkReader{b: raw, n: chunk})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d points, want %d", chunk, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: point %d = %+v, want %+v", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDecodeIngestStreamErrors: malformed input fails with ErrBadIngest,
+// reader failures surface verbatim, and a callback error aborts the scan.
+func TestDecodeIngestStreamErrors(t *testing.T) {
+	raw := buildIngestStream(t)
+	nop := func(string, []traj.Point) error { return nil }
+
+	if err := DecodeIngestStream(bytes.NewReader(nil), nop); !errors.Is(err, ErrBadIngest) {
+		t.Errorf("empty input: %v, want ErrBadIngest", err)
+	}
+	if err := DecodeIngestStream(bytes.NewReader([]byte("not TSB1 at all")), nop); !errors.Is(err, ErrBadIngest) {
+		t.Errorf("bad magic: %v, want ErrBadIngest", err)
+	}
+	for _, cut := range []int{len(raw) - 1, len(raw) / 2, 3} {
+		if err := DecodeIngestStream(bytes.NewReader(raw[:cut]), nop); !errors.Is(err, ErrBadIngest) {
+			t.Errorf("truncated at %d: %v, want ErrBadIngest", cut, err)
+		}
+	}
+
+	boom := errors.New("boom")
+	if err := DecodeIngestStream(iotest.TimeoutReader(&chunkReader{b: raw, n: 100}), nop); errors.Is(err, ErrBadIngest) || err == nil {
+		t.Errorf("reader failure reported as %v, want the read error", err)
+	}
+	if err := DecodeIngestStream(bytes.NewReader(raw), func(string, []traj.Point) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("callback error: %v, want boom", err)
+	}
+}
+
+// TestDecodeIngestStreamChunking pins the callback contract: one frame
+// larger than ingestChunkPts arrives as several consecutive callbacks
+// for the same device, none larger than the chunk cap, none empty but
+// the last of an empty frame.
+func TestDecodeIngestStreamChunking(t *testing.T) {
+	b := AppendIngestHeader(nil)
+	b = AppendIngestBatch(b, "big", gen.One(gen.Truck, 2*ingestChunkPts+5, 9))
+	b = AppendIngestBatch(b, "empty", nil)
+	var sizes []int
+	var devs []string
+	if err := DecodeIngestStream(bytes.NewReader(b), func(device string, pts []traj.Point) error {
+		devs = append(devs, device)
+		sizes = append(sizes, len(pts))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 4 || sizes[0] != ingestChunkPts || sizes[1] != ingestChunkPts || sizes[2] != 5 || sizes[3] != 0 {
+		t.Fatalf("callback sizes = %v (devices %v)", sizes, devs)
+	}
+	if devs[0] != "big" || devs[1] != "big" || devs[2] != "big" || devs[3] != "empty" {
+		t.Fatalf("callback devices = %v", devs)
+	}
+}
+
+// FuzzDecodeIngestStream: differential fuzz against DecodeIngest — the
+// two decoders accept the same inputs and produce the same points, and
+// the streaming one never panics at any reader granularity.
+func FuzzDecodeIngestStream(f *testing.F) {
+	f.Add([]byte{}, uint16(1))
+	valid := AppendIngestBatch(AppendIngestHeader(nil), "dev-1", gen.One(gen.Truck, 100, 2))
+	f.Add(valid, uint16(7))
+	f.Add(valid[:len(valid)-4], uint16(64))
+	f.Fuzz(func(t *testing.T, b []byte, chunk uint16) {
+		want, wantErr := collectWhole(b)
+		got, gotErr := collectStream(&chunkReader{b: b, n: 1 + int(chunk)%1024})
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("decoders disagree: whole=%v stream=%v", wantErr, gotErr)
+		}
+		if gotErr != nil {
+			if !errors.Is(gotErr, ErrBadIngest) {
+				t.Fatalf("non-sentinel error %v", gotErr)
+			}
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("stream decoded %d points, whole %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("point %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// BenchmarkDecodeIngestStream: the steady-state streaming decode should
+// not allocate per point — only the per-frame device string survives.
+func BenchmarkDecodeIngestStream(b *testing.B) {
+	b.ReportAllocs()
+	raw := buildIngestStream(b)
+	r := bytes.NewReader(raw)
+	nop := func(string, []traj.Point) error { return nil }
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(raw)
+		if err := DecodeIngestStream(r, nop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

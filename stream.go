@@ -23,8 +23,29 @@ type (
 	Eviction = stream.Eviction
 	// SegmentSink receives every finalized segment batch the engine
 	// emits; a *SegmentStore is the canonical implementation. Set it on
-	// EngineConfig.Sink for durability.
+	// EngineConfig.Sink for durability. Appends run on the engine's async
+	// sink pipeline, outside the ingest critical section, ordered per
+	// device; see SinkFullPolicy and the EngineConfig Sink* fields.
 	SegmentSink = stream.Sink
+	// SinkFullPolicy selects what a full sink queue does with an
+	// ingest-path batch: SinkBlock or SinkDrop.
+	SinkFullPolicy = stream.SinkFullPolicy
+)
+
+// Sink-queue backpressure policies and defaults, re-exported.
+const (
+	// SinkBlock blocks ingest until the sink queue has room: nothing
+	// acknowledged is ever lost, and a slow disk surfaces as latency.
+	SinkBlock = stream.SinkBlock
+	// SinkDrop sheds ingest-path batches when the queue is full: ingest
+	// never waits on storage, and EngineStats counts the gap.
+	SinkDrop = stream.SinkDrop
+	// DefaultSinkWriters is the sink writer-goroutine count when
+	// EngineConfig.SinkWriters is zero.
+	DefaultSinkWriters = stream.DefaultSinkWriters
+	// DefaultSinkQueue is the per-writer sink queue depth when
+	// EngineConfig.SinkQueue is zero.
+	DefaultSinkQueue = stream.DefaultSinkQueue
 )
 
 // MaxDevice is the longest accepted device ID in bytes, shared by the
