@@ -37,11 +37,26 @@
 //	POST /flush?device=ID&out=segments
 //	     finalize one device session (404 if unknown) or, without
 //	     device=, every live session.
-//	GET  /devices/{device}/segments?out=binary
+//	GET  /devices/{device}/segments?from=&to=&out=binary
 //	     replay the device's persisted segment log (requires -data-dir)
 //	     as NDJSON, or as the binary piecewise encoding with out=binary
 //	     (422 when the log spans several encoder sessions and is not one
-//	     continuous polyline).
+//	     continuous polyline), or as the gap-safe binary segment-batch
+//	     encoding with out=sgb1. from/to (unix ms, inclusive) restrict
+//	     the reply to segments overlapping the range, answered via the
+//	     store's time index — seeks, not a log scan; a ranged query with
+//	     no matches is an empty 200, not a 404.
+//	GET  /devices/{device}/at?t=
+//	     position-at-time: binary-searches the time index for the
+//	     persisted segment covering t and interpolates along it — the
+//	     paper's where-was-it-at-t query. 404 when t falls before,
+//	     after, or in a gap of the device's history.
+//	GET  /devices/{device}/tail
+//	     server-sent-events long poll: one "segments" event per
+//	     finalized batch, emitted only after the segment store accepted
+//	     it. A slow client gets a "lagged" event and the stream ends
+//	     (resume via /segments?from=). -tail-buffer sizes the
+//	     per-subscriber buffer.
 //
 // With -data-dir every finalized segment — from ingest, flush, idle
 // eviction and shutdown alike — is also appended to a crash-recoverable
@@ -75,6 +90,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	_ "net/http/pprof" // -pprof: profiling endpoints on their own listener
 	"os"
@@ -112,6 +128,8 @@ func main() {
 		sinkQueue   = flag.Int("sink-queue", 0, "per-writer sink queue depth in batches (0 = engine default)")
 		sinkFull    = flag.String("sink-full", "block", "full sink-queue policy: block (durability) or drop (availability)")
 		sinkSync    = flag.Bool("sink-sync", false, "bypass the async sink queue and write segments to disk inside the ingest critical section (pre-v4 behavior, for comparison)")
+
+		tailBuffer = flag.Int("tail-buffer", 0, "per-subscriber /devices/{id}/tail buffer in batches; a client that falls further behind is disconnected with a lagged event (0 = default)")
 
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		compactEvery = flag.Duration("compact-every", 0, "run a full-disk retention sweep (Store.CompactNow) on this period, covering cold devices the background pass never visits (0 = disabled)")
@@ -163,8 +181,11 @@ func main() {
 			log.Printf("evicted idle session %s (%d trailing segments)", dev, len(segs))
 		},
 	}
+	var tails *tailHub
 	if store != nil {
 		cfg.Sink = store
+		tails = newTailHub(*tailBuffer)
+		cfg.OnSink = tails.publish
 	}
 	eng, err := stream.NewEngine(cfg)
 	if err != nil {
@@ -172,7 +193,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(eng, store, *maxBody)}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(eng, store, tails, *maxBody)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -214,8 +235,8 @@ func main() {
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Printf("trajserve: shutdown: %v", err)
 	}
-	tails := eng.Close()
-	log.Printf("trajserve: flushed %d live sessions", len(tails))
+	flushed := eng.Close()
+	log.Printf("trajserve: flushed %d live sessions", len(flushed))
 	if store != nil {
 		// After eng.Close, so every trailing segment is in the log.
 		if err := store.Close(); err != nil {
@@ -247,12 +268,13 @@ func compactLoop(ctx context.Context, store *segstore.Store, every time.Duration
 type server struct {
 	eng     *stream.Engine
 	store   *segstore.Store // nil without -data-dir
+	tails   *tailHub        // nil without -data-dir
 	maxBody int64
 }
 
 // newHandler builds the service mux; separated from main for testing.
-func newHandler(eng *stream.Engine, store *segstore.Store, maxBody int64) http.Handler {
-	s := &server{eng: eng, store: store, maxBody: maxBody}
+func newHandler(eng *stream.Engine, store *segstore.Store, tails *tailHub, maxBody int64) http.Handler {
+	s := &server{eng: eng, store: store, tails: tails, maxBody: maxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -267,6 +289,8 @@ func newHandler(eng *stream.Engine, store *segstore.Store, maxBody int64) http.H
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("POST /flush", s.handleFlush)
 	mux.HandleFunc("GET /devices/{device}/segments", s.handleDeviceSegments)
+	mux.HandleFunc("GET /devices/{device}/at", s.handleDeviceAt)
+	mux.HandleFunc("GET /devices/{device}/tail", s.handleDeviceTail)
 	return mux
 }
 
@@ -686,17 +710,54 @@ func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]int{"devices": len(tails), "segments": segments})
 }
 
+// queryMs parses an optional unix-ms query parameter, reporting whether
+// it was present.
+func queryMs(r *http.Request, key string) (int64, bool, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, false, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad %s: %w", key, err)
+	}
+	return v, true, nil
+}
+
 // handleDeviceSegments replays a device's persisted segment log — the
 // read side of -data-dir. It serves only what the store holds: segments
 // still inside a live encoder appear after the session flushes or is
-// evicted.
+// evicted. With from/to it becomes a range query over the store's time
+// index: only the covering records are read, not the whole log.
 func (s *server) handleDeviceSegments(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
 		http.Error(w, "persistence disabled: start trajserve with -data-dir", http.StatusNotFound)
 		return
 	}
 	device := r.PathValue("device")
-	segs, err := s.store.Replay(device)
+	from, haveFrom, err := queryMs(r, "from")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, haveTo, err := queryMs(r, "to")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ranged := haveFrom || haveTo
+	if !haveFrom {
+		from = math.MinInt64
+	}
+	if !haveTo {
+		to = math.MaxInt64
+	}
+	var segs []traj.Segment
+	if ranged {
+		segs, err = s.store.ReplayRange(device, from, to)
+	} else {
+		segs, err = s.store.Replay(device)
+	}
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, segstore.ErrDeviceID) {
@@ -705,7 +766,9 @@ func (s *server) handleDeviceSegments(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	if len(segs) == 0 {
+	// A full replay of an absent log is a 404; a ranged query that merely
+	// matched nothing is an ordinary empty result.
+	if len(segs) == 0 && !ranged {
 		http.Error(w, "no persisted segments for device "+device, http.StatusNotFound)
 		return
 	}
@@ -719,11 +782,12 @@ func (s *server) handleDeviceSegments(w http.ResponseWriter, r *http.Request) {
 		// The binary piecewise encoding stores only the first Start and
 		// welds every later Start to the previous End — valid for one
 		// continuous polyline, silently wrong for a log spanning several
-		// encoder sessions (each restarts wherever the device was). Refuse
-		// rather than corrupt.
+		// encoder sessions (each restarts wherever the device was) or for
+		// a ranged result that skipped records. Refuse rather than corrupt;
+		// out=sgb1 carries discontinuous results.
 		for i := 1; i < len(segs); i++ {
 			if segs[i].Start != segs[i-1].End {
-				http.Error(w, "segment log spans multiple encoder sessions and is not one continuous polyline; use the NDJSON replay", http.StatusUnprocessableEntity)
+				http.Error(w, "segments do not form one continuous polyline; use the NDJSON replay or out=sgb1", http.StatusUnprocessableEntity)
 				return
 			}
 		}
@@ -731,9 +795,63 @@ func (s *server) handleDeviceSegments(w http.ResponseWriter, r *http.Request) {
 		if _, err := w.Write(trajio.AppendPiecewise(nil, traj.Piecewise(segs))); err != nil {
 			log.Printf("devices/segments: write: %v", err)
 		}
+	case "sgb1":
+		// The segment-batch encoding carries Start and End explicitly, so
+		// it is closed under range filtering — no continuity requirement.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := w.Write(trajio.AppendSegments(nil, segs)); err != nil {
+			log.Printf("devices/segments: write: %v", err)
+		}
 	default:
-		http.Error(w, "unknown out format (segments, binary)", http.StatusBadRequest)
+		http.Error(w, "unknown out format (segments, binary, sgb1)", http.StatusBadRequest)
 	}
+}
+
+// handleDeviceAt is GET /devices/{device}/at?t=: the paper's
+// where-was-it-at-t query, answered from the persisted piecewise
+// representation by binary search over the time index plus interpolation
+// along the covering segment.
+func (s *server) handleDeviceAt(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "persistence disabled: start trajserve with -data-dir", http.StatusNotFound)
+		return
+	}
+	device := r.PathValue("device")
+	tms, have, err := queryMs(r, "t")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !have {
+		http.Error(w, "missing t (unix ms)", http.StatusBadRequest)
+		return
+	}
+	seg, err := s.store.SegmentAt(device, tms)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, segstore.ErrNoPosition):
+			status = http.StatusNotFound
+		case errors.Is(err, segstore.ErrDeviceID):
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	p := seg.At(tms)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"device": device,
+		"t_ms":   tms,
+		"x_m":    p.X,
+		"y_m":    p.Y,
+		"segment": segmentRecord{
+			Device: device,
+			T1:     seg.Start.T, X1: seg.Start.X, Y1: seg.Start.Y,
+			T2: seg.End.T, X2: seg.End.X, Y2: seg.End.Y,
+			Points: seg.PointCount(),
+		},
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -42,7 +42,7 @@ func testServer(t *testing.T, maxBody int64) *httptest.Server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Close() })
-	srv := httptest.NewServer(newHandler(eng, nil, maxBody))
+	srv := httptest.NewServer(newHandler(eng, nil, nil, maxBody))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -64,11 +64,14 @@ func persistentServerCfg(t *testing.T, cfg segstore.Config) (*httptest.Server, f
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := stream.NewEngine(stream.Config{Zeta: 40, Aggressive: true, Shards: 4, Sink: store})
+	tails := newTailHub(0)
+	eng, err := stream.NewEngine(stream.Config{
+		Zeta: 40, Aggressive: true, Shards: 4, Sink: store, OnSink: tails.publish,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(eng, store, testMaxBody))
+	srv := httptest.NewServer(newHandler(eng, store, tails, testMaxBody))
 	var once sync.Once
 	shutdown := func() {
 		once.Do(func() {
@@ -840,7 +843,7 @@ func TestEvictionPersists(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(eng, store, testMaxBody))
+	srv := httptest.NewServer(newHandler(eng, store, nil, testMaxBody))
 	defer srv.Close()
 	defer store.Close()
 	defer eng.Close()

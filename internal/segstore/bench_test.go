@@ -95,3 +95,65 @@ func BenchmarkReplay(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkReplayRange pits the indexed range read against a full scan
+// over the same log: a narrow window on a large multi-file log should
+// cost a couple of index lookups and one span read per touched file —
+// O(log n) in records — where Replay pays for every byte.
+func BenchmarkReplayRange(b *testing.B) {
+	b.ReportAllocs()
+	const n = 16384
+	segs := syntheticSegs(n)
+	dir := b.TempDir()
+	s, err := Open(Config{Dir: dir, MaxFileSize: 64 << 10, Sync: SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for off := 0; off < n; off += 64 {
+		if err := s.Append("dev", segs[off:off+64]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// A 16-segment window in the middle of the log, nudged 1 ms inward so
+	// the boundary-sharing neighbor segments fall outside it.
+	from := segs[n/2].Start.T + 1
+	to := segs[n/2+15].End.T - 1
+
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := s.ReplayRange("dev", from, to)
+			if err != nil || len(got) != 16 {
+				b.Fatalf("%d segments, %v", len(got), err)
+			}
+		}
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			all, err := s.Replay("dev")
+			if err != nil {
+				b.Fatal(err)
+			}
+			got := all[:0]
+			for _, sg := range all {
+				if sg.End.T >= from && sg.Start.T <= to {
+					got = append(got, sg)
+				}
+			}
+			if len(got) != 16 {
+				b.Fatalf("%d segments", len(got))
+			}
+		}
+	})
+	b.Run("at", func(b *testing.B) {
+		b.ReportAllocs()
+		t := (from + to) / 2
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SegmentAt("dev", t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

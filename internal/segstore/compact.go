@@ -10,14 +10,26 @@ import (
 // Config.MaxLogAge) by deleting whole rotated files oldest-first —
 // records are never split, so whatever survives replays as an intact,
 // contiguous suffix of the append history. The newest file is never
-// deleted: it is the live append target, which also means a log can
-// always answer "where was this device last" even under the tightest
-// budget.
+// deleted: it is the live append target, so under a pure byte budget a
+// log can always answer "where was this device last".
+//
+// MaxLogAge additionally works at record-range granularity: when the
+// oldest surviving file's time index shows an expired prefix worth at
+// least truncateFraction of its payload, the file is rewritten without
+// that prefix (temp file + rename, crash-safe). A slow device whose
+// single file spans months finally ages out instead of waiting for a
+// rotation that never comes.
 //
 // Enforcement points: after every rotation (the moment a log grows past
 // a file boundary), at a log's first open in a process, on every
 // maintenance tick for logs this process has touched, and on demand for
 // every device on disk via CompactNow.
+
+// truncateFraction is the denominator of the prefix-truncation
+// threshold: a file is rewritten only when at least 1/truncateFraction
+// of its payload bytes have expired, so a long-lived log is rewritten
+// O(log) times over its life, not once per maintenance tick.
+const truncateFraction = 4
 
 // retentionOn reports whether any retention limit is configured.
 func (s *Store) retentionOn() bool {
@@ -26,7 +38,8 @@ func (s *Store) retentionOn() bool {
 
 // compactLocked enforces retention on one device log. Caller holds l.mu.
 // It works on unopened logs too, listing the directory directly, so a
-// full sweep does not pay recovery cost for cold devices.
+// full sweep does not pay recovery cost for cold devices (record-range
+// truncation, which needs the index, only runs once a log is opened).
 func (s *Store) compactLocked(l *deviceLog) error {
 	if !s.retentionOn() {
 		return nil
@@ -34,11 +47,11 @@ func (s *Store) compactLocked(l *deviceLog) error {
 	seqs := l.seqs
 	if !l.opened {
 		var err error
-		if seqs, err = listSeqs(l.dir); err != nil {
+		if seqs, _, err = listSeqs(l.dir); err != nil {
 			return err
 		}
 	}
-	if len(seqs) <= 1 {
+	if len(seqs) == 0 {
 		return nil
 	}
 	sizes := make([]int64, len(seqs))
@@ -54,7 +67,7 @@ func (s *Store) compactLocked(l *deviceLog) error {
 	}
 	var cutoff time.Time
 	if s.cfg.MaxLogAge > 0 {
-		cutoff = time.Now().Add(-s.cfg.MaxLogAge)
+		cutoff = s.now().Add(-s.cfg.MaxLogAge)
 	}
 	removed := 0
 	for removed < len(seqs)-1 {
@@ -65,6 +78,9 @@ func (s *Store) compactLocked(l *deviceLog) error {
 		if !expired && !over {
 			break
 		}
+		// Sidecar first: a crash between the two deletes leaves a
+		// rebuildable data file, never a stale index outliving its data.
+		l.dropIndex(seqs[removed])
 		if err := os.Remove(l.path(seqs[removed])); err != nil {
 			if l.opened {
 				l.seqs = append(l.seqs[:0], seqs[removed:]...)
@@ -79,7 +95,135 @@ func (s *Store) compactLocked(l *deviceLog) error {
 	if removed > 0 && l.opened {
 		l.seqs = append(l.seqs[:0], seqs[removed:]...)
 	}
+	if l.opened {
+		return s.truncatePrefixLocked(l)
+	}
 	return nil
+}
+
+// truncatePrefixLocked is MaxLogAge at record-range granularity: when
+// the oldest file's index shows a fully expired prefix of entries — by
+// append wall time, the same clock the whole-file mtime rule uses — and
+// that prefix is at least 1/truncateFraction of the file's payload, the
+// file is rewritten without it (header + surviving records into a temp
+// file, fsynced, renamed over the original). Index offsets shift down
+// accordingly; for a sealed file the sidecar is dropped before the
+// rename and rewritten after, so a crash at any point leaves either the
+// old intact file or the new one, each with a rebuildable (or already
+// consistent) index. Caller holds l.mu with l.opened.
+func (s *Store) truncatePrefixLocked(l *deviceLog) error {
+	if s.cfg.MaxLogAge <= 0 || len(l.seqs) == 0 {
+		return nil
+	}
+	seq := l.seqs[0]
+	active := seq == l.seqs[len(l.seqs)-1]
+	fi, err := s.loadIndex(l, seq)
+	if err != nil {
+		return err
+	}
+	cutoffMs := s.now().Add(-s.cfg.MaxLogAge).UnixMilli()
+	k := 0
+	for k < len(fi.entries) && fi.entries[k].wall < cutoffMs {
+		k++
+	}
+	if active {
+		// The live file keeps its newest span no matter its age, so a log
+		// always answers "where was this device last" — record-range aging
+		// trims history, it never erases a device.
+		k = min(k, len(fi.entries)-1)
+	}
+	if k <= 0 {
+		return nil
+	}
+	cut := fi.dataLen
+	if k < len(fi.entries) {
+		cut = fi.entries[k].off
+	}
+	drop := cut - int64(len(fileMagic))
+	payload := fi.dataLen - int64(len(fileMagic))
+	if drop <= 0 || drop*truncateFraction < payload {
+		return nil
+	}
+	data, err := os.ReadFile(l.path(seq))
+	if err != nil {
+		return fmt.Errorf("segstore: retention: %w", err)
+	}
+	if int64(len(data)) < fi.dataLen {
+		return fmt.Errorf("%w: %s shorter than its index", ErrCorrupt, l.path(seq))
+	}
+	nb := make([]byte, 0, int64(len(fileMagic))+fi.dataLen-cut)
+	nb = append(nb, fileMagic...)
+	nb = append(nb, data[cut:fi.dataLen]...)
+	tmp := l.path(seq) + tmpSuffix
+	if err := writeFileSynced(tmp, nb, s.cfg.Sync != SyncNever); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segstore: retention: %w", err)
+	}
+	if active && l.f != nil {
+		// Close the append handle before the rename: writes through a handle
+		// on the replaced inode would be silently lost. The next append
+		// reopens at the tracked offset.
+		if err := s.dropHandle(l); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("segstore: retention: %w", err)
+		}
+	}
+	if !active {
+		l.dropIndex(seq)
+	}
+	if err := os.Rename(tmp, l.path(seq)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segstore: retention: %w", err)
+	}
+	if s.cfg.Sync == SyncAlways {
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	shifted := shiftEntries(fi.entries[k:], cut-int64(len(fileMagic)))
+	if active {
+		l.size = int64(len(nb))
+		l.tail = shifted
+		l.dirty = false // the rewrite is (conditionally) synced above
+	} else {
+		nfi := fileIndex{entries: shifted, dataLen: int64(len(nb))}
+		_ = l.writeIndex(s, seq, nfi.dataLen, nfi.entries) // best effort: rebuilt next read
+		l.cacheIndex(seq, nfi)
+	}
+	s.prefixTruncs.Add(1)
+	s.reclaimedBytes.Add(drop)
+	return nil
+}
+
+// shiftEntries returns entries with every offset lowered by delta — the
+// index of a file whose first delta prefix bytes were cut.
+func shiftEntries(entries []indexEntry, delta int64) []indexEntry {
+	out := make([]indexEntry, len(entries))
+	for i, e := range entries {
+		e.off -= delta
+		out[i] = e
+	}
+	return out
+}
+
+// writeFileSynced writes b to path, optionally fsyncing before close —
+// rename-over-original callers need the new bytes durable first.
+func writeFileSynced(path string, b []byte, sync bool) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // compactKnown runs retention over every log this process has opened —
@@ -87,7 +231,8 @@ func (s *Store) compactLocked(l *deviceLog) error {
 // it visits. Cold devices from earlier runs are compacted when first
 // opened, or all at once by CompactNow; logs CompactNow registered but
 // never opened are skipped here, or every tick would re-list their
-// directories forever.
+// directories forever. Instances the metadata LRU evicted after the
+// snapshot are skipped too: their successor owns the files now.
 func (s *Store) compactKnown() {
 	s.mu.Lock()
 	logs := make([]*deviceLog, 0, len(s.logs))
@@ -97,7 +242,7 @@ func (s *Store) compactKnown() {
 	s.mu.Unlock()
 	for _, l := range logs {
 		l.mu.Lock()
-		if l.opened {
+		if l.opened && !l.evicted {
 			_ = s.compactLocked(l)
 		}
 		l.mu.Unlock()
@@ -133,7 +278,7 @@ func (s *Store) CompactNow() error {
 		if err != nil {
 			continue // not ours
 		}
-		l, err := s.log(dev)
+		l, err := s.lockLog(dev)
 		if err != nil {
 			// Close raced in, or a foreign directory escaped to an
 			// unusable device ID.
@@ -142,7 +287,6 @@ func (s *Store) CompactNow() error {
 			}
 			continue
 		}
-		l.mu.Lock()
 		if err := s.compactLocked(l); err != nil && first == nil {
 			first = err
 		}

@@ -1,6 +1,7 @@
 package segstore
 
 import (
+	"errors"
 	"path/filepath"
 	"testing"
 )
@@ -47,6 +48,46 @@ func FuzzEscapeDeviceRoundTrip(f *testing.F) {
 			if again := escapeDevice(dev); again != s {
 				t.Fatalf("non-canonical name %q accepted (device %q canonically escapes to %q)", s, dev, again)
 			}
+		}
+	})
+}
+
+// FuzzDecodeIndex: index sidecars live on disk where anything can happen
+// to them, and the decoder's contract is total: arbitrary bytes either
+// decode or fail with errBadIndex — never panic, never over-allocate,
+// never yield entries that violate the invariants readers rely on
+// (strictly increasing offsets past the file magic, minT ≤ maxT).
+func FuzzDecodeIndex(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(idxMagic))
+	valid := appendIndexFile(nil, 4096, []indexEntry{
+		{off: int64(len(fileMagic)), minT: 1000, maxT: 2000, wall: 50},
+		{off: 700, minT: 1500, maxT: 3000, wall: 60},
+		{off: 2100, minT: 3000, maxT: 3001, wall: 60},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(appendIndexFile(nil, 10, nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		dataLen, entries, err := decodeIndexFile(b)
+		if err != nil {
+			if !errors.Is(err, errBadIndex) {
+				t.Fatalf("non-sentinel error %v", err)
+			}
+			return
+		}
+		prevOff := int64(len(fileMagic)) - 1
+		for i, e := range entries {
+			if e.off <= prevOff || e.off >= dataLen || e.minT > e.maxT {
+				t.Fatalf("entry %d violates invariants: %+v (dataLen %d)", i, e, dataLen)
+			}
+			prevOff = e.off
+		}
+		// Accepted input must round-trip byte-identically: the encoding is
+		// canonical, so a re-encode of the decoded entries is the original.
+		again := appendIndexFile(nil, dataLen, entries)
+		if string(again) != string(b) {
+			t.Fatalf("accepted sidecar is not canonical:\n in %x\nout %x", b, again)
 		}
 	})
 }

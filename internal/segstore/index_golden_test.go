@@ -1,0 +1,88 @@
+package segstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"trajsim/internal/traj"
+)
+
+// TestGoldenIndexFile pins the sidecar format — magic, CRC framing,
+// delta coding, field order — as produced by a real rotation, the same
+// way record_v1.golden pins the data file. The store clock is overridden
+// so the wall stamps (and therefore the bytes) are deterministic.
+func TestGoldenIndexFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Sync: SyncNever, MaxFileSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := int64(1_700_000_000_000)
+	s.now = func() time.Time { clock += 1000; return time.UnixMilli(clock) }
+	s.idxGran = 1 // one entry per record, exercising the delta chain
+
+	// Two records per file: each segment is ~35 framed bytes, so the
+	// third append pushes past 64 bytes and rotates, sealing file 1 with
+	// a two-entry sidecar.
+	segs := append(goldenSegments(),
+		traj.Segment{Start: traj.At(-3.25, 60, 160_500), End: traj.At(40, 40, 200_000),
+			StartIdx: 41, EndIdx: 55, VirtualEnd: true},
+	)
+	for _, sg := range segs {
+		if err := s.Append("golden", []traj.Segment{sg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "golden", idxName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "index_v1.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("index sidecar format changed:\n got %x\nwant %x\nre-bless with -update only for a deliberate format break", got, want)
+	}
+
+	// The checked-in fixture must keep decoding on current code, with the
+	// exact entries the appends above produced.
+	dataLen, entries, err := decodeIndexFile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEntries := []indexEntry{
+		{off: int64(len(fileMagic)), minT: 0, maxT: 30_000, wall: 1_700_000_001_000},
+		{off: 0, minT: 30_000, maxT: 95_000, wall: 1_700_000_002_000},
+	}
+	wantEntries[1].off = entries[0].off // the second offset is whatever record 1's length makes it
+	if len(entries) != 2 {
+		t.Fatalf("fixture has %d entries, want 2", len(entries))
+	}
+	if entries[0] != wantEntries[0] {
+		t.Fatalf("entry 0 = %+v, want %+v", entries[0], wantEntries[0])
+	}
+	if entries[1].minT != 30_000 || entries[1].maxT != 95_000 || entries[1].wall != 1_700_000_002_000 {
+		t.Fatalf("entry 1 = %+v", entries[1])
+	}
+	if entries[1].off <= entries[0].off || dataLen <= entries[1].off {
+		t.Fatalf("offsets out of order: %+v, dataLen %d", entries, dataLen)
+	}
+}

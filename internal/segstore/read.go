@@ -1,0 +1,265 @@
+package segstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"trajsim/internal/enc"
+	"trajsim/internal/traj"
+)
+
+// The time-indexed read path. Replay scans a whole log; the queries here
+// consult each file's sparse index (index.go) first, so they read only
+// the record spans whose time range can match — a range query over a
+// multi-gigabyte log touches kilobytes, and position-at-time is a
+// binary search plus one span read per file probed.
+
+// ErrNoPosition is returned by SegmentAt when no persisted segment
+// covers the requested time.
+var ErrNoPosition = errors.New("segstore: no position at that time")
+
+// ReplayRange returns every persisted segment for device whose time
+// span intersects [from, to] (unix ms, inclusive), in append order —
+// exactly Replay filtered to the range, but answered by seeking to the
+// covering records via the time index instead of scanning the log.
+// from > to returns nil.
+func (s *Store) ReplayRange(device string, from, to int64) ([]traj.Segment, error) {
+	if from > to {
+		return nil, nil
+	}
+	l, err := s.lockLog(device)
+	if err != nil {
+		return nil, err
+	}
+	defer l.mu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := l.open(s); err != nil {
+		return nil, err
+	}
+	var out []traj.Segment
+	for _, seq := range l.seqs {
+		if out, err = s.readFileRange(l, seq, from, to, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SegmentAt returns the persisted segment covering time t for device —
+// the piecewise answer to "where was the device at t" (interpolate with
+// Segment.At). When overlapping history covers t more than once (a
+// device re-ingesting a time span), the segment appended last wins.
+// ErrNoPosition is returned when t falls before, after, or in a gap of
+// the device's history — including a device with no log at all.
+func (s *Store) SegmentAt(device string, t int64) (traj.Segment, error) {
+	l, err := s.lockLog(device)
+	if err != nil {
+		return traj.Segment{}, err
+	}
+	defer l.mu.Unlock()
+	if s.closed.Load() {
+		return traj.Segment{}, ErrClosed
+	}
+	if err := l.open(s); err != nil {
+		return traj.Segment{}, err
+	}
+	// Newest file first: on overlap the latest append wins, and the common
+	// "where is it now" probe touches only the live file.
+	for i := len(l.seqs) - 1; i >= 0; i-- {
+		seg, ok, err := s.segmentAtFile(l, l.seqs[i], t)
+		if err != nil {
+			return traj.Segment{}, err
+		}
+		if ok {
+			return seg, nil
+		}
+	}
+	return traj.Segment{}, ErrNoPosition
+}
+
+// readFileRange appends file seq's segments intersecting [from, to] to
+// dst. A decode failure under a sealed file's sidecar discards that
+// sidecar and retries once against an index rebuilt from the data file —
+// sidecars are advisory, and a CRC-collision or foreign file must not
+// turn into a spurious ErrCorrupt. The newest file's index is built in
+// memory from the data itself, so there a failure is real corruption.
+func (s *Store) readFileRange(l *deviceLog, seq int, from, to int64, dst []traj.Segment) ([]traj.Segment, error) {
+	for attempt := 0; ; attempt++ {
+		fi, err := s.loadIndex(l, seq)
+		if err != nil {
+			return dst, err
+		}
+		out, err := s.readSpans(l, seq, fi, from, to, dst)
+		if err == nil {
+			return out, nil
+		}
+		if attempt > 0 || l.isNewest(seq) {
+			return dst, fmt.Errorf("%w: indexed read: %v (%s)", ErrCorrupt, err, l.path(seq))
+		}
+		l.dropIndex(seq)
+	}
+}
+
+// readSpans is one indexed pass over file seq: select the entries whose
+// time range intersects [from, to] (binary search when the index is
+// time-sorted, linear filter otherwise), read each contiguous run of
+// selected entries with one pread, decode, and keep the segments
+// actually in range.
+func (s *Store) readSpans(l *deviceLog, seq int, fi fileIndex, from, to int64, dst []traj.Segment) ([]traj.Segment, error) {
+	entries := fi.entries
+	lo, hi := 0, len(entries)
+	if entriesSorted(entries) {
+		// maxT and minT are both non-decreasing: entries before lo end too
+		// early to reach from, entries from hi on start after to.
+		lo = sort.Search(len(entries), func(i int) bool { return entries[i].maxT >= from })
+		hi = sort.Search(len(entries), func(i int) bool { return entries[i].minT > to })
+	}
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	var buf []byte
+	for i := lo; i < hi; {
+		if !entries[i].overlaps(from, to) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < hi && entries[j].overlaps(from, to) {
+			j++
+		}
+		end := fi.dataLen
+		if j < len(entries) {
+			end = entries[j].off
+		}
+		if f == nil {
+			var err error
+			if f, err = os.Open(l.path(seq)); err != nil {
+				return dst, err
+			}
+		}
+		buf = grow(buf, int(end-entries[i].off))
+		if _, err := f.ReadAt(buf, entries[i].off); err != nil {
+			return dst, err
+		}
+		before := len(dst)
+		var err error
+		if dst, err = decodeRecordRange(dst, buf); err != nil {
+			return dst[:before], err
+		}
+		// The span covers whole records; keep only the segments in range.
+		keep := dst[:before]
+		for _, sg := range dst[before:] {
+			if sg.End.T >= from && sg.Start.T <= to {
+				keep = append(keep, sg)
+			}
+		}
+		dst = keep
+		i = j
+	}
+	return dst, nil
+}
+
+// segmentAtFile finds the last-appended segment of file seq covering
+// time t, with the same rebuild-and-retry contract as readFileRange.
+func (s *Store) segmentAtFile(l *deviceLog, seq int, t int64) (traj.Segment, bool, error) {
+	for attempt := 0; ; attempt++ {
+		fi, err := s.loadIndex(l, seq)
+		if err != nil {
+			return traj.Segment{}, false, err
+		}
+		seg, ok, err := s.segmentAtSpans(l, seq, fi, t)
+		if err == nil {
+			return seg, ok, nil
+		}
+		if attempt > 0 || l.isNewest(seq) {
+			return traj.Segment{}, false, fmt.Errorf("%w: indexed read: %v (%s)", ErrCorrupt, err, l.path(seq))
+		}
+		l.dropIndex(seq)
+	}
+}
+
+// segmentAtSpans probes file seq's entries newest-first for a segment
+// covering t, decoding one entry span per probe — normally exactly one.
+func (s *Store) segmentAtSpans(l *deviceLog, seq int, fi fileIndex, t int64) (traj.Segment, bool, error) {
+	entries := fi.entries
+	lo, hi := 0, len(entries)
+	if entriesSorted(entries) {
+		lo = sort.Search(len(entries), func(i int) bool { return entries[i].maxT >= t })
+		hi = sort.Search(len(entries), func(i int) bool { return entries[i].minT > t })
+	}
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	var segs []traj.Segment
+	var buf []byte
+	for i := hi - 1; i >= lo; i-- {
+		if !entries[i].overlaps(t, t) {
+			continue
+		}
+		end := fi.dataLen
+		if i+1 < len(entries) {
+			end = entries[i+1].off
+		}
+		if f == nil {
+			var err error
+			if f, err = os.Open(l.path(seq)); err != nil {
+				return traj.Segment{}, false, err
+			}
+		}
+		buf = grow(buf, int(end-entries[i].off))
+		if _, err := f.ReadAt(buf, entries[i].off); err != nil {
+			return traj.Segment{}, false, err
+		}
+		var err error
+		if segs, err = decodeRecordRange(segs[:0], buf); err != nil {
+			return traj.Segment{}, false, err
+		}
+		for k := len(segs) - 1; k >= 0; k-- {
+			if segs[k].Start.T <= t && t <= segs[k].End.T {
+				return segs[k], true, nil
+			}
+		}
+	}
+	return traj.Segment{}, false, nil
+}
+
+// decodeRecordRange appends the segments of consecutive whole records in
+// b — a byte range starting and ending on record boundaries — to dst.
+func decodeRecordRange(dst []traj.Segment, b []byte) ([]traj.Segment, error) {
+	for off := 0; off < len(b); {
+		payload, n, err := enc.Frame(b[off:], maxRecordPayload)
+		if err != nil {
+			return dst, err
+		}
+		if dst, err = decodeRecordPayload(dst, payload); err != nil {
+			return dst, err
+		}
+		off += n
+	}
+	return dst, nil
+}
+
+// isNewest reports whether seq is the live append file — the one whose
+// index lives in memory. Caller holds l.mu.
+func (l *deviceLog) isNewest(seq int) bool {
+	n := len(l.seqs)
+	return n > 0 && seq == l.seqs[n-1]
+}
+
+// grow returns a length-n buffer, reusing b's backing array when it fits.
+func grow(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}

@@ -53,6 +53,7 @@ var (
 const (
 	fileMagic  = "TSG1"
 	fileSuffix = ".seg"
+	tmpSuffix  = ".tmp"
 	// maxDeviceID caps device IDs so their escaped form (≤ 3 bytes per
 	// rune byte) stays a legal directory name everywhere. It equals
 	// stream.MaxDevice (asserted in tests) so everything the engine
@@ -69,6 +70,11 @@ const (
 	// is zero: generous enough that modest fleets never evict, far below
 	// typical fd rlimits.
 	DefaultMaxOpenFiles = 1024
+	// DefaultMaxResidentLogs is the in-memory metadata cap when
+	// Config.MaxResidentLogs is zero: roomy (metadata is a few hundred
+	// bytes per device), but no longer proportional to every device the
+	// process has ever seen.
+	DefaultMaxResidentLogs = 65536
 )
 
 // SyncPolicy selects when appended records are fsynced to disk.
@@ -134,14 +140,26 @@ type Config struct {
 	// The cap may be exceeded transiently while every open log is
 	// mid-operation (see handleLRU).
 	MaxOpenFiles int
+	// MaxResidentLogs caps how many device logs keep metadata (file
+	// list, append offset, time index) resident in memory; the coldest
+	// are evicted and transparently re-recovered on next touch, so the
+	// store's footprint stops growing with every device ever seen. 0
+	// selects DefaultMaxResidentLogs; negative is an error. Like
+	// MaxOpenFiles, the cap is a strong target: it can be exceeded
+	// transiently while every resident log is busy, warm, or poisoned.
+	MaxResidentLogs int
 	// MaxLogBytes, when positive, bounds each device's log on disk:
 	// whole rotated files are deleted oldest-first while the total
 	// exceeds it. The active file is never deleted, so the effective
 	// bound is MaxLogBytes + one file. 0 keeps everything.
 	MaxLogBytes int64
-	// MaxLogAge, when positive, deletes rotated files whose last append
-	// (mtime) is older than this. The active file is never deleted. 0
-	// keeps everything.
+	// MaxLogAge, when positive, ages out records older than this: whole
+	// rotated files whose last append is older are deleted, and the
+	// expired record prefix of the oldest surviving file is truncated
+	// away (at index-entry granularity, once it is worth a rewrite). The
+	// active file is never deleted and always keeps its newest records,
+	// so a log can still answer where its device last was. 0 keeps
+	// everything.
 	MaxLogAge time.Duration
 }
 
@@ -158,18 +176,28 @@ type Stats struct {
 	HandleMisses    int64 `json:"handle_misses"`    // appends that had to open (or create) a file
 	HandleEvictions int64 `json:"handle_evictions"` // cold handles closed by the MaxOpenFiles LRU
 
-	ReclaimedBytes int64 `json:"reclaimed_bytes"` // bytes deleted by retention
-	DeletedFiles   int64 `json:"deleted_files"`   // files deleted by retention
+	ResidentLogs  int64 `json:"resident_logs"`  // device logs with metadata in memory now
+	MetaEvictions int64 `json:"meta_evictions"` // cold metadata dropped by the MaxResidentLogs LRU
+
+	IndexWrites   int64 `json:"index_writes"`   // time-index sidecars persisted
+	IndexRebuilds int64 `json:"index_rebuilds"` // sidecars rebuilt from data (missing/corrupt/stale)
+
+	ReclaimedBytes    int64 `json:"reclaimed_bytes"`    // bytes deleted by retention
+	DeletedFiles      int64 `json:"deleted_files"`      // files deleted by retention
+	PrefixTruncations int64 `json:"prefix_truncations"` // files rewritten to drop an expired record prefix
 }
 
 // Store is an append-only segment log over one directory. All methods
 // are safe for concurrent use; appends for different devices proceed in
 // parallel.
 type Store struct {
-	cfg Config
+	cfg     Config
+	now     func() time.Time // wall clock for index entries; fixed in tests
+	idxGran int64            // index coalescing span; shrunk in tests
 
-	mu   sync.Mutex
-	logs map[string]*deviceLog
+	mu     sync.Mutex
+	logs   map[string]*deviceLog
+	metaLL list.List // *deviceLog metadata recency, most recent at front; guarded by mu
 
 	handles handleLRU
 
@@ -182,8 +210,12 @@ type Store struct {
 	handleHits      atomic.Int64
 	handleMisses    atomic.Int64
 	handleEvictions atomic.Int64
+	metaEvictions   atomic.Int64
+	indexWrites     atomic.Int64
+	indexRebuilds   atomic.Int64
 	reclaimedBytes  atomic.Int64
 	deletedFiles    atomic.Int64
+	prefixTruncs    atomic.Int64
 
 	closed atomic.Bool
 	stop   chan struct{}
@@ -196,21 +228,30 @@ type Store struct {
 // The metadata (file list, append offset) stays resident once opened;
 // the file handle itself comes and goes under the MaxOpenFiles LRU.
 type deviceLog struct {
-	mu     sync.Mutex
-	dir    string
-	opened bool
-	seqs   []int    // existing file numbers, ascending
-	f      *os.File // newest file, open for append; nil until first write or after eviction
-	size   int64    // valid bytes in the newest file
-	dirty  bool     // has unsynced writes
-	failed error    // sticky write failure; rejects further appends
+	mu      sync.Mutex
+	device  string
+	dir     string
+	opened  bool
+	evicted bool     // metadata LRU dropped this instance; holders must re-resolve
+	seqs    []int    // existing file numbers, ascending
+	f       *os.File // newest file, open for append; nil until first write or after eviction
+	size    int64    // valid bytes in the newest file
+	dirty   bool     // has unsynced writes
+	failed  error    // sticky write failure; rejects further appends
+
+	// Sparse time index: tail covers the newest file (built by the open
+	// scan, extended per append); idxCache holds sealed files' indexes
+	// loaded from sidecars or rebuilt from data.
+	tail     []indexEntry
+	idxCache map[int]fileIndex
 
 	// Reusable append scratch (payload encode + CRC framing), guarded by
 	// mu like the rest of the log: steady-state appends allocate nothing.
 	payload []byte
 	frame   []byte
 
-	elem *list.Element // LRU position while f is open; guarded by handleLRU.mu
+	elem     *list.Element // LRU position while f is open; guarded by handleLRU.mu
+	metaElem *list.Element // metadata recency position; guarded by Store.mu
 }
 
 // Open validates cfg, creates the root directory, and returns a running
@@ -239,6 +280,12 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.MaxOpenFiles == 0 {
 		cfg.MaxOpenFiles = DefaultMaxOpenFiles
 	}
+	if cfg.MaxResidentLogs < 0 {
+		return nil, fmt.Errorf("segstore: negative MaxResidentLogs %d", cfg.MaxResidentLogs)
+	}
+	if cfg.MaxResidentLogs == 0 {
+		cfg.MaxResidentLogs = DefaultMaxResidentLogs
+	}
 	if cfg.MaxLogAge < 0 {
 		return nil, fmt.Errorf("segstore: negative MaxLogAge %v", cfg.MaxLogAge)
 	}
@@ -249,9 +296,11 @@ func Open(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("segstore: %w", err)
 	}
 	s := &Store{
-		cfg:  cfg,
-		logs: make(map[string]*deviceLog),
-		stop: make(chan struct{}),
+		cfg:     cfg,
+		now:     defaultNow,
+		idxGran: defaultIndexGranularity,
+		logs:    make(map[string]*deviceLog),
+		stop:    make(chan struct{}),
 	}
 	s.handles.cap = cfg.MaxOpenFiles
 	if cfg.Sync == SyncInterval || s.retentionOn() {
@@ -340,69 +389,164 @@ func (s *Store) log(device string) (*deviceLog, error) {
 	}
 	l := s.logs[device]
 	if l == nil {
-		l = &deviceLog{dir: filepath.Join(s.cfg.Dir, escapeDevice(device))}
+		l = &deviceLog{device: device, dir: filepath.Join(s.cfg.Dir, escapeDevice(device))}
 		s.logs[device] = l
+		l.metaElem = s.metaLL.PushFront(l)
+		s.evictMetaLocked(l)
+	} else {
+		s.metaLL.MoveToFront(l.metaElem)
 	}
 	return l, nil
+}
+
+// evictMetaLocked drops the coldest resident device logs while the
+// MaxResidentLogs cap is exceeded — the metadata mirror of the handle
+// LRU, so the logs map stops growing with every device ever seen.
+// Victims must be fully quiescent: no open handle (the handle LRU's
+// tighter cap makes cold logs handle-less first), no sticky failure (a
+// poisoned log must keep rejecting appends — a fresh instance would
+// forget the failed fsync), and not mid-operation (TryLock). Evicted
+// instances are flagged so a holder that raced past the map lookup
+// re-resolves instead of writing alongside a successor (see lockLog).
+// Caller holds s.mu.
+func (s *Store) evictMetaLocked(keep *deviceLog) {
+	for e := s.metaLL.Back(); e != nil && s.metaLL.Len() > s.cfg.MaxResidentLogs; {
+		prev := e.Prev()
+		v := e.Value.(*deviceLog)
+		if v != keep && v.mu.TryLock() {
+			if v.f == nil && !v.dirty && v.failed == nil {
+				v.evicted = true
+				delete(s.logs, v.device)
+				s.metaLL.Remove(e)
+				v.metaElem = nil
+				s.metaEvictions.Add(1)
+			}
+			v.mu.Unlock()
+		}
+		e = prev
+	}
+}
+
+// lockLog resolves device's resident log and returns it with its mutex
+// held, retrying if the metadata LRU evicted the instance between
+// lookup and lock — the window where a stale pointer and a fresh
+// instance could otherwise both touch the same files.
+func (s *Store) lockLog(device string) (*deviceLog, error) {
+	for {
+		l, err := s.log(device)
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		if !l.evicted {
+			return l, nil
+		}
+		l.mu.Unlock()
+	}
 }
 
 func fileName(seq int) string { return fmt.Sprintf("%08d%s", seq, fileSuffix) }
 
 func (l *deviceLog) path(seq int) string { return filepath.Join(l.dir, fileName(seq)) }
 
-// scanLog walks one file's bytes, appending decoded segments to dst and
+// scanLog walks one file's bytes, appending decoded segments to dst,
+// one time-index entry per record to idx (stamped wall — the file mtime,
+// since a scan cannot know each record's true append time), and
 // returning the length of the valid prefix. A short or corrupt record
 // ends the scan (validLen marks where); only a bad file header is an
 // outright error.
-func scanLog(dst []traj.Segment, b []byte) ([]traj.Segment, int64, error) {
+func scanLog(dst []traj.Segment, idx []indexEntry, b []byte, wall int64) ([]traj.Segment, []indexEntry, int64, error) {
 	if len(b) < len(fileMagic) {
-		return dst, 0, nil // torn during creation: nothing recoverable
+		return dst, idx, 0, nil // torn during creation: nothing recoverable
 	}
 	if string(b[:len(fileMagic)]) != fileMagic {
-		return dst, 0, fmt.Errorf("%w: bad file magic %q", ErrCorrupt, b[:len(fileMagic)])
+		return dst, idx, 0, fmt.Errorf("%w: bad file magic %q", ErrCorrupt, b[:len(fileMagic)])
 	}
 	off := int64(len(fileMagic))
 	for off < int64(len(b)) {
 		payload, n, err := enc.Frame(b[off:], maxRecordPayload)
 		if err != nil {
-			return dst, off, nil
+			return dst, idx, off, nil
 		}
+		before := len(dst)
 		decoded, err := decodeRecordPayload(dst, payload)
 		if err != nil {
 			// CRC-valid but undecodable: stop here too, so everything the
 			// scan admits is replayable.
-			return dst, off, nil
+			return dst, idx, off, nil
 		}
 		dst = decoded
+		if minT, maxT, ok := segTimeRange(dst[before:]); ok {
+			idx = append(idx, indexEntry{off: off, minT: minT, maxT: maxT, wall: wall})
+		}
 		off += int64(n)
 	}
-	return dst, off, nil
+	return dst, idx, off, nil
+}
+
+// segTimeRange returns the earliest segment start and latest segment end
+// of one record's batch; ok is false for an empty batch (the store never
+// writes one, but a scan stays robust to it).
+func segTimeRange(segs []traj.Segment) (minT, maxT int64, ok bool) {
+	if len(segs) == 0 {
+		return 0, 0, false
+	}
+	minT, maxT = segs[0].Start.T, segs[0].End.T
+	for _, s := range segs[1:] {
+		minT = min(minT, s.Start.T)
+		maxT = max(maxT, s.End.T)
+	}
+	return minT, maxT, true
 }
 
 // listSeqs returns the ascending log-file sequence numbers in dir; a
 // missing directory lists as empty. Entries a Store never writes are
-// skipped.
-func listSeqs(dir string) ([]int, error) {
+// skipped. The second result lists strays the store should sweep:
+// index sidecars orphaned by a deleted data file, and temp files left
+// by a crash mid-rewrite.
+func listSeqs(dir string) ([]int, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, nil, nil
 	} else if err != nil {
-		return nil, fmt.Errorf("segstore: %w", err)
+		return nil, nil, fmt.Errorf("segstore: %w", err)
 	}
 	var seqs []int
+	var idxSeqs []int
+	var strays []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, fileSuffix) {
+		if e.IsDir() {
 			continue
 		}
-		seq, err := strconv.Atoi(strings.TrimSuffix(name, fileSuffix))
-		if err != nil || seq <= 0 || fileName(seq) != name {
-			continue
+		switch {
+		case strings.HasSuffix(name, fileSuffix):
+			seq, err := strconv.Atoi(strings.TrimSuffix(name, fileSuffix))
+			if err != nil || seq <= 0 || fileName(seq) != name {
+				continue
+			}
+			seqs = append(seqs, seq)
+		case strings.HasSuffix(name, idxSuffix):
+			seq, err := strconv.Atoi(strings.TrimSuffix(name, idxSuffix))
+			if err != nil || seq <= 0 || idxName(seq) != name {
+				continue
+			}
+			idxSeqs = append(idxSeqs, seq)
+		case strings.HasSuffix(name, tmpSuffix):
+			strays = append(strays, name)
 		}
-		seqs = append(seqs, seq)
 	}
 	sort.Ints(seqs)
-	return seqs, nil
+	live := make(map[int]bool, len(seqs))
+	for _, seq := range seqs {
+		live[seq] = true
+	}
+	for _, seq := range idxSeqs {
+		if !live[seq] {
+			strays = append(strays, idxName(seq))
+		}
+	}
+	return seqs, strays, nil
 }
 
 // open lists the device's files and recovers the newest one, truncating
@@ -414,9 +558,15 @@ func (l *deviceLog) open(s *Store) error {
 	if l.opened {
 		return nil
 	}
-	seqs, err := listSeqs(l.dir)
+	seqs, strays, err := listSeqs(l.dir)
 	if err != nil {
 		return err
+	}
+	// First contact sweeps strays: sidecars orphaned by a crash between
+	// deleting an index and its data file, and temp files from a crash
+	// mid-rewrite. Both are advisory debris — removal loses nothing.
+	for _, name := range strays {
+		_ = os.Remove(filepath.Join(l.dir, name))
 	}
 	l.seqs = seqs
 	if len(l.seqs) == 0 {
@@ -424,14 +574,26 @@ func (l *deviceLog) open(s *Store) error {
 		return nil
 	}
 	last := l.seqs[len(l.seqs)-1]
+	fi, err := os.Stat(l.path(last))
+	if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
 	b, err := os.ReadFile(l.path(last))
 	if err != nil {
 		return fmt.Errorf("segstore: %w", err)
 	}
-	_, validLen, err := scanLog(nil, b)
+	// The recovery scan doubles as the tail-index rebuild: the newest
+	// file's index is never persisted (it changes on every append), so
+	// it is reconstructed here from the same pass that validates the
+	// file. Wall stamps fall back to the file mtime — the last append —
+	// which keeps record-range retention no more aggressive than the
+	// whole-file mtime rule ever was.
+	var entries []indexEntry
+	_, entries, validLen, err := scanLog(nil, nil, b, fi.ModTime().UnixMilli())
 	if err != nil {
 		return fmt.Errorf("%w (%s)", err, l.path(last))
 	}
+	l.tail = coalesceEntries(entries, s.idxGran)
 	// A torn tail is at most the bytes of one interrupted record write.
 	// Anything longer means damage inside previously acknowledged data —
 	// report it instead of silently truncating acknowledged records away.
@@ -515,8 +677,9 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// rotate closes the current file (fsyncing it unless SyncNever) and
-// starts the next one. Caller holds l.mu.
+// rotate closes the current file (fsyncing it unless SyncNever), seals
+// its time index as a sidecar, and starts the next one. Caller holds
+// l.mu.
 func (l *deviceLog) rotate(s *Store) error {
 	if s.cfg.Sync != SyncNever {
 		if err := l.f.Sync(); err != nil {
@@ -529,7 +692,14 @@ func (l *deviceLog) rotate(s *Store) error {
 		return fmt.Errorf("segstore: %w", err)
 	}
 	l.f = nil
-	return l.create(s, l.seqs[len(l.seqs)-1]+1)
+	// Rotation is the moment a file becomes immutable — the one point
+	// where persisting its index is final. Best effort: a failed sidecar
+	// write costs a rebuild on the next range read, never the append.
+	seq := l.seqs[len(l.seqs)-1]
+	_ = l.writeIndex(s, seq, l.size, l.tail)
+	l.cacheIndex(seq, fileIndex{entries: l.tail, dataLen: l.size})
+	l.tail = nil // ownership moved to the cache
+	return l.create(s, seq+1)
 }
 
 // Append persists one batch of finalized segments for device. Batches
@@ -540,11 +710,10 @@ func (s *Store) Append(device string, segs []traj.Segment) error {
 	if len(segs) == 0 {
 		return nil
 	}
-	l, err := s.log(device)
+	l, err := s.lockLog(device)
 	if err != nil {
 		return err
 	}
-	l.mu.Lock()
 	defer l.mu.Unlock()
 	// Re-check under the log lock: Close closes file handles under it, so
 	// an append that got its log before Close must not reopen files (or
@@ -564,6 +733,7 @@ func (s *Store) Append(device string, segs []traj.Segment) error {
 		return err
 	}
 	var written int64
+	wall := s.nowMs()
 	for off := 0; off < len(segs); off += recordChunk {
 		chunk := segs[off:min(off+recordChunk, len(segs))]
 		l.payload = appendRecordPayload(l.payload[:0], chunk)
@@ -588,9 +758,17 @@ func (s *Store) Append(device string, segs []traj.Segment) error {
 			// retries on its next tick.
 			_ = s.compactLocked(l)
 		}
+		recOff := l.size
 		n, err := l.f.Write(frame)
 		l.size += int64(n)
 		written += int64(n)
+		if err == nil {
+			// Index the record only once it is fully on disk: a torn write
+			// below must not leave an entry pointing at truncated bytes.
+			if minT, maxT, ok := segTimeRange(chunk); ok {
+				l.addTail(recOff, minT, maxT, wall, s.idxGran)
+			}
+		}
 		if err != nil {
 			// A partial frame is a torn tail; try to cut it off now so the
 			// log stays clean for in-process readers. If even that fails,
@@ -627,11 +805,10 @@ func (s *Store) Append(device string, segs []traj.Segment) error {
 // replays as nil. Damage anywhere but the newest file's tail is
 // reported as ErrCorrupt.
 func (s *Store) Replay(device string) ([]traj.Segment, error) {
-	l, err := s.log(device)
+	l, err := s.lockLog(device)
 	if err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
 	defer l.mu.Unlock()
 	// Same re-check as Append: don't open file handles behind Close.
 	if s.closed.Load() {
@@ -647,7 +824,7 @@ func (s *Store) Replay(device string) ([]traj.Segment, error) {
 			return nil, fmt.Errorf("segstore: %w", err)
 		}
 		var validLen int64
-		out, validLen, err = scanLog(out, b)
+		out, _, validLen, err = scanLog(out, nil, b, 0)
 		if err != nil {
 			return nil, fmt.Errorf("%w (%s)", err, l.path(seq))
 		}
@@ -680,7 +857,7 @@ func (s *Store) Devices() ([]string, error) {
 		if err != nil {
 			continue // not ours
 		}
-		seqs, err := listSeqs(filepath.Join(s.cfg.Dir, e.Name()))
+		seqs, _, err := listSeqs(filepath.Join(s.cfg.Dir, e.Name()))
 		if err != nil || len(seqs) == 0 {
 			continue // unreadable or empty: nothing to replay
 		}
@@ -739,6 +916,9 @@ func (s *Store) runMaintenance() {
 
 // Stats returns a snapshot of the store-wide counters.
 func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	resident := int64(s.metaLL.Len())
+	s.mu.Unlock()
 	return Stats{
 		Appends:   s.appends.Load(),
 		Segments:  s.segments.Load(),
@@ -751,8 +931,15 @@ func (s *Store) Stats() Stats {
 		HandleMisses:    s.handleMisses.Load(),
 		HandleEvictions: s.handleEvictions.Load(),
 
-		ReclaimedBytes: s.reclaimedBytes.Load(),
-		DeletedFiles:   s.deletedFiles.Load(),
+		ResidentLogs:  resident,
+		MetaEvictions: s.metaEvictions.Load(),
+
+		IndexWrites:   s.indexWrites.Load(),
+		IndexRebuilds: s.indexRebuilds.Load(),
+
+		ReclaimedBytes:    s.reclaimedBytes.Load(),
+		DeletedFiles:      s.deletedFiles.Load(),
+		PrefixTruncations: s.prefixTruncs.Load(),
 	}
 }
 

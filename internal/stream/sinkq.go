@@ -125,15 +125,20 @@ type sinkQueue struct {
 	dropped atomic.Int64 // batches dropped under SinkDrop
 	dropSeg atomic.Int64 // segments inside those batches
 
-	errs *atomic.Int64 // the engine's SinkErrors counter
+	errs   *atomic.Int64 // the engine's SinkErrors counter
+	apps   *atomic.Int64 // the engine's SinkAppends counter
+	onSink func(device string, segs []traj.Segment)
 }
 
-func newSinkQueue(sink Sink, writers, queue int, policy SinkFullPolicy, errs *atomic.Int64) *sinkQueue {
+func newSinkQueue(sink Sink, writers, queue int, policy SinkFullPolicy,
+	errs, apps *atomic.Int64, onSink func(string, []traj.Segment)) *sinkQueue {
 	q := &sinkQueue{
 		sink:    sink,
 		policy:  policy,
 		workers: make([]chan sinkOp, writers),
 		errs:    errs,
+		apps:    apps,
+		onSink:  onSink,
 	}
 	q.pool.New = func() any { return &segBatch{} }
 	for i := range q.workers {
@@ -210,6 +215,14 @@ func (q *sinkQueue) append(device string, segs []traj.Segment) {
 	}
 	if err := q.sink.Append(device, segs); err != nil {
 		q.errs.Add(1)
+		return
+	}
+	q.apps.Add(1)
+	// Post-sink notification: announced only after the sink accepted the
+	// batch, so a tail listener never hears of segments a concurrent
+	// replay could miss. The slice is pooled — listeners copy.
+	if q.onSink != nil {
+		q.onSink(device, segs)
 	}
 }
 

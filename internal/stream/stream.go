@@ -112,6 +112,14 @@ type Config struct {
 	// SinkBlock (default, durability) or SinkDrop (availability). Session
 	// tails from Flush/EvictIdle/Close always block regardless.
 	SinkFull SinkFullPolicy
+	// OnSink, when non-nil, observes every segment batch the Sink
+	// accepted (Append returned nil), after the append — the feed for
+	// live tails over the durable log: a batch is announced only once a
+	// replay would see it. Runs on a sink-writer goroutine (or under the
+	// shard lock when SinkSync), so it must be fast and must not call
+	// back into the Engine; the slice is reused after the call returns —
+	// copy to retain. Batches for one device arrive in persist order.
+	OnSink func(device string, segs []traj.Segment)
 	// SinkSync disables the async pipeline and calls Sink.Append
 	// synchronously under the shard lock — the pre-queue behavior, kept
 	// for benchmarks comparing the two and for sinks that need the
@@ -142,6 +150,7 @@ type Stats struct {
 	Contended  int64 `json:"contended"`   // ingests that blocked on a busy shard lock
 	SinkErrors int64 `json:"sink_errors"` // segment batches the Sink failed to persist
 
+	SinkAppends     int64 `json:"sink_appends"`          // segment batches the Sink accepted
 	SinkQueued      int64 `json:"sink_queued"`           // sink-queue ops in flight right now
 	SinkBlocked     int64 `json:"sink_blocked"`          // enqueues that found the queue full and waited
 	SinkDropped     int64 `json:"sink_dropped"`          // batches dropped by the SinkDrop policy
@@ -201,6 +210,7 @@ type Engine struct {
 	evicted   atomic.Int64
 	contended atomic.Int64
 	sinkErrs  atomic.Int64
+	sinkApps  atomic.Int64
 
 	closed  atomic.Bool
 	stop    chan struct{}
@@ -257,7 +267,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.shards[i].sessions = make(map[string]*session)
 	}
 	if cfg.Sink != nil && !cfg.SinkSync {
-		e.q = newSinkQueue(cfg.Sink, cfg.SinkWriters, cfg.SinkQueue, cfg.SinkFull, &e.sinkErrs)
+		e.q = newSinkQueue(cfg.Sink, cfg.SinkWriters, cfg.SinkQueue, cfg.SinkFull, &e.sinkErrs, &e.sinkApps, cfg.OnSink)
 	}
 	if cfg.EvictEvery > 0 && cfg.IdleAfter > 0 {
 		e.janitor.Add(1)
@@ -302,6 +312,11 @@ func (e *Engine) persist(device string, segs []traj.Segment) {
 	}
 	if err := e.cfg.Sink.Append(device, segs); err != nil {
 		e.sinkErrs.Add(1)
+		return
+	}
+	e.sinkApps.Add(1)
+	if e.cfg.OnSink != nil {
+		e.cfg.OnSink(device, segs)
 	}
 }
 
@@ -589,14 +604,15 @@ func (e *Engine) Sessions() int { return int(e.live.Load()) }
 // sink's storage counters when the Sink exposes them.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Sessions:   int(e.live.Load()),
-		Opened:     e.opened.Load(),
-		Points:     e.points.Load(),
-		Segments:   e.segments.Load(),
-		Flushed:    e.flushed.Load(),
-		Evicted:    e.evicted.Load(),
-		Contended:  e.contended.Load(),
-		SinkErrors: e.sinkErrs.Load(),
+		Sessions:    int(e.live.Load()),
+		Opened:      e.opened.Load(),
+		Points:      e.points.Load(),
+		Segments:    e.segments.Load(),
+		Flushed:     e.flushed.Load(),
+		Evicted:     e.evicted.Load(),
+		Contended:   e.contended.Load(),
+		SinkErrors:  e.sinkErrs.Load(),
+		SinkAppends: e.sinkApps.Load(),
 	}
 	if e.q != nil {
 		st.SinkQueued = e.q.depth.Load()

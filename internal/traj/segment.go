@@ -62,6 +62,23 @@ func (s Segment) String() string {
 	return fmt.Sprintf("[%d..%d] %v -> %v", s.StartIdx, s.EndIdx, s.Start, s.End)
 }
 
+// At returns the position on the segment at time t (ms): the point
+// reached by moving along the segment at constant speed between the
+// endpoint timestamps — the where-was-it-at-t query the piecewise
+// representation exists to answer. Times outside [Start.T, End.T] clamp
+// to the nearer endpoint.
+func (s Segment) At(t int64) Point {
+	dt := s.End.T - s.Start.T
+	if dt <= 0 || t <= s.Start.T {
+		return Point{X: s.Start.X, Y: s.Start.Y, T: t}
+	}
+	if t >= s.End.T {
+		return Point{X: s.End.X, Y: s.End.Y, T: t}
+	}
+	p := geo.Lerp(s.Start.P(), s.End.P(), float64(t-s.Start.T)/float64(dt))
+	return Point{X: p.X, Y: p.Y, T: t}
+}
+
 // SEDistance returns the synchronized Euclidean distance from p to the
 // segment: the distance between p and the position obtained by moving
 // along the segment at constant speed between the endpoint timestamps.

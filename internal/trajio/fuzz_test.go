@@ -58,6 +58,36 @@ func FuzzDecodeIngest(f *testing.F) {
 	})
 }
 
+// FuzzDecodeSegments: the segment-batch decoder faces the same wire
+// trust boundary as DecodePiecewise — reject, never panic, never
+// over-allocate, always the ErrBadSegments sentinel.
+func FuzzDecodeSegments(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendSegments(nil, nil))
+	pw, _ := core.Simplify(gen.One(gen.Taxi, 300, 1), 40)
+	valid := AppendSegments(nil, []traj.Segment(pw))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		segs, err := DecodeSegments(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadSegments) {
+				t.Fatalf("non-sentinel error %v", err)
+			}
+			return
+		}
+		// Accepted input must survive its own re-encoding: whatever the
+		// decoder admits is fully representable.
+		again, err := DecodeSegments(AppendSegments(nil, segs))
+		if err != nil {
+			t.Fatalf("re-encode of accepted input rejected: %v", err)
+		}
+		if len(again) != len(segs) {
+			t.Fatalf("re-encode changed segment count %d -> %d", len(segs), len(again))
+		}
+	})
+}
+
 // FuzzPiecewiseRoundTrip: for real simplifier output over randomized
 // workloads, encode→decode loses nothing but sub-quantization (≤ 5 mm
 // per coordinate) — timestamps, source ranges, and flags are exact.

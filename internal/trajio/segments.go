@@ -1,0 +1,128 @@
+package trajio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"trajsim/internal/enc"
+	"trajsim/internal/traj"
+)
+
+// Binary segment-batch format: the wire form of a time-ranged read. A
+// piecewise stream (PWB1) shares endpoints between adjacent segments,
+// which is exactly wrong for range queries and live tails — their
+// results may skip records, so consecutive segments need not connect.
+// SGB1 carries each segment's Start and End explicitly (still
+// delta-coded against the previous point, so a contiguous run costs
+// barely more than PWB1) and is therefore closed under filtering: any
+// subsequence of a batch re-encodes as a valid batch.
+
+// ErrBadSegments is returned for malformed binary segment-batch input.
+var ErrBadSegments = errors.New("trajio: malformed segment batch")
+
+const sgMagic = 0x53474231 // "SGB1"
+
+// AppendSegments encodes segs, appending to dst.
+func AppendSegments(dst []byte, segs []traj.Segment) []byte {
+	dst = enc.AppendUvarint(dst, sgMagic)
+	dst = enc.AppendUvarint(dst, uint64(len(segs)))
+	pd := enc.PointDelta{Quant: pwQuantXY}
+	var pidx int64
+	for _, s := range segs {
+		// Start usually equals the previous segment's End — three zero
+		// delta bytes when it does.
+		dst = pd.Append(dst, s.Start.X, s.Start.Y, s.Start.T)
+		dst = pd.Append(dst, s.End.X, s.End.Y, s.End.T)
+		dst = enc.AppendVarint(dst, int64(s.StartIdx)-pidx)
+		dst = enc.AppendUvarint(dst, uint64(s.EndIdx-s.StartIdx))
+		pidx = int64(s.StartIdx)
+		var flags uint64
+		if s.VirtualStart {
+			flags |= flagVirtStart
+		}
+		if s.VirtualEnd {
+			flags |= flagVirtEnd
+		}
+		dst = enc.AppendUvarint(dst, flags)
+	}
+	return dst
+}
+
+// DecodeSegments decodes a buffer produced by AppendSegments.
+func DecodeSegments(b []byte) ([]traj.Segment, error) {
+	u, n, err := enc.Uvarint(b)
+	if err != nil || u != sgMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSegments)
+	}
+	b = b[n:]
+	count, n, err := enc.Uvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSegments, err)
+	}
+	b = b[n:]
+	// Each segment costs at least nine varint bytes, so a count beyond the
+	// remaining input is malformed; rejecting it here — and capping the
+	// preallocation regardless — keeps an adversarial count from forcing a
+	// huge allocation.
+	if count > uint64(len(b))/9+1 {
+		return nil, fmt.Errorf("%w: %d segments in %d bytes", ErrBadSegments, count, len(b))
+	}
+	pd := enc.PointDelta{Quant: pwQuantXY}
+	var pidx int64
+	get := func() (traj.Point, error) {
+		x, y, tms, n, err := pd.Next(b)
+		if err != nil {
+			return traj.Point{}, err
+		}
+		b = b[n:]
+		return traj.Point{X: x, Y: y, T: tms}, nil
+	}
+	out := make([]traj.Segment, 0, min(count, 4096))
+	for i := uint64(0); i < count; i++ {
+		var s traj.Segment
+		if s.Start, err = get(); err != nil {
+			return nil, fmt.Errorf("%w: segment %d start: %v", ErrBadSegments, i, err)
+		}
+		if s.End, err = get(); err != nil {
+			return nil, fmt.Errorf("%w: segment %d end: %v", ErrBadSegments, i, err)
+		}
+		dIdx, n, err := enc.Varint(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d index: %v", ErrBadSegments, i, err)
+		}
+		b = b[n:]
+		span, n, err := enc.Uvarint(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d span: %v", ErrBadSegments, i, err)
+		}
+		b = b[n:]
+		s.StartIdx = int(pidx + dIdx)
+		s.EndIdx = s.StartIdx + int(span)
+		pidx = int64(s.StartIdx)
+		flags, n, err := enc.Uvarint(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d flags: %v", ErrBadSegments, i, err)
+		}
+		b = b[n:]
+		s.VirtualStart = flags&flagVirtStart != 0
+		s.VirtualEnd = flags&flagVirtEnd != 0
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// WriteSegments writes the binary encoding to w.
+func WriteSegments(w io.Writer, segs []traj.Segment) error {
+	_, err := w.Write(AppendSegments(nil, segs))
+	return err
+}
+
+// ReadSegments reads a whole binary segment batch from r.
+func ReadSegments(r io.Reader) ([]traj.Segment, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSegments(b)
+}

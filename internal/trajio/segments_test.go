@@ -1,0 +1,121 @@
+package trajio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"trajsim/internal/core"
+	"trajsim/internal/gen"
+	"trajsim/internal/traj"
+)
+
+// discontinuousSegments is a batch whose consecutive segments do not
+// connect — the shape a range query or live tail emits, which PWB1
+// cannot carry.
+func discontinuousSegments() []traj.Segment {
+	return []traj.Segment{
+		{Start: traj.At(0, 0, 1000), End: traj.At(10.5, -3.25, 5000), EndIdx: 4},
+		// Gap: the next segment starts somewhere else entirely.
+		{Start: traj.At(-200, 77.7, 60_000), End: traj.At(-180.01, 90, 66_000),
+			StartIdx: 10, EndIdx: 13, VirtualStart: true},
+		{Start: traj.At(-180.01, 90, 66_000), End: traj.At(-150, 90, 70_000),
+			StartIdx: 13, EndIdx: 14, VirtualEnd: true},
+	}
+}
+
+func TestSegmentsRoundTrip(t *testing.T) {
+	for name, segs := range map[string][]traj.Segment{
+		"empty":         nil,
+		"discontinuous": discontinuousSegments(),
+	} {
+		got, err := DecodeSegments(AppendSegments(nil, segs))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(segs) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("%s: decoded %d segments", name, len(got))
+			}
+			continue
+		}
+		checkSegmentsEqual(t, name, segs, got)
+	}
+
+	// Real simplifier output: a contiguous piecewise batch carried as
+	// segments round-trips too, and costs barely more than PWB1.
+	pw, err := core.Simplify(gen.One(gen.Taxi, 500, 4), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := []traj.Segment(pw)
+	enc := AppendSegments(nil, segs)
+	got, err := DecodeSegments(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSegmentsEqual(t, "contiguous", segs, got)
+	if pwb := AppendPiecewise(nil, pw); len(enc) > 2*len(pwb) {
+		t.Errorf("SGB1 is %d bytes for a %d-byte PWB1 batch — the shared-endpoint delta is not collapsing", len(enc), len(pwb))
+	}
+
+	// Closed under filtering: any subsequence re-encodes as a valid batch
+	// that decodes to exactly that subsequence.
+	sub := []traj.Segment{segs[2], segs[5], segs[len(segs)-1]}
+	got, err = DecodeSegments(AppendSegments(nil, sub))
+	if err != nil {
+		t.Fatalf("filtered subsequence: %v", err)
+	}
+	checkSegmentsEqual(t, "filtered", sub, got)
+
+	// Writer/reader wrappers agree with the in-memory forms.
+	var buf bytes.Buffer
+	if err := WriteSegments(&buf, sub); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = ReadSegments(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkSegmentsEqual(t, "stream", sub, got)
+}
+
+func checkSegmentsEqual(t *testing.T, name string, want, got []traj.Segment) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d segments -> %d", name, len(want), len(got))
+	}
+	const tol = pwQuantXY/2 + 1e-9
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.StartIdx != w.StartIdx || g.EndIdx != w.EndIdx ||
+			g.VirtualStart != w.VirtualStart || g.VirtualEnd != w.VirtualEnd ||
+			g.Start.T != w.Start.T || g.End.T != w.End.T {
+			t.Fatalf("%s: segment %d exact fields changed: %+v -> %+v", name, i, w, g)
+		}
+		for _, d := range []float64{
+			g.Start.X - w.Start.X, g.Start.Y - w.Start.Y,
+			g.End.X - w.End.X, g.End.Y - w.End.Y,
+		} {
+			if math.Abs(d) > tol {
+				t.Fatalf("%s: segment %d coordinate drift %g", name, i, d)
+			}
+		}
+	}
+}
+
+func TestDecodeSegmentsRejects(t *testing.T) {
+	valid := AppendSegments(nil, discontinuousSegments())
+	for name, b := range map[string][]byte{
+		"empty":        {},
+		"bad magic":    {0x01, 0x02, 0x03},
+		"truncated":    valid[:len(valid)-2],
+		"count beyond": append(AppendSegments(nil, nil)[:len(AppendSegments(nil, nil))-1], 0xff, 0xff, 0xff, 0x7f),
+	} {
+		if _, err := DecodeSegments(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if got, err := DecodeSegments(valid); err != nil || len(got) != 3 {
+		t.Fatalf("valid batch: %d segments, %v", len(got), err)
+	}
+}

@@ -65,6 +65,19 @@ func DecodePiecewise(b []byte) (Piecewise, error) {
 	return trajio.DecodePiecewise(b)
 }
 
+// EncodeSegments encodes a segment batch into the compact binary wire
+// format (SGB1), appending to dst. Unlike EncodePiecewise it does not
+// require adjacent segments to connect, so it carries range-query and
+// live-tail results, which may skip records.
+func EncodeSegments(dst []byte, segs []Segment) []byte {
+	return trajio.AppendSegments(dst, segs)
+}
+
+// DecodeSegments decodes the binary segment-batch wire format.
+func DecodeSegments(b []byte) ([]Segment, error) {
+	return trajio.DecodeSegments(b)
+}
+
 // IngestContentType is the Content-Type identifying the binary ingest
 // wire format over HTTP (trajserve's POST /ingest accepts it).
 const IngestContentType = trajio.IngestContentType

@@ -11,12 +11,19 @@ import (
 //
 // The store is resource-bounded: SegmentStoreConfig.MaxOpenFiles caps
 // how many device logs hold an open file handle (cold logs are
-// transparently closed and reopened by an LRU), and MaxLogBytes /
-// MaxLogAge bound each device's disk usage via retention — whole rotated
-// files are deleted oldest-first, never splitting a record, so whatever
-// survives replays as an intact, contiguous suffix. Retention runs at
-// rotation, at first open, on a background tick, and on demand via
-// SegmentStore.CompactNow.
+// transparently closed and reopened by an LRU), MaxResidentLogs caps
+// how many keep metadata in memory, and MaxLogBytes / MaxLogAge bound
+// each device's disk usage via retention — whole rotated files are
+// deleted oldest-first, never splitting a record, so whatever survives
+// replays as an intact, contiguous suffix; under MaxLogAge, expired
+// record prefixes of the oldest file are truncated away too. Retention
+// runs at rotation, at first open, on a background tick, and on demand
+// via SegmentStore.CompactNow.
+//
+// Each log file carries a sparse time index (a CRC-framed .idx sidecar,
+// rebuilt from the data if ever missing or stale), which is what makes
+// ReplayRange and SegmentAt seek to the covering records instead of
+// scanning the log.
 type (
 	// SegmentStore is an append-only segment log over one directory:
 	// CRC-framed, varint delta-coded records in size-rotated files, with
@@ -52,6 +59,9 @@ var (
 	ErrStoreClosed  = segstore.ErrClosed
 	ErrStoreCorrupt = segstore.ErrCorrupt
 	ErrDeviceID     = segstore.ErrDeviceID
+	// ErrNoPosition is returned by SegmentStore.SegmentAt when no
+	// persisted segment covers the requested time.
+	ErrNoPosition = segstore.ErrNoPosition
 )
 
 // OpenSegmentStore opens (creating if needed) a durable segment store.
