@@ -45,7 +45,8 @@
 //	     encoding with out=sgb1. from/to (unix ms, inclusive) restrict
 //	     the reply to segments overlapping the range, answered via the
 //	     store's time index — seeks, not a log scan; a ranged query with
-//	     no matches is an empty 200, not a 404.
+//	     no matches is an empty 200, not a 404, and an inverted range
+//	     (from > to) is a 400.
 //	GET  /devices/{device}/at?t=
 //	     position-at-time: binary-searches the time index for the
 //	     persisted segment covering t and interpolates along it — the
@@ -66,7 +67,12 @@
 // -sink-writers and -sink-queue size it, -sink-full picks what a full
 // queue does (block ingest for durability, or drop batches for
 // availability — drops are counted in /stats), and -sink-sync restores
-// the old write-under-lock behavior for comparison. -compact-every runs
+// the old write-under-lock behavior for comparison. Each writer drains
+// its backlog in sweeps — everything immediately queued, across devices,
+// capped at -sink-sweep segments — writing one merged append per device
+// and settling the whole sweep with one fsync per dirty file, so under
+// -fsync=always a backlog of K devices × M batches costs at most K
+// fsyncs. -compact-every runs
 // a periodic full-disk retention sweep that also reaches cold devices;
 // -pprof serves net/http/pprof on a separate listener for live
 // profiling. The store is resource-bounded:
@@ -126,6 +132,7 @@ func main() {
 
 		sinkWriters = flag.Int("sink-writers", 0, "goroutines draining the async segment-sink queue (0 = engine default)")
 		sinkQueue   = flag.Int("sink-queue", 0, "per-writer sink queue depth in batches (0 = engine default)")
+		sinkSweep   = flag.Int("sink-sweep", 0, "max segments one sink-writer sweep folds into a single cross-device group commit (0 = engine default)")
 		sinkFull    = flag.String("sink-full", "block", "full sink-queue policy: block (durability) or drop (availability)")
 		sinkSync    = flag.Bool("sink-sync", false, "bypass the async sink queue and write segments to disk inside the ingest critical section (pre-v4 behavior, for comparison)")
 
@@ -175,6 +182,7 @@ func main() {
 		EvictEvery:  evictEvery,
 		SinkWriters: *sinkWriters,
 		SinkQueue:   *sinkQueue,
+		SinkSweep:   *sinkSweep,
 		SinkFull:    fullPolicy,
 		SinkSync:    *sinkSync,
 		OnEvict: func(dev string, segs []traj.Segment) {
@@ -743,6 +751,13 @@ func (s *server) handleDeviceSegments(w http.ResponseWriter, r *http.Request) {
 	to, haveTo, err := queryMs(r, "to")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// An inverted range is a caller bug (swapped parameters, bad clock
+	// arithmetic): reject it instead of returning an empty 200 a client
+	// cannot tell apart from "no data there".
+	if haveFrom && haveTo && from > to {
+		http.Error(w, fmt.Sprintf("inverted range: from=%d > to=%d", from, to), http.StatusBadRequest)
 		return
 	}
 	ranged := haveFrom || haveTo

@@ -139,6 +139,14 @@ func (s *server) handleDeviceTail(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-beat.C:
+			// A subscriber that overflowed and then went quiet would never
+			// reach the post-delivery check below — it would idle on a
+			// silently gapped stream forever. The heartbeat is the moment an
+			// idle connection is touched anyway, so surface the gap here too.
+			if s.tails.hasLagged(sub) {
+				sendLagged(w, fl)
+				return
+			}
 			// SSE comment line: ignored by clients, keeps intermediaries from
 			// timing the connection out.
 			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
@@ -167,10 +175,20 @@ func (s *server) handleDeviceTail(w http.ResponseWriter, r *http.Request) {
 			}
 			fl.Flush()
 			if s.tails.hasLagged(sub) {
-				fmt.Fprint(w, "event: lagged\ndata: {}\n\n")
-				fl.Flush()
+				sendLagged(w, fl)
 				return
 			}
 		}
 	}
+}
+
+// sendLagged tells a subscriber that fell behind that its stream is
+// gapped, as the final event before disconnect. The write error is
+// checked — a dead connection must not pretend the client was told.
+func sendLagged(w http.ResponseWriter, fl http.Flusher) {
+	if _, err := fmt.Fprint(w, "event: lagged\ndata: {}\n\n"); err != nil {
+		log.Printf("devices/tail: lagged notify: %v", err)
+		return
+	}
+	fl.Flush()
 }

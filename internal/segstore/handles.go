@@ -73,6 +73,14 @@ func (s *Store) registerHandle(l *deviceLog) {
 		prev := e.Prev()
 		v := e.Value.(*deviceLog)
 		if v != l && v.mu.TryLock() {
+			// A pinned log is mid-group-commit: the pending CommitDevices
+			// fsync must land on this handle, so it is exempt until the
+			// sweep's commit releases the pin (always within one sweep).
+			if v.pins > 0 {
+				v.mu.Unlock()
+				e = prev
+				continue
+			}
 			if v.f != nil {
 				evict = append(evict, cold{v, v.f, v.dirty})
 				v.f, v.dirty = nil, false

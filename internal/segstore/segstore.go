@@ -22,7 +22,12 @@
 // descriptors nor unbounded disk.
 //
 // Store.Append matches the stream.Sink interface, so a Store plugs
-// directly into stream.Config.Sink.
+// directly into stream.Config.Sink. AppendNoSync and CommitDevices
+// additionally implement stream.DeferredSink — the sweep-level group
+// commit used by the async sink pipeline: a sweep makes one deferred
+// append per device (one write syscall each, fsync withheld), then one
+// CommitDevices for the whole sweep, so K devices × M batches cost at
+// most K fsyncs under SyncAlways instead of K×M.
 package segstore
 
 import (
@@ -165,11 +170,12 @@ type Config struct {
 
 // Stats are store-wide counters, all cumulative except OpenHandles.
 type Stats struct {
-	Appends   int64 `json:"appends"`     // Append calls that wrote records
-	Segments  int64 `json:"segments"`    // segments persisted
-	Bytes     int64 `json:"bytes"`       // record bytes written (incl. framing)
-	Syncs     int64 `json:"syncs"`       // explicit fsync calls
-	Recovered int64 `json:"truncations"` // torn tails truncated during recovery
+	Appends    int64 `json:"appends"`     // Append/AppendNoSync calls that wrote records
+	Segments   int64 `json:"segments"`    // segments persisted
+	Bytes      int64 `json:"bytes"`       // record bytes written (incl. framing)
+	Syncs      int64 `json:"syncs"`       // explicit fsync calls
+	GroupSyncs int64 `json:"group_syncs"` // fsyncs issued by CommitDevices group commits
+	Recovered  int64 `json:"truncations"` // torn tails truncated during recovery
 
 	OpenHandles     int64 `json:"open_handles"`     // device logs holding an open file now
 	HandleHits      int64 `json:"handle_hits"`      // appends that found their file open
@@ -201,11 +207,12 @@ type Store struct {
 
 	handles handleLRU
 
-	appends   atomic.Int64
-	segments  atomic.Int64
-	bytes     atomic.Int64
-	syncs     atomic.Int64
-	recovered atomic.Int64
+	appends    atomic.Int64
+	segments   atomic.Int64
+	bytes      atomic.Int64
+	syncs      atomic.Int64
+	groupSyncs atomic.Int64
+	recovered  atomic.Int64
 
 	handleHits      atomic.Int64
 	handleMisses    atomic.Int64
@@ -245,13 +252,30 @@ type deviceLog struct {
 	tail     []indexEntry
 	idxCache map[int]fileIndex
 
-	// Reusable append scratch (payload encode + CRC framing), guarded by
-	// mu like the rest of the log: steady-state appends allocate nothing.
+	// Reusable append scratch (payload encode, CRC framing, the
+	// write-combining buffer and its staged index entries), guarded by mu
+	// like the rest of the log: steady-state appends allocate nothing.
 	payload []byte
 	frame   []byte
+	wbuf    []byte
+	wtail   []tailSpan
+
+	// pins counts deferred appends awaiting CommitDevices. A pinned log's
+	// handle is exempt from the MaxOpenFiles LRU (and its metadata from
+	// the resident-log LRU), so the fsync the commit owes lands on the
+	// same open file the appends wrote to.
+	pins int
 
 	elem     *list.Element // LRU position while f is open; guarded by handleLRU.mu
 	metaElem *list.Element // metadata recency position; guarded by Store.mu
+}
+
+// tailSpan is one staged time-index entry for a record sitting in the
+// write-combining buffer: recorded at encode time, applied to the tail
+// index only after its bytes reach the disk.
+type tailSpan struct {
+	off        int64
+	minT, maxT int64
 }
 
 // Open validates cfg, creates the root directory, and returns a running
@@ -414,7 +438,7 @@ func (s *Store) evictMetaLocked(keep *deviceLog) {
 		prev := e.Prev()
 		v := e.Value.(*deviceLog)
 		if v != keep && v.mu.TryLock() {
-			if v.f == nil && !v.dirty && v.failed == nil {
+			if v.f == nil && !v.dirty && v.failed == nil && v.pins == 0 {
 				v.evicted = true
 				delete(s.logs, v.device)
 				s.metaLL.Remove(e)
@@ -707,6 +731,22 @@ func (l *deviceLog) rotate(s *Store) error {
 // crash-consistent: a torn append is truncated away on the next open,
 // never replayed as garbage. Append matches stream.Sink.
 func (s *Store) Append(device string, segs []traj.Segment) error {
+	return s.append(device, segs, false)
+}
+
+// AppendNoSync is Append with durability deferred: under SyncAlways the
+// per-append fsync is withheld and the log is left dirty and pinned —
+// its handle exempt from the LRUs — until a CommitDevices call settles
+// it. The bytes written are identical to Append's (same records, same
+// torn-tail recovery), so the only thing at risk before the commit is
+// the fsync. Under SyncInterval/SyncNever the pair behaves exactly like
+// Append: the background flusher or the OS owns durability either way.
+// This is the group-commit half of stream.DeferredSink.
+func (s *Store) AppendNoSync(device string, segs []traj.Segment) error {
+	return s.append(device, segs, true)
+}
+
+func (s *Store) append(device string, segs []traj.Segment, deferSync bool) error {
 	if len(segs) == 0 {
 		return nil
 	}
@@ -732,13 +772,53 @@ func (s *Store) Append(device string, segs []traj.Segment) error {
 	if err := l.handle(s); err != nil {
 		return err
 	}
+	// Write combining: record frames accumulate in wbuf and reach the file
+	// in as few write syscalls as possible — typically one per append, so
+	// a sweep-merged multi-batch payload costs one write. Each physical
+	// write stays within maxTornTail bytes, keeping the recovery invariant
+	// that a crash mid-write tears at most one truncatable tail. Index
+	// entries for buffered records are staged in pend and applied only
+	// once their bytes are on disk.
 	var written int64
 	wall := s.nowMs()
+	wbuf, pend := l.wbuf[:0], l.wtail[:0]
+	defer func() { l.wbuf, l.wtail = wbuf[:0], pend[:0] }()
+	flush := func() error {
+		if len(wbuf) == 0 {
+			return nil
+		}
+		n, err := l.f.Write(wbuf)
+		if err == nil {
+			l.size += int64(n)
+			written += int64(n)
+			// Index the records only now that they are fully on disk: a torn
+			// write must not leave entries pointing at truncated bytes.
+			for _, p := range pend {
+				l.addTail(p.off, p.minT, p.maxT, wall, s.idxGran)
+			}
+			wbuf, pend = wbuf[:0], pend[:0]
+			return nil
+		}
+		// A partial write is a torn tail; try to cut it off now so the log
+		// stays clean for in-process readers. If even that fails, poison
+		// the log rather than append after garbage.
+		if n > 0 {
+			if terr := l.f.Truncate(l.size); terr == nil {
+				if _, serr := l.f.Seek(l.size, 0); serr == nil {
+					return fmt.Errorf("segstore: append %s: %w", device, err)
+				}
+			}
+			l.failed = fmt.Errorf("segstore: log %s unwritable after torn append: %w", device, err)
+			return l.failed
+		}
+		return fmt.Errorf("segstore: append %s: %w", device, err)
+	}
 	for off := 0; off < len(segs); off += recordChunk {
 		chunk := segs[off:min(off+recordChunk, len(segs))]
 		l.payload = appendRecordPayload(l.payload[:0], chunk)
 		l.frame = enc.AppendFrame(l.frame[:0], l.payload)
 		frame := l.frame
+		pending := int64(len(wbuf))
 		switch {
 		case l.f == nil:
 			seq := 1
@@ -748,7 +828,10 @@ func (s *Store) Append(device string, segs []traj.Segment) error {
 			if err := l.create(s, seq); err != nil {
 				return err
 			}
-		case l.size > int64(len(fileMagic)) && l.size+int64(len(frame)) > s.cfg.MaxFileSize:
+		case l.size+pending > int64(len(fileMagic)) && l.size+pending+int64(len(frame)) > s.cfg.MaxFileSize:
+			if err := flush(); err != nil {
+				return err
+			}
 			if err := l.rotate(s); err != nil {
 				return err
 			}
@@ -758,45 +841,88 @@ func (s *Store) Append(device string, segs []traj.Segment) error {
 			// retries on its next tick.
 			_ = s.compactLocked(l)
 		}
-		recOff := l.size
-		n, err := l.f.Write(frame)
-		l.size += int64(n)
-		written += int64(n)
-		if err == nil {
-			// Index the record only once it is fully on disk: a torn write
-			// below must not leave an entry pointing at truncated bytes.
-			if minT, maxT, ok := segTimeRange(chunk); ok {
-				l.addTail(recOff, minT, maxT, wall, s.idxGran)
+		// Keep each physical write within the torn-tail budget recovery
+		// accepts: one interrupted write's worth of invalid bytes.
+		if len(wbuf) > 0 && len(wbuf)+len(frame) > maxTornTail {
+			if err := flush(); err != nil {
+				return err
 			}
 		}
-		if err != nil {
-			// A partial frame is a torn tail; try to cut it off now so the
-			// log stays clean for in-process readers. If even that fails,
-			// poison the log rather than append after garbage.
-			if n > 0 {
-				if terr := l.f.Truncate(l.size - int64(n)); terr == nil {
-					l.size -= int64(n)
-					if _, serr := l.f.Seek(l.size, 0); serr == nil {
-						return fmt.Errorf("segstore: append %s: %w", device, err)
-					}
-				}
-				l.failed = fmt.Errorf("segstore: log %s unwritable after torn append: %w", device, err)
-				return l.failed
-			}
-			return fmt.Errorf("segstore: append %s: %w", device, err)
+		if minT, maxT, ok := segTimeRange(chunk); ok {
+			pend = append(pend, tailSpan{off: l.size + int64(len(wbuf)), minT: minT, maxT: maxT})
 		}
+		wbuf = append(wbuf, frame...)
 	}
-	if s.cfg.Sync == SyncAlways {
+	if err := flush(); err != nil {
+		return err
+	}
+	switch {
+	case deferSync:
+		l.dirty = true
+		l.pins++
+	case s.cfg.Sync == SyncAlways:
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("segstore: %w", err)
 		}
 		s.syncs.Add(1)
-	} else {
+		l.dirty = false // earlier deferred writes are now durable too
+	default:
 		l.dirty = true
 	}
 	s.appends.Add(1)
 	s.segments.Add(int64(len(segs)))
 	s.bytes.Add(written)
+	return nil
+}
+
+// CommitDevices settles a group of deferred AppendNoSync writes: for
+// each named device it releases one handle pin and, under SyncAlways,
+// fsyncs the log if it still holds unsynced bytes — one fsync per dirty
+// file no matter how many deferred appends targeted it, which is the
+// whole point: a sweep over K devices costs at most K fsyncs. Devices
+// with no resident log or nothing left to sync are no-ops; under
+// SyncInterval/SyncNever only the pin is released. The first commit
+// failure is returned, but every device is still committed.
+func (s *Store) CommitDevices(devices []string) error {
+	var first error
+	for _, dev := range devices {
+		if err := s.commitDevice(dev); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Store) commitDevice(device string) error {
+	s.mu.Lock()
+	l := s.logs[device]
+	s.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pins > 0 {
+		l.pins--
+	}
+	// Nothing to sync: a poisoned log already surfaced its failure through
+	// the append, an evicted instance holds no deferred state (pinned logs
+	// are LRU-exempt), and a nil handle means Close or rotation already
+	// made the bytes durable.
+	if l.failed != nil || l.evicted || s.cfg.Sync != SyncAlways || !l.dirty || l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		// A failed fsync must not be retried as if nothing happened — the
+		// kernel may have dropped the dirty pages. Poison the log so the
+		// next append surfaces the durability loss instead of extending an
+		// unflushed file.
+		l.failed = fmt.Errorf("segstore: group commit %s: %w", device, err)
+		return l.failed
+	}
+	l.dirty = false
+	s.syncs.Add(1)
+	s.groupSyncs.Add(1)
 	return nil
 }
 
@@ -920,11 +1046,12 @@ func (s *Store) Stats() Stats {
 	resident := int64(s.metaLL.Len())
 	s.mu.Unlock()
 	return Stats{
-		Appends:   s.appends.Load(),
-		Segments:  s.segments.Load(),
-		Bytes:     s.bytes.Load(),
-		Syncs:     s.syncs.Load(),
-		Recovered: s.recovered.Load(),
+		Appends:    s.appends.Load(),
+		Segments:   s.segments.Load(),
+		Bytes:      s.bytes.Load(),
+		Syncs:      s.syncs.Load(),
+		GroupSyncs: s.groupSyncs.Load(),
+		Recovered:  s.recovered.Load(),
 
 		OpenHandles:     int64(s.handles.open()),
 		HandleHits:      s.handleHits.Load(),

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 
@@ -17,19 +18,32 @@ import (
 // a shard by storage latency. With the queue, the critical section ends
 // at a memcpy.
 //
+// Draining is sweep-level group commit: a worker takes everything
+// immediately available on its channel (bounded by Config.SinkSweep
+// segments) into one sweep, partitions it by device, writes each
+// device's merged share with one append, and — when the Sink supports
+// DeferredSink — settles the whole sweep with one CommitDevices call:
+// one fsync per dirty file per sweep, so under SyncAlways a backlog of
+// K devices × M batches costs at most K fsyncs instead of K×M. The old
+// behavior (fold only consecutive same-device batches, sync each) is
+// what this replaces.
+//
 // Ordering: one device always maps to one writer (FNV-1a hash), and
 // every enqueue for a device happens under that device's shard lock, so
-// a device's ops sit in a single FIFO in emission order — the property
-// the segment log's replay (and PR 2's restart-identity test) depends
-// on. Cross-device order is unspecified, exactly as it was under the
-// synchronous path where shards raced to the sink.
+// a device's ops sit in a single FIFO in emission order; the sweep
+// partition preserves that arrival order inside each device's merged
+// payload — the property the segment log's replay (and PR 2's
+// restart-identity test) depends on. Cross-device order is unspecified,
+// exactly as it was under the synchronous path where shards raced to
+// the sink.
 //
 // Backpressure: a full queue either blocks the producer (SinkBlock —
 // ingest slows to storage speed, nothing is lost) or drops the batch
 // (SinkDrop — ingest never stalls, the gap is counted, and the in-memory
 // result the caller already received is unaffected). Session handoffs
 // from Flush/FlushAll/EvictIdle/Close always block: callers rely on
-// those segments reaching the sink before the call returns.
+// those segments reaching the sink before the call returns — their
+// waits are signalled only after the sweep's commit.
 
 // SinkFullPolicy selects what a full sink queue does with an ingest-path
 // batch.
@@ -75,6 +89,16 @@ const (
 	// DefaultSinkQueue is the per-writer queue depth (in batches) when
 	// Config.SinkQueue is zero.
 	DefaultSinkQueue = 256
+	// DefaultSinkSweep is the sweep bound (in segments) when
+	// Config.SinkSweep is zero: a storage stall can fold at most this
+	// many segments into one sweep, so the merge buffer — and the latency
+	// of the batch unlucky enough to be first in it — stays bounded no
+	// matter how deep the backlog.
+	DefaultSinkSweep = 4096
+	// maxPooledSegs caps the capacity of batch buffers returned to the
+	// sync.Pool: recycling an outlier would pin its peak allocation for
+	// the life of the process.
+	maxPooledSegs = 4096
 )
 
 // segBatch is a pooled copy of one emitted batch. The engine reuses the
@@ -107,11 +131,13 @@ type sinkOp struct {
 // sinkQueue is the bounded, device-ordered pipeline between the engine's
 // shard locks and the real Sink.
 type sinkQueue struct {
-	sink    Sink
-	policy  SinkFullPolicy
-	workers []chan sinkOp
-	wg      sync.WaitGroup
-	pool    sync.Pool // of *segBatch
+	sink      Sink
+	def       DeferredSink // sink's group-commit face; nil if unsupported
+	policy    SinkFullPolicy
+	sweepSegs int
+	workers   []chan sinkOp
+	wg        sync.WaitGroup
+	pool      sync.Pool // of *segBatch
 
 	// stopMu serializes enqueues against close: producers hold the read
 	// side for the duration of a send, so close can wait out in-flight
@@ -125,21 +151,28 @@ type sinkQueue struct {
 	dropped atomic.Int64 // batches dropped under SinkDrop
 	dropSeg atomic.Int64 // segments inside those batches
 
-	errs   *atomic.Int64 // the engine's SinkErrors counter
-	apps   *atomic.Int64 // the engine's SinkAppends counter
-	onSink func(device string, segs []traj.Segment)
+	sweeps       atomic.Int64 // sweeps that appended at least one device
+	sweepBatches atomic.Int64 // ingest batches folded into persisted sweep shares
+
+	errs    *atomic.Int64 // the engine's SinkErrors counter
+	errSegs *atomic.Int64 // the engine's SinkErrorSegs counter
+	apps    *atomic.Int64 // the engine's SinkAppends counter
+	onSink  func(device string, segs []traj.Segment)
 }
 
-func newSinkQueue(sink Sink, writers, queue int, policy SinkFullPolicy,
-	errs, apps *atomic.Int64, onSink func(string, []traj.Segment)) *sinkQueue {
+func newSinkQueue(sink Sink, writers, queue, sweep int, policy SinkFullPolicy,
+	errs, errSegs, apps *atomic.Int64, onSink func(string, []traj.Segment)) *sinkQueue {
 	q := &sinkQueue{
-		sink:    sink,
-		policy:  policy,
-		workers: make([]chan sinkOp, writers),
-		errs:    errs,
-		apps:    apps,
-		onSink:  onSink,
+		sink:      sink,
+		policy:    policy,
+		sweepSegs: sweep,
+		workers:   make([]chan sinkOp, writers),
+		errs:      errs,
+		errSegs:   errSegs,
+		apps:      apps,
+		onSink:    onSink,
 	}
+	q.def, _ = sink.(DeferredSink)
 	q.pool.New = func() any { return &segBatch{} }
 	for i := range q.workers {
 		q.workers[i] = make(chan sinkOp, queue)
@@ -149,6 +182,18 @@ func newSinkQueue(sink Sink, writers, queue int, policy SinkFullPolicy,
 	return q
 }
 
+// recycle returns a drained batch to the pool, unless its buffer grew
+// beyond maxPooledSegs — dropping the outlier lets its peak allocation
+// be collected. Reports whether the batch was pooled.
+func (q *sinkQueue) recycle(b *segBatch) bool {
+	if cap(b.segs) > maxPooledSegs {
+		return false
+	}
+	b.segs = b.segs[:0]
+	q.pool.Put(b)
+	return true
+}
+
 // worker returns the one channel device's ops travel through.
 func (q *sinkQueue) worker(device string) chan sinkOp {
 	return q.workers[fnv1a(device)%uint32(len(q.workers))]
@@ -156,19 +201,20 @@ func (q *sinkQueue) worker(device string) chan sinkOp {
 
 func (q *sinkQueue) run(ch chan sinkOp) {
 	defer q.wg.Done()
+	sw := newSweep(q)
 	for {
 		op, ok := <-ch
 		if !ok {
 			return
 		}
 		q.depth.Add(-1)
-		// Group commit: while the op in hand is a plain batch, fold any
-		// immediately queued batches for the same device into it before
-		// touching the sink — one append (one fsync, under SyncAlways)
-		// amortized over whatever backlog a storage stall built up. Ops
-		// for other devices or of other kinds end the merge and are
-		// handled next, so FIFO order is untouched.
-		for op.batch != nil {
+		sw.add(op)
+		// Sweep drain: fold everything immediately available into this
+		// sweep, bounded by sweepSegs so a storage stall cannot grow the
+		// merge buffers (or the first batch's commit latency) without
+		// limit. A closed channel reads as not-ready here; the outer
+		// receive observes the close after the final flush.
+		for sw.segs < q.sweepSegs {
 			var next sinkOp
 			var got bool
 			select {
@@ -179,51 +225,176 @@ func (q *sinkQueue) run(ch chan sinkOp) {
 				break
 			}
 			q.depth.Add(-1)
-			if next.batch != nil && next.device == op.device {
-				op.batch.segs = append(op.batch.segs, next.batch.segs...)
-				next.batch.segs = next.batch.segs[:0]
-				q.pool.Put(next.batch)
-				continue
-			}
-			q.exec(op)
-			op = next
+			sw.add(next)
 		}
-		q.exec(op)
+		sw.flush()
 	}
 }
 
-// exec performs one op against the sink.
-func (q *sinkQueue) exec(op sinkOp) {
+// devSweep is one device's share of a sweep: its segments merged in
+// arrival order, the session-handoff waits to signal after the commit,
+// and how many ingest batches folded in.
+type devSweep struct {
+	device  string
+	segs    []traj.Segment
+	waits   []*finishWait
+	batches int
+	err     error // append failure for the merged payload
+}
+
+// sweep is one worker's reusable drain state: the immediately available
+// ops of one pass, partitioned by device. Workers never share a sweep,
+// so none of this needs locking.
+type sweep struct {
+	q        *sinkQueue
+	devs     []*devSweep // first-touch order
+	byDev    map[string]*devSweep
+	free     []*devSweep // recycled shares
+	barriers []chan struct{}
+	commit   []string
+	segs     int             // total segments collected; bounds the drain
+	inErr    map[string]bool // devices inside an error burst (for log dedup)
+}
+
+func newSweep(q *sinkQueue) *sweep {
+	return &sweep{q: q, byDev: make(map[string]*devSweep), inErr: make(map[string]bool)}
+}
+
+func (sw *sweep) dev(device string) *devSweep {
+	ds := sw.byDev[device]
+	if ds == nil {
+		if n := len(sw.free); n > 0 {
+			ds, sw.free = sw.free[n-1], sw.free[:n-1]
+		} else {
+			ds = &devSweep{}
+		}
+		ds.device = device
+		sw.byDev[device] = ds
+		sw.devs = append(sw.devs, ds)
+	}
+	return ds
+}
+
+// add folds one op into the sweep. Session handoffs run finish() here,
+// on the worker goroutine — as the per-op path did — but their waits are
+// signalled only in flush, after the sweep's commit, which is what gives
+// Flush/FlushAll/EvictIdle/Close their persisted-before-return
+// guarantee.
+func (sw *sweep) add(op sinkOp) {
 	switch {
 	case op.barrier != nil:
-		close(op.barrier)
+		sw.barriers = append(sw.barriers, op.barrier)
 	case op.sess != nil:
 		segs := op.sess.finish()
-		q.append(op.device, segs)
 		op.res.segs = segs
-		op.res.wg.Done()
+		ds := sw.dev(op.device)
+		ds.segs = append(ds.segs, segs...)
+		ds.waits = append(ds.waits, op.res)
+		sw.segs += len(segs)
 	default:
-		q.append(op.device, op.batch.segs)
-		op.batch.segs = op.batch.segs[:0]
-		q.pool.Put(op.batch)
+		ds := sw.dev(op.device)
+		ds.segs = append(ds.segs, op.batch.segs...)
+		sw.segs += len(op.batch.segs)
+		ds.batches++
+		sw.q.recycle(op.batch)
 	}
 }
 
-func (q *sinkQueue) append(device string, segs []traj.Segment) {
-	if len(segs) == 0 {
-		return
+// flush writes the sweep — one merged append per device, then one group
+// commit settling every device's fsync — and only then signals handoff
+// waits and barriers.
+func (sw *sweep) flush() {
+	q := sw.q
+	appended := false
+	for _, ds := range sw.devs {
+		if len(ds.segs) == 0 {
+			continue
+		}
+		appended = true
+		if q.def != nil {
+			ds.err = q.def.AppendNoSync(ds.device, ds.segs)
+		} else {
+			ds.err = q.sink.Append(ds.device, ds.segs)
+		}
 	}
-	if err := q.sink.Append(device, segs); err != nil {
-		q.errs.Add(1)
-		return
+	var commitErr error
+	if q.def != nil && appended {
+		sw.commit = sw.commit[:0]
+		for _, ds := range sw.devs {
+			sw.commit = append(sw.commit, ds.device)
+		}
+		commitErr = q.def.CommitDevices(sw.commit)
 	}
-	q.apps.Add(1)
-	// Post-sink notification: announced only after the sink accepted the
-	// batch, so a tail listener never hears of segments a concurrent
-	// replay could miss. The slice is pooled — listeners copy.
-	if q.onSink != nil {
-		q.onSink(device, segs)
+	if appended {
+		q.sweeps.Add(1)
 	}
+	for _, ds := range sw.devs {
+		err := ds.err
+		if err == nil {
+			// A failed group commit may have left any device's deferred
+			// bytes unsynced; attribute it to every device the commit
+			// covered rather than guess which file the fsync failed on.
+			err = commitErr
+		}
+		switch {
+		case len(ds.segs) == 0:
+			// Ops that merged to nothing (empty session tails): nothing
+			// persisted, nothing to announce.
+		case err != nil:
+			q.errs.Add(1)
+			q.errSegs.Add(int64(len(ds.segs)))
+			if !sw.inErr[ds.device] {
+				// One line per device per burst, not per lost payload: a
+				// wedged disk under load must not flood the process log.
+				sw.inErr[ds.device] = true
+				log.Printf("stream: sink append %s: %v (%d segments lost; suppressing until recovery)",
+					ds.device, err, len(ds.segs))
+			}
+		default:
+			delete(sw.inErr, ds.device)
+			q.apps.Add(1)
+			q.sweepBatches.Add(int64(ds.batches))
+			// Post-sink notification: announced only after the append and
+			// the sweep's commit, so a tail listener never hears of
+			// segments a concurrent replay could miss. The slice is reused
+			// next sweep — listeners copy.
+			if q.onSink != nil {
+				q.onSink(ds.device, ds.segs)
+			}
+		}
+		// After the commit, not the append: the caller behind each wait was
+		// promised its tail is as durable as the sync policy allows.
+		for _, w := range ds.waits {
+			w.wg.Done()
+		}
+	}
+	// A barrier promises every op enqueued before it is done; closing at
+	// the end of the sweep keeps that promise (some later ops completed
+	// too, which barriers never forbid).
+	for _, b := range sw.barriers {
+		close(b)
+	}
+	sw.reset()
+}
+
+// reset returns the sweep to empty, recycling device shares. Oversized
+// merge buffers are dropped, not retained: the fold cap bounds a share
+// to roughly sweepSegs plus one op, so anything far beyond that came
+// from a single outlier payload.
+func (sw *sweep) reset() {
+	for _, ds := range sw.devs {
+		delete(sw.byDev, ds.device)
+		if cap(ds.segs) > 4*sw.q.sweepSegs {
+			ds.segs = nil
+		}
+		ds.segs = ds.segs[:0]
+		ds.waits = ds.waits[:0]
+		ds.device, ds.batches, ds.err = "", 0, nil
+		sw.free = append(sw.free, ds)
+	}
+	sw.devs = sw.devs[:0]
+	sw.barriers = sw.barriers[:0]
+	sw.segs = 0
 }
 
 // putBatch enqueues a copy of one ingest-path batch. Called under the
@@ -252,8 +423,7 @@ func (q *sinkQueue) putBatch(device string, segs []traj.Segment) {
 		q.depth.Add(-1)
 		q.dropped.Add(1)
 		q.dropSeg.Add(int64(len(segs)))
-		b.segs = b.segs[:0]
-		q.pool.Put(b)
+		q.recycle(b)
 		return
 	}
 	q.blocked.Add(1)

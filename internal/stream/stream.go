@@ -69,6 +69,26 @@ type Sink interface {
 	Append(device string, segs []traj.Segment) error
 }
 
+// DeferredSink is the optional group-commit face of a Sink. When the
+// configured Sink implements it, each sink-writer sweep calls
+// AppendNoSync once per device with that device's merged payload —
+// written, but with any per-append fsync deferred — and then
+// CommitDevices once for the whole sweep, making the deferred writes
+// durable with one fsync per dirty file: K devices × M batches cost at
+// most K fsyncs under segstore's SyncAlways. CommitDevices must accept
+// devices with nothing deferred (including ones whose AppendNoSync
+// failed) as no-ops. *segstore.Store implements it; plain Sinks are
+// driven with one Append per device per sweep instead.
+type DeferredSink interface {
+	Sink
+	AppendNoSync(device string, segs []traj.Segment) error
+	CommitDevices(devices []string) error
+}
+
+// The store is the DeferredSink the pipeline is designed around; keep
+// the contract pinned at compile time.
+var _ DeferredSink = (*segstore.Store)(nil)
+
 // Config parameterizes an Engine. The zero value is not usable: Zeta must
 // be a positive error bound in meters.
 type Config struct {
@@ -112,6 +132,12 @@ type Config struct {
 	// SinkBlock (default, durability) or SinkDrop (availability). Session
 	// tails from Flush/EvictIdle/Close always block regardless.
 	SinkFull SinkFullPolicy
+	// SinkSweep caps how many segments one sink-writer sweep folds
+	// together before it commits — the bound on both the merge buffers
+	// and how long the sweep's first batch waits for stragglers when the
+	// queue is deep. 0 selects DefaultSinkSweep. Ignored without a Sink
+	// or under SinkSync.
+	SinkSweep int
 	// OnSink, when non-nil, observes every segment batch the Sink
 	// accepted (Append returned nil), after the append — the feed for
 	// live tails over the durable log: a batch is announced only once a
@@ -148,13 +174,16 @@ type Stats struct {
 	Flushed    int64 `json:"flushed"`     // sessions finalized by Flush/FlushAll/Close
 	Evicted    int64 `json:"evictions"`   // sessions finalized for idleness
 	Contended  int64 `json:"contended"`   // ingests that blocked on a busy shard lock
-	SinkErrors int64 `json:"sink_errors"` // segment batches the Sink failed to persist
+	SinkErrors int64 `json:"sink_errors"` // merged payloads the Sink failed to persist
 
-	SinkAppends     int64 `json:"sink_appends"`          // segment batches the Sink accepted
-	SinkQueued      int64 `json:"sink_queued"`           // sink-queue ops in flight right now
-	SinkBlocked     int64 `json:"sink_blocked"`          // enqueues that found the queue full and waited
-	SinkDropped     int64 `json:"sink_dropped"`          // batches dropped by the SinkDrop policy
-	SinkDroppedSegs int64 `json:"sink_dropped_segments"` // segments inside those batches
+	SinkAppends      int64 `json:"sink_appends"`          // merged payloads the Sink accepted
+	SinkErrorSegs    int64 `json:"sink_error_segments"`   // segments lost inside failed payloads
+	SinkQueued       int64 `json:"sink_queued"`           // sink-queue ops in flight right now
+	SinkBlocked      int64 `json:"sink_blocked"`          // enqueues that found the queue full and waited
+	SinkDropped      int64 `json:"sink_dropped"`          // batches dropped by the SinkDrop policy
+	SinkDroppedSegs  int64 `json:"sink_dropped_segments"` // segments inside those batches
+	SinkSweeps       int64 `json:"sink_sweeps"`           // writer sweeps that appended at least one device
+	SinkSweepBatches int64 `json:"sink_sweep_batches"`    // ingest batches folded into persisted sweeps
 
 	// Store carries the durability tier's counters when the configured
 	// Sink exposes them (see StatsSink); nil otherwise. One Stats call
@@ -202,15 +231,16 @@ type Engine struct {
 	shards []shard
 	q      *sinkQueue // async sink pipeline; nil without a Sink or under SinkSync
 
-	live      atomic.Int64
-	opened    atomic.Int64
-	points    atomic.Int64
-	segments  atomic.Int64
-	flushed   atomic.Int64
-	evicted   atomic.Int64
-	contended atomic.Int64
-	sinkErrs  atomic.Int64
-	sinkApps  atomic.Int64
+	live        atomic.Int64
+	opened      atomic.Int64
+	points      atomic.Int64
+	segments    atomic.Int64
+	flushed     atomic.Int64
+	evicted     atomic.Int64
+	contended   atomic.Int64
+	sinkErrs    atomic.Int64
+	sinkErrSegs atomic.Int64
+	sinkApps    atomic.Int64
 
 	closed  atomic.Bool
 	stop    chan struct{}
@@ -244,6 +274,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.SinkFull != SinkBlock && cfg.SinkFull != SinkDrop {
 		return nil, fmt.Errorf("stream: unknown SinkFull policy %d (use SinkBlock or SinkDrop)", int(cfg.SinkFull))
 	}
+	if cfg.SinkSweep < 0 {
+		return nil, fmt.Errorf("stream: negative sink sweep bound %d", cfg.SinkSweep)
+	}
+	if cfg.SinkSweep == 0 {
+		cfg.SinkSweep = DefaultSinkSweep
+	}
 	opts := core.DefaultOptions()
 	if cfg.Options != nil {
 		opts = *cfg.Options
@@ -267,7 +303,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.shards[i].sessions = make(map[string]*session)
 	}
 	if cfg.Sink != nil && !cfg.SinkSync {
-		e.q = newSinkQueue(cfg.Sink, cfg.SinkWriters, cfg.SinkQueue, cfg.SinkFull, &e.sinkErrs, &e.sinkApps, cfg.OnSink)
+		e.q = newSinkQueue(cfg.Sink, cfg.SinkWriters, cfg.SinkQueue, cfg.SinkSweep, cfg.SinkFull,
+			&e.sinkErrs, &e.sinkErrSegs, &e.sinkApps, cfg.OnSink)
 	}
 	if cfg.EvictEvery > 0 && cfg.IdleAfter > 0 {
 		e.janitor.Add(1)
@@ -312,6 +349,7 @@ func (e *Engine) persist(device string, segs []traj.Segment) {
 	}
 	if err := e.cfg.Sink.Append(device, segs); err != nil {
 		e.sinkErrs.Add(1)
+		e.sinkErrSegs.Add(int64(len(segs)))
 		return
 	}
 	e.sinkApps.Add(1)
@@ -604,21 +642,24 @@ func (e *Engine) Sessions() int { return int(e.live.Load()) }
 // sink's storage counters when the Sink exposes them.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Sessions:    int(e.live.Load()),
-		Opened:      e.opened.Load(),
-		Points:      e.points.Load(),
-		Segments:    e.segments.Load(),
-		Flushed:     e.flushed.Load(),
-		Evicted:     e.evicted.Load(),
-		Contended:   e.contended.Load(),
-		SinkErrors:  e.sinkErrs.Load(),
-		SinkAppends: e.sinkApps.Load(),
+		Sessions:      int(e.live.Load()),
+		Opened:        e.opened.Load(),
+		Points:        e.points.Load(),
+		Segments:      e.segments.Load(),
+		Flushed:       e.flushed.Load(),
+		Evicted:       e.evicted.Load(),
+		Contended:     e.contended.Load(),
+		SinkErrors:    e.sinkErrs.Load(),
+		SinkErrorSegs: e.sinkErrSegs.Load(),
+		SinkAppends:   e.sinkApps.Load(),
 	}
 	if e.q != nil {
 		st.SinkQueued = e.q.depth.Load()
 		st.SinkBlocked = e.q.blocked.Load()
 		st.SinkDropped = e.q.dropped.Load()
 		st.SinkDroppedSegs = e.q.dropSeg.Load()
+		st.SinkSweeps = e.q.sweeps.Load()
+		st.SinkSweepBatches = e.q.sweepBatches.Load()
 	}
 	if ss, ok := e.cfg.Sink.(StatsSink); ok {
 		sst := ss.Stats()

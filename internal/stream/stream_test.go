@@ -571,7 +571,9 @@ func TestSinkReceivesEverySegment(t *testing.T) {
 }
 
 // TestSinkErrorDegradesGracefully: a failing sink must not fail ingest —
-// segments still flow to the caller — but every failed batch is counted.
+// segments still flow to the caller — but every failure is counted:
+// SinkErrors per merged payload (the ingest batch and the flush tail may
+// legitimately fold into one sweep), SinkErrorSegs per segment lost.
 func TestSinkErrorDegradesGracefully(t *testing.T) {
 	sink := &memSink{fail: errors.New("disk full")}
 	e, err := NewEngine(Config{Zeta: 30, Sink: sink})
@@ -591,8 +593,14 @@ func TestSinkErrorDegradesGracefully(t *testing.T) {
 		t.Fatal("no segments emitted")
 	}
 	st := e.Stats()
-	if st.SinkErrors < 2 { // at least the ingest batch and the flush tail
+	if st.SinkErrors < 1 {
 		t.Fatalf("stats: %+v, want sink errors counted", st)
+	}
+	if st.SinkErrorSegs != int64(len(segs)+len(tail)) {
+		t.Fatalf("stats: %+v, want %d segments counted lost", st, len(segs)+len(tail))
+	}
+	if st.SinkAppends != 0 {
+		t.Fatalf("stats: %+v, want no appends counted for a failing sink", st)
 	}
 }
 

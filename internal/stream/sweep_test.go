@@ -1,0 +1,283 @@
+package stream
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"trajsim/internal/gen"
+	"trajsim/internal/segstore"
+	"trajsim/internal/traj"
+)
+
+// Tests for the sweep-level group commit: backlog folding, the fold cap,
+// pool-capacity rejection, and the restart-identity guarantee across the
+// deferred commit protocol.
+
+// TestSweepFoldsBacklog: a backlog built behind a stalled sink must
+// drain in merged sweeps — far fewer Append calls than batches — without
+// reordering or losing a segment.
+func TestSweepFoldsBacklog(t *testing.T) {
+	sink := &gateSink{gate: make(chan struct{})}
+	e, err := NewEngine(Config{Zeta: 5, Sink: sink, SinkWriters: 1, SinkQueue: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.One(gen.Taxi, 2000, 71)
+	// Count enqueued batches ourselves: one per Ingest call that emitted.
+	var want []traj.Segment
+	batches := 0
+	for off := 0; off < len(tr); off += 25 {
+		segs, err := e.Ingest("dev", tr[off:min(off+25, len(tr))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) > 0 {
+			batches++
+			want = append(want, segs...)
+		}
+	}
+	if batches < 10 {
+		t.Fatalf("only %d batches emitted; test proves nothing", batches)
+	}
+	close(sink.gate) // disk recovers; the worker sweeps the backlog
+	tails := e.Close()
+	want = append(want, tails["dev"]...)
+
+	got := sink.copyOf("dev")
+	if len(got) != len(want) {
+		t.Fatalf("sink holds %d segments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segment %d out of emission order after sweep folding", i)
+		}
+	}
+	st := e.Stats()
+	if st.SinkAppends >= int64(batches) {
+		t.Fatalf("%d appends for %d batches — backlog never folded: %+v", st.SinkAppends, batches, st)
+	}
+	if st.SinkSweepBatches != int64(batches) {
+		t.Fatalf("sweeps folded %d batches, %d were enqueued: %+v", st.SinkSweepBatches, batches, st)
+	}
+	if st.SinkSweeps == 0 || st.SinkSweeps > st.SinkAppends {
+		t.Fatalf("sweep accounting: %+v", st)
+	}
+	if st.SinkErrors != 0 || st.SinkErrorSegs != 0 {
+		t.Fatalf("healthy sink counted errors: %+v", st)
+	}
+}
+
+// sizeSink records the payload size of every Append, behind a gate.
+type sizeSink struct {
+	memSink
+	gate   chan struct{}
+	sizeMu sync.Mutex
+	sizes  []int
+}
+
+func (s *sizeSink) Append(device string, segs []traj.Segment) error {
+	<-s.gate
+	s.sizeMu.Lock()
+	s.sizes = append(s.sizes, len(segs))
+	s.sizeMu.Unlock()
+	return s.memSink.Append(device, segs)
+}
+
+// TestSweepCapBoundsFold: Config.SinkSweep bounds how much a stalled
+// worker folds into one payload — a deep backlog drains as several
+// capped sweeps, not one unbounded merge.
+func TestSweepCapBoundsFold(t *testing.T) {
+	const sweep, batch = 64, 25
+	sink := &sizeSink{gate: make(chan struct{})}
+	e, err := NewEngine(Config{Zeta: 5, Sink: sink, SinkWriters: 1, SinkQueue: 512, SinkSweep: sweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := gen.One(gen.Taxi, 2000, 73)
+	emitted := ingestEmitting(t, e, "dev", tr, batch)
+	if emitted < 4*(sweep+batch) {
+		t.Fatalf("only %d segments emitted; too few to need several sweeps", emitted)
+	}
+	close(sink.gate)
+	tails := e.Close()
+	total := emitted + len(tails["dev"])
+
+	sink.sizeMu.Lock()
+	sizes := append([]int(nil), sink.sizes...)
+	sink.sizeMu.Unlock()
+	sum, maxSize := 0, 0
+	for _, n := range sizes {
+		sum += n
+		maxSize = max(maxSize, n)
+	}
+	if sum != total {
+		t.Fatalf("appends carried %d segments, %d were persisted", sum, total)
+	}
+	// The drain loop stops pulling once the sweep holds sweepSegs, so one
+	// payload can overshoot by at most the final op it folded.
+	bound := sweep + max(batch, len(tails["dev"]))
+	if maxSize > bound {
+		t.Fatalf("a sweep payload reached %d segments, cap allows at most %d", maxSize, bound)
+	}
+	if maxSize <= batch {
+		t.Fatalf("largest payload is %d segments (one batch) — nothing folded", maxSize)
+	}
+	if want := total / (sweep + batch); len(sizes) < want {
+		t.Fatalf("%d segments drained in %d appends — the cap did not split the backlog (want ≥ %d)",
+			total, len(sizes), want)
+	}
+}
+
+// TestRecyclePoolCap: batch buffers beyond maxPooledSegs are dropped,
+// not pooled — an outlier burst must not pin its peak allocation.
+func TestRecyclePoolCap(t *testing.T) {
+	var errs, errSegs, apps atomic.Int64
+	q := newSinkQueue(&memSink{}, 1, 1, DefaultSinkSweep, SinkBlock, &errs, &errSegs, &apps, nil)
+	defer q.close()
+	small := &segBatch{segs: make([]traj.Segment, 0, maxPooledSegs)}
+	if !q.recycle(small) {
+		t.Errorf("batch at the cap (%d) was not pooled", maxPooledSegs)
+	}
+	big := &segBatch{segs: make([]traj.Segment, 0, maxPooledSegs+1)}
+	if q.recycle(big) {
+		t.Errorf("batch over the cap (%d) was pooled", maxPooledSegs+1)
+	}
+}
+
+// TestSinkSyncErrorSegs: the synchronous path counts segments lost to a
+// failing sink the same way the sweep path does.
+func TestSinkSyncErrorSegs(t *testing.T) {
+	sink := &memSink{fail: errors.New("disk full")}
+	e, err := NewEngine(Config{Zeta: 5, Sink: sink, SinkSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := ingestEmitting(t, e, "dev", gen.One(gen.Truck, 800, 75), 40)
+	tail, ok := e.Flush("dev")
+	if !ok {
+		t.Fatal("flush found no session")
+	}
+	st := e.Stats()
+	if st.SinkErrorSegs != int64(emitted+len(tail)) {
+		t.Fatalf("SinkErrorSegs = %d, want %d: %+v", st.SinkErrorSegs, emitted+len(tail), st)
+	}
+	if st.SinkErrors == 0 || st.SinkAppends != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	e.Close()
+}
+
+// gatedStore wedges the deferred-append half of a real segment store, so
+// a backlog builds and the drain exercises merged multi-batch payloads
+// through the group-commit protocol.
+type gatedStore struct {
+	*segstore.Store
+	gate chan struct{}
+}
+
+var _ DeferredSink = (*gatedStore)(nil)
+
+func (g *gatedStore) AppendNoSync(device string, segs []traj.Segment) error {
+	<-g.gate
+	return g.Store.AppendNoSync(device, segs)
+}
+
+// TestSweepRestartIdentity is the acceptance test for the commit
+// protocol: the same uploads through the sweep-folding async pipeline
+// and through the synchronous per-batch path must leave stores that
+// replay identically after a close and reopen — folding changes the
+// record framing, never the segment stream.
+func TestSweepRestartIdentity(t *testing.T) {
+	devs := []string{"taxi-1", "truck-2", "car-3"}
+	presets := []gen.Preset{gen.Taxi, gen.Truck, gen.SerCar}
+	dirRef, dirSweep := t.TempDir(), t.TempDir()
+
+	storeRef, err := segstore.Open(segstore.Config{Dir: dirRef, Sync: segstore.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engRef, err := NewEngine(Config{Zeta: 5, Sink: storeRef, SinkSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeSweep, err := segstore.Open(segstore.Config{Dir: dirSweep, Sync: segstore.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := &gatedStore{Store: storeSweep, gate: make(chan struct{})}
+	engSweep, err := NewEngine(Config{Zeta: 5, Sink: gated, SinkWriters: 2, SinkQueue: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First half with the gate shut: the backlog folds into merged
+	// payloads when the disk recovers.
+	trs := make([]traj.Trajectory, len(devs))
+	for i, dev := range devs {
+		trs[i] = gen.One(presets[i], 1500, uint64(81+i))
+		half := trs[i][:len(trs[i])/2]
+		ingestEmitting(t, engRef, dev, half, 50)
+		ingestEmitting(t, engSweep, dev, half, 50)
+	}
+	close(gated.gate)
+	// A mid-stream session boundary on one device: the successor's
+	// batches must land after the flushed tail inside the merged stream.
+	if _, ok := engRef.Flush(devs[0]); !ok {
+		t.Fatal("reference flush found no session")
+	}
+	if _, ok := engSweep.Flush(devs[0]); !ok {
+		t.Fatal("sweep flush found no session")
+	}
+	for i, dev := range devs {
+		rest := trs[i][len(trs[i])/2:]
+		ingestEmitting(t, engRef, dev, rest, 50)
+		ingestEmitting(t, engSweep, dev, rest, 50)
+	}
+	engRef.Close()
+	engSweep.Close()
+
+	refStats, sweepStats := storeRef.Stats(), storeSweep.Stats()
+	if sweepStats.GroupSyncs == 0 {
+		t.Fatalf("sweep store never group-committed: %+v", sweepStats)
+	}
+	if sweepStats.Syncs >= refStats.Syncs {
+		t.Fatalf("sweep path cost %d fsyncs, synchronous %d — group commit saved nothing",
+			sweepStats.Syncs, refStats.Syncs)
+	}
+	if err := storeRef.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := storeSweep.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: fresh stores over both directories must agree exactly.
+	reopen := func(dir string) *segstore.Store {
+		s, err := segstore.Open(segstore.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	ref, swp := reopen(dirRef), reopen(dirSweep)
+	for _, dev := range devs {
+		want, err := ref.Replay(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := swp.Replay(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("%s: empty reference replay — test proves nothing", dev)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: sweep-path replay differs from synchronous path after restart", dev)
+		}
+	}
+}
