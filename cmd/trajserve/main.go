@@ -9,6 +9,7 @@
 //	trajserve -addr :8080 -zeta 40 -aggressive -shards 16 -idle 5m \
 //	          -data-dir /var/lib/trajsim -fsync interval \
 //	          -max-open-files 1024 -retention-bytes 268435456 -retention-age 720h \
+//	          -read-cache-bytes 67108864 \
 //	          -sink-writers 4 -sink-queue 256 -sink-full block \
 //	          -compact-every 1h -pprof localhost:6060
 //
@@ -79,9 +80,14 @@
 // -max-open-files caps how many device logs hold an open file descriptor
 // (an LRU transparently reopens cold logs), and -retention-bytes /
 // -retention-age bound each device's log on disk by deleting whole
-// rotated files oldest-first. GET /stats reports the storage tier's
-// counters (appends, bytes, handle hits/misses/evictions, bytes
-// reclaimed, files deleted) under "store" alongside the engine's.
+// rotated files oldest-first. Reads (/segments, /at, /tail resume)
+// run concurrently with ingest — queries snapshot the log and decode
+// outside its lock — and are served from a byte-budgeted decoded-read
+// cache sized by -read-cache-bytes (0 disables it): a repeated window
+// or position probe does no disk I/O at all. GET /stats reports the
+// storage tier's counters (appends, bytes, handle hits/misses/
+// evictions, read-cache hits/misses/resident bytes, bytes reclaimed,
+// files deleted) under "store" alongside the engine's.
 // Request bodies are capped at -max-body bytes; larger uploads get 413.
 // SIGINT/SIGTERM drain in-flight requests and flush all live sessions
 // into the store.
@@ -129,6 +135,7 @@ func main() {
 		maxOpen    = flag.Int("max-open-files", 0, "cap on simultaneously open segment-log file handles; cold device logs are transparently closed and reopened (0 = store default)")
 		retBytes   = flag.Int64("retention-bytes", 0, "per-device segment-log disk budget; rotated files are deleted oldest-first beyond it (0 = keep everything)")
 		retAge     = flag.Duration("retention-age", 0, "delete rotated segment-log files whose last append is older than this (0 = keep everything)")
+		readCache  = flag.Int64("read-cache-bytes", segstore.DefaultReadCacheBytes, "byte budget for the decoded segment-read cache serving /segments and /at (0 = no caching)")
 
 		sinkWriters = flag.Int("sink-writers", 0, "goroutines draining the async segment-sink queue (0 = engine default)")
 		sinkQueue   = flag.Int("sink-queue", 0, "per-writer sink queue depth in batches (0 = engine default)")
@@ -152,11 +159,12 @@ func main() {
 		}
 		var err2 error
 		store, err2 = segstore.Open(segstore.Config{
-			Dir:          *dataDir,
-			Sync:         policy,
-			MaxOpenFiles: *maxOpen,
-			MaxLogBytes:  *retBytes,
-			MaxLogAge:    *retAge,
+			Dir:            *dataDir,
+			Sync:           policy,
+			MaxOpenFiles:   *maxOpen,
+			MaxLogBytes:    *retBytes,
+			MaxLogAge:      *retAge,
+			ReadCacheBytes: *readCache,
 		})
 		if err2 != nil {
 			fmt.Fprintln(os.Stderr, "trajserve:", err2)

@@ -982,6 +982,76 @@ func TestStatsReportsStoreCounters(t *testing.T) {
 	}
 }
 
+// storeStats fetches GET /stats and returns the storage-tier block.
+func storeStats(t *testing.T, srv *httptest.Server) segstore.Stats {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st stream.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Store == nil {
+		t.Fatal("GET /stats has no store block with -data-dir set")
+	}
+	return *st.Store
+}
+
+// TestStatsReportsReadCache is the end-to-end acceptance test for the
+// cached read path: with -read-cache-bytes set, repeating a window query
+// and probing /at inside it are served from the decoded-read cache —
+// nonzero hit counters in GET /stats, and not one more byte read from
+// disk than the cold pass already paid for.
+func TestStatsReportsReadCache(t *testing.T) {
+	srv, _ := persistentServerCfg(t, segstore.Config{
+		Dir:            t.TempDir(),
+		Sync:           segstore.SyncNever,
+		MaxFileSize:    4 << 10,
+		ReadCacheBytes: 1 << 20,
+	})
+	const dev = "cached"
+	tr := gen.One(gen.Taxi, 800, 55)
+	ingestFlushed(t, srv, dev, tr)
+
+	from, to := tr[len(tr)/3].T, tr[2*len(tr)/3].T
+	u := fmt.Sprintf("%s?from=%d&to=%d", segmentsURL(srv, dev), from, to)
+	status, cold := fetchRecords(t, u)
+	if status != http.StatusOK || len(cold) == 0 {
+		t.Fatalf("cold window query: status %d, %d records", status, len(cold))
+	}
+	st1 := storeStats(t, srv)
+	if st1.ReadCacheMiss == 0 || st1.ReadBytes == 0 || st1.ReadCacheBytes == 0 {
+		t.Fatalf("cold query left no cache state: %+v", st1)
+	}
+
+	status, warm := fetchRecords(t, u)
+	if status != http.StatusOK || len(warm) != len(cold) {
+		t.Fatalf("warm window query: status %d, %d records (cold %d)", status, len(warm), len(cold))
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/devices/%s/at?t=%d", srv.URL, dev, (from+to)/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/at inside the cached window: status %d", resp.StatusCode)
+	}
+
+	st2 := storeStats(t, srv)
+	if st2.ReadCacheHits == 0 {
+		t.Fatalf("repeat query never hit the cache: %+v", st2)
+	}
+	if st2.ReadBytes != st1.ReadBytes {
+		t.Fatalf("repeat query read from disk: ReadBytes %d -> %d", st1.ReadBytes, st2.ReadBytes)
+	}
+	if st2.ReadCacheMiss != st1.ReadCacheMiss {
+		t.Fatalf("repeat query missed: %d -> %d", st1.ReadCacheMiss, st2.ReadCacheMiss)
+	}
+}
+
 // TestPprofSeparateMux: the -pprof listener serves net/http/pprof from
 // the default mux, which the service mux never exposes — profiling and
 // production traffic stay separable.

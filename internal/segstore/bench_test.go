@@ -2,6 +2,7 @@ package segstore
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -156,4 +157,80 @@ func BenchmarkReplayRange(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkReplayRangeHot measures the concurrent cached read path: the
+// same 16-segment window (and position probe) as BenchmarkReplayRange,
+// cold (ReadCacheBytes=0 — every query preads and decodes its spans)
+// versus warm (cached granules — no I/O at all), at 1 and 8 concurrent
+// readers hammering ONE device: the workload the per-device lock used
+// to serialize end to end.
+func BenchmarkReplayRangeHot(b *testing.B) {
+	const n = 16384
+	segs := syntheticSegs(n)
+	build := func(cacheBytes int64) *Store {
+		s, err := Open(Config{Dir: b.TempDir(), MaxFileSize: 64 << 10, Sync: SyncNever, ReadCacheBytes: cacheBytes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		for off := 0; off < n; off += 64 {
+			if err := s.Append("dev", segs[off:off+64]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s
+	}
+	from := segs[n/2].Start.T + 1
+	to := segs[n/2+15].End.T - 1
+	window := func(b *testing.B, s *Store, readers int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			cnt := b.N / readers
+			if r == 0 {
+				cnt += b.N % readers
+			}
+			wg.Add(1)
+			go func(cnt int) {
+				defer wg.Done()
+				for i := 0; i < cnt; i++ {
+					got, err := s.ReplayRange("dev", from, to)
+					if err != nil || len(got) != 16 {
+						b.Errorf("%d segments, %v", len(got), err)
+						return
+					}
+				}
+			}(cnt)
+		}
+		wg.Wait()
+	}
+	for _, mode := range []struct {
+		name  string
+		cache int64
+	}{{"cold", 0}, {"warm", 64 << 20}} {
+		s := build(mode.cache)
+		if mode.cache > 0 { // prime: the steady state being measured is all-hits
+			if _, err := s.ReplayRange("dev", from, to); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, readers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/readers=%d", mode.name, readers), func(b *testing.B) {
+				window(b, s, readers)
+			})
+		}
+		if mode.cache > 0 {
+			b.Run("warm/at", func(b *testing.B) {
+				b.ReportAllocs()
+				tm := (from + to) / 2
+				for i := 0; i < b.N; i++ {
+					if _, err := s.SegmentAt("dev", tm); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }

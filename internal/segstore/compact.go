@@ -78,6 +78,12 @@ func (s *Store) compactLocked(l *deviceLog) error {
 		if !expired && !over {
 			break
 		}
+		// A file a live read snapshot has pinned is skipped — and with it
+		// everything newer, so the surviving log stays a contiguous suffix.
+		// The next retention pass gets it once the reader drains.
+		if l.readPins[seqs[removed]] > 0 {
+			break
+		}
 		// Sidecar first: a crash between the two deletes leaves a
 		// rebuildable data file, never a stale index outliving its data.
 		l.dropIndex(seqs[removed])
@@ -86,6 +92,9 @@ func (s *Store) compactLocked(l *deviceLog) error {
 				l.seqs = append(l.seqs[:0], seqs[removed:]...)
 			}
 			return fmt.Errorf("segstore: retention: %w", err)
+		}
+		if s.cache != nil {
+			s.cache.invalidateFile(l.device, seqs[removed])
 		}
 		s.reclaimedBytes.Add(sizes[removed])
 		s.deletedFiles.Add(1)
@@ -116,6 +125,11 @@ func (s *Store) truncatePrefixLocked(l *deviceLog) error {
 		return nil
 	}
 	seq := l.seqs[0]
+	// A live snapshot is decoding this file lock-free; rewriting it in
+	// place would pull bytes out from under the reader. Next pass.
+	if l.readPins[seq] > 0 {
+		return nil
+	}
 	active := seq == l.seqs[len(l.seqs)-1]
 	fi, err := s.loadIndex(l, seq)
 	if err != nil {
@@ -174,6 +188,13 @@ func (s *Store) truncatePrefixLocked(l *deviceLog) error {
 	if err := os.Rename(tmp, l.path(seq)); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("segstore: retention: %w", err)
+	}
+	// The rewrite reuses byte offsets for different records: cached
+	// granules keyed under the old layout must go. No reader pins the
+	// file (checked above, under the same lock hold), so no concurrent
+	// load can re-insert stale spans.
+	if s.cache != nil {
+		s.cache.invalidateFile(l.device, seq)
 	}
 	if s.cfg.Sync == SyncAlways {
 		if err := syncDir(l.dir); err != nil {

@@ -212,7 +212,10 @@ func entriesSorted(entries []indexEntry) bool {
 
 // writeIndex persists the sidecar for file seq. Best-effort by contract:
 // the caller ignores failures (a missing sidecar is rebuilt on the next
-// read), so this must never fail an append. Caller holds l.mu.
+// read), so this must never fail an append. Needs no lock: concurrent
+// rebuilds of the same sealed file encode identical bytes, and a sidecar
+// torn by an interleaved rewrite fails its CRC on the next read and is
+// rebuilt — advisory either way.
 func (l *deviceLog) writeIndex(s *Store, seq int, dataLen int64, entries []indexEntry) error {
 	b := appendIndexFile(nil, dataLen, entries)
 	if err := os.WriteFile(l.idxPath(seq), b, 0o644); err != nil {
@@ -241,15 +244,49 @@ func (s *Store) loadIndex(l *deviceLog, seq int) (fileIndex, error) {
 	if fi, ok := l.idxCache[seq]; ok {
 		return fi, nil
 	}
+	fi, err := s.readSealedIndex(l, seq)
+	if err != nil {
+		return fileIndex{}, err
+	}
+	l.cacheIndex(seq, fi)
+	return fi, nil
+}
+
+// loadSealedIndex is loadIndex for snapshot readers, which hold no log
+// lock: the per-log cache is consulted and repopulated under brief
+// locks, and the disk work in between runs lock-free — safe because a
+// sealed file (read-pinned by the caller's snapshot) is immutable.
+func (s *Store) loadSealedIndex(l *deviceLog, seq int) (fileIndex, error) {
+	l.mu.Lock()
+	fi, ok := l.idxCache[seq]
+	l.mu.Unlock()
+	if ok {
+		return fi, nil
+	}
+	fi, err := s.readSealedIndex(l, seq)
+	if err != nil {
+		return fileIndex{}, err
+	}
+	l.mu.Lock()
+	if !l.evicted {
+		l.cacheIndex(seq, fi)
+	}
+	l.mu.Unlock()
+	return fi, nil
+}
+
+// readSealedIndex resolves sealed file seq's index from disk: the
+// sidecar when present and fresh, else a rebuild from the data file
+// (repairing the sidecar on the way out). Touches only immutable files,
+// so it needs no lock; two racing readers do redundant, identical work.
+func (s *Store) readSealedIndex(l *deviceLog, seq int) (fileIndex, error) {
 	st, err := os.Stat(l.path(seq))
 	if err != nil {
 		return fileIndex{}, fmt.Errorf("segstore: %w", err)
 	}
 	if b, err := os.ReadFile(l.idxPath(seq)); err == nil {
 		if dataLen, entries, derr := decodeIndexFile(b); derr == nil && dataLen == st.Size() {
-			fi := fileIndex{entries: entries, dataLen: dataLen}
-			l.cacheIndex(seq, fi)
-			return fi, nil
+			return fileIndex{entries: entries, dataLen: dataLen}, nil
 		}
 	}
 	// Missing, corrupt, or stale sidecar: the data file is the source of
@@ -270,9 +307,7 @@ func (s *Store) loadIndex(l *deviceLog, seq int) (fileIndex, error) {
 	entries = coalesceEntries(entries, s.idxGran)
 	s.indexRebuilds.Add(1)
 	_ = l.writeIndex(s, seq, validLen, entries) // best effort; rebuilt again next time
-	fi := fileIndex{entries: entries, dataLen: validLen}
-	l.cacheIndex(seq, fi)
-	return fi, nil
+	return fileIndex{entries: entries, dataLen: validLen}, nil
 }
 
 func (l *deviceLog) cacheIndex(seq int, fi fileIndex) {

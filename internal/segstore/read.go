@@ -3,22 +3,170 @@ package segstore
 import (
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
+	"sync"
 
 	"trajsim/internal/enc"
 	"trajsim/internal/traj"
 )
 
-// The time-indexed read path. Replay scans a whole log; the queries here
-// consult each file's sparse index (index.go) first, so they read only
-// the record spans whose time range can match — a range query over a
-// multi-gigabyte log touches kilobytes, and position-at-time is a
+// The time-indexed read path. Replay streams a whole log; the queries
+// here consult each file's sparse index (index.go) first, so they read
+// only the record spans whose time range can match — a range query over
+// a multi-gigabyte log touches kilobytes, and position-at-time is a
 // binary search plus one span read per file probed.
+//
+// Reads are concurrent: a query takes the device lock only long enough
+// to capture a snapshot — the file list, the newest file's in-memory
+// index entries and committed size — then decodes entirely outside the
+// lock. That is safe because sealed files are immutable and the newest
+// file is append-only: every byte below the snapshot's committed size is
+// a finished record that no append will ever change. The two operations
+// that DO rewrite bytes — whole-file retention deletes and expired-
+// prefix truncation (compact.go) — honor the snapshot's per-file read
+// pins and skip a pinned file until its readers are gone, so a file
+// being read is never deleted or renamed-over under a reader. Readers
+// open their own descriptors, leaving the append-handle LRU untouched.
+//
+// On top of the snapshot sits the optional granule cache (cache.go):
+// with Config.ReadCacheBytes set, each index-entry span decodes once and
+// is served from memory after that — a hot SegmentAt or ReplayRange over
+// cached granules does no I/O at all.
 
 // ErrNoPosition is returned by SegmentAt when no persisted segment
 // covers the requested time.
 var ErrNoPosition = errors.New("segstore: no position at that time")
+
+// readSnap is one query's point-in-time view of a device log: the file
+// list (each file read-pinned for the snapshot's lifetime), the newest
+// file's index entries and committed size as of the snapshot, and a memo
+// of sealed-file indexes resolved so far. Snapshots are pooled; a warm
+// query allocates nothing here.
+type readSnap struct {
+	l       *deviceLog
+	device  string
+	seqs    []int        // pinned files, ascending
+	tail    []indexEntry // newest file's entries at snapshot time
+	tailLen int64        // newest file's committed bytes at snapshot time
+	idxs    []snapIdx    // sealed indexes resolved by this snapshot
+	plans   []spanPlan   // reusable range-read planning scratch
+}
+
+// snapIdx memoizes one resolved sealed-file index.
+type snapIdx struct {
+	seq int
+	fi  fileIndex
+}
+
+// spanPlan is one file's share of a range read: its index and the entry
+// range the query must consider.
+type spanPlan struct {
+	seq    int
+	fi     fileIndex
+	lo, hi int
+}
+
+var snapPool = sync.Pool{New: func() any { return new(readSnap) }}
+
+// snapshot captures a read view of device's log and pins every file in
+// it. The device lock is held only for the capture — decoding happens
+// after it is released — so concurrent readers, appenders, and the sink
+// workers never wait on one another here. Call release when done.
+func (s *Store) snapshot(device string) (*readSnap, error) {
+	l, err := s.lockLog(device)
+	if err != nil {
+		return nil, err
+	}
+	// Re-check under the log lock: Close closes file handles under it, so
+	// a read that got its log before Close must not open files (via the
+	// recovery scan) behind a closed store.
+	if s.closed.Load() {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := l.open(s); err != nil {
+		l.mu.Unlock()
+		return nil, err
+	}
+	snap := snapPool.Get().(*readSnap)
+	snap.l, snap.device = l, device
+	snap.seqs = append(snap.seqs[:0], l.seqs...)
+	snap.tail = append(snap.tail[:0], l.tail...)
+	snap.tailLen = l.size
+	snap.idxs = snap.idxs[:0]
+	if len(snap.seqs) > 0 {
+		if l.readPins == nil {
+			l.readPins = make(map[int]int)
+		}
+		for _, seq := range snap.seqs {
+			l.readPins[seq]++
+		}
+	}
+	l.mu.Unlock()
+	return snap, nil
+}
+
+// release drops the snapshot's read pins and returns it to the pool.
+func (snap *readSnap) release() {
+	l := snap.l
+	if len(snap.seqs) > 0 {
+		l.mu.Lock()
+		for _, seq := range snap.seqs {
+			if n := l.readPins[seq] - 1; n <= 0 {
+				delete(l.readPins, seq)
+			} else {
+				l.readPins[seq] = n
+			}
+		}
+		l.mu.Unlock()
+	}
+	snap.l = nil
+	snapPool.Put(snap)
+}
+
+// tailSeq is the file that was newest at snapshot time — the one whose
+// index is the snapshot's own tail copy.
+func (snap *readSnap) tailSeq() int { return snap.seqs[len(snap.seqs)-1] }
+
+// index resolves file seq's index within this snapshot: the captured
+// tail for the newest file, the memo or the store for sealed ones. A
+// file sealed *after* the snapshot still reads through the captured tail
+// — correct, since rotation freezes exactly the entries and size the
+// snapshot copied.
+func (snap *readSnap) index(s *Store, seq int) (fileIndex, error) {
+	if seq == snap.tailSeq() {
+		return fileIndex{entries: snap.tail, dataLen: snap.tailLen}, nil
+	}
+	for _, si := range snap.idxs {
+		if si.seq == seq {
+			return si.fi, nil
+		}
+	}
+	fi, err := s.loadSealedIndex(snap.l, seq)
+	if err != nil {
+		return fileIndex{}, err
+	}
+	snap.idxs = append(snap.idxs, snapIdx{seq, fi})
+	return fi, nil
+}
+
+// dropIndex forgets file seq's index in both the snapshot memo and the
+// store (unlinking the sidecar) — the retry path when a sealed file's
+// advisory sidecar turns out not to match its data.
+func (snap *readSnap) dropIndex(seq int) {
+	for i, si := range snap.idxs {
+		if si.seq == seq {
+			snap.idxs = append(snap.idxs[:i], snap.idxs[i+1:]...)
+			break
+		}
+	}
+	snap.l.mu.Lock()
+	snap.l.dropIndex(seq)
+	snap.l.mu.Unlock()
+}
 
 // ReplayRange returns every persisted segment for device whose time
 // span intersects [from, to] (unix ms, inclusive), in append order —
@@ -29,24 +177,237 @@ func (s *Store) ReplayRange(device string, from, to int64) ([]traj.Segment, erro
 	if from > to {
 		return nil, nil
 	}
-	l, err := s.lockLog(device)
+	snap, err := s.snapshot(device)
 	if err != nil {
 		return nil, err
 	}
-	defer l.mu.Unlock()
-	if s.closed.Load() {
-		return nil, ErrClosed
+	defer snap.release()
+	return s.replayRange(snap, from, to)
+}
+
+// replayRange is the shared body of ReplayRange and Replay: plan every
+// file's entry selection first — so the result is sized once, from the
+// selected spans' byte total — then read file by file.
+func (s *Store) replayRange(snap *readSnap, from, to int64) ([]traj.Segment, error) {
+	plans := snap.plans[:0]
+	var innerBytes int64 // spans of entries wholly inside [from, to]: every segment matches
+	var boundary int     // entries straddling a range end: unknown, usually small, yield
+	for _, seq := range snap.seqs {
+		fi, err := snap.index(s, seq)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := selectEntries(fi.entries, from, to)
+		if lo >= hi {
+			continue
+		}
+		plans = append(plans, spanPlan{seq: seq, fi: fi, lo: lo, hi: hi})
+		for i := lo; i < hi; i++ {
+			e := fi.entries[i]
+			if e.minT >= from && e.maxT <= to {
+				innerBytes += entryEnd(fi, i) - e.off
+			} else {
+				boundary++
+			}
+		}
 	}
-	if err := l.open(s); err != nil {
-		return nil, err
+	snap.plans = plans
+	if len(plans) == 0 {
+		return nil, nil
 	}
-	var out []traj.Segment
-	for _, seq := range l.seqs {
-		if out, err = s.readFileRange(l, seq, from, to, out); err != nil {
+	out := make([]traj.Segment, 0, estimateSegs(innerBytes, boundary))
+	for _, p := range plans {
+		var err error
+		if out, err = s.fileRange(snap, p, from, to, out); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// Replay returns every persisted segment for device in append order
+// (coordinates quantized to 1 cm, as stored). A device with no log
+// replays as nil. Damage anywhere but the newest file's tail is
+// reported as ErrCorrupt. The log is streamed span by span through
+// pooled buffers — replaying a multi-gigabyte log holds one span in
+// memory at a time, not whole files.
+func (s *Store) Replay(device string) ([]traj.Segment, error) {
+	snap, err := s.snapshot(device)
+	if err != nil {
+		return nil, err
+	}
+	defer snap.release()
+	return s.replayRange(snap, minTime, maxTime)
+}
+
+const (
+	minTime = math.MinInt64
+	maxTime = math.MaxInt64
+)
+
+// estimateSegs sizes a range read's result: segments encode to roughly
+// 10–30 bytes (two delta-coded points plus index and flag varints), so
+// bytes/16 lands within ~2× of the truth for the fully-included spans —
+// one allocation up front instead of log(n) regrowths while appending a
+// big window. Boundary entries are mostly filtered away, so they
+// contribute a token few slots rather than their byte mass (a narrow
+// window over fat coalesced spans must not allocate for every segment
+// it is about to discard).
+func estimateSegs(innerBytes int64, boundary int) int {
+	n := innerBytes/16 + int64(boundary)*8
+	if n < 16 {
+		n = 16
+	}
+	return int(n)
+}
+
+// selectEntries returns the half-open entry range [lo, hi) a query over
+// [from, to] must consider: a binary search when the index is
+// time-sorted (maxT and minT both non-decreasing — entries before lo end
+// too early to reach from, entries from hi on start after to), the whole
+// index otherwise.
+func selectEntries(entries []indexEntry, from, to int64) (lo, hi int) {
+	lo, hi = 0, len(entries)
+	if entriesSorted(entries) {
+		lo = sort.Search(len(entries), func(i int) bool { return entries[i].maxT >= from })
+		hi = sort.Search(len(entries), func(i int) bool { return entries[i].minT > to })
+	}
+	return lo, hi
+}
+
+// entryEnd returns one past the last byte of entry i's span.
+func entryEnd(fi fileIndex, i int) int64 {
+	if i+1 < len(fi.entries) {
+		return fi.entries[i+1].off
+	}
+	return fi.dataLen
+}
+
+// fileRange appends file seq's segments intersecting [from, to] to dst.
+// A decode failure under a sealed file's sidecar discards that sidecar
+// and retries once against an index rebuilt from the data file —
+// sidecars are advisory, and a CRC-collision or foreign file must not
+// turn into a spurious ErrCorrupt. The newest file's index was built in
+// memory from the data itself, so there a failure is real corruption.
+func (s *Store) fileRange(snap *readSnap, p spanPlan, from, to int64, dst []traj.Segment) ([]traj.Segment, error) {
+	for attempt := 0; ; attempt++ {
+		out, err := s.readSpans(snap, p, from, to, dst)
+		if err == nil {
+			return out, nil
+		}
+		if attempt > 0 || p.seq == snap.tailSeq() {
+			return dst, fmt.Errorf("%w: indexed read: %v (%s)", ErrCorrupt, err, snap.l.path(p.seq))
+		}
+		snap.dropIndex(p.seq)
+		fi, ferr := snap.index(s, p.seq)
+		if ferr != nil {
+			return dst, ferr
+		}
+		p.fi = fi
+		p.lo, p.hi = selectEntries(fi.entries, from, to)
+	}
+}
+
+// readSpans is one indexed pass over file seq, appending the in-range
+// segments of the selected entries to dst. With the granule cache on,
+// each entry span is fetched through it — cached spans cost a filtered
+// copy, no I/O. With it off, each contiguous run of selected entries is
+// read with one pread through a pooled buffer.
+func (s *Store) readSpans(snap *readSnap, p spanPlan, from, to int64, dst []traj.Segment) ([]traj.Segment, error) {
+	entries := p.fi.entries
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	open := func() error {
+		if f != nil {
+			return nil
+		}
+		var err error
+		f, err = os.Open(snap.l.path(p.seq))
+		return err
+	}
+
+	if s.cache != nil {
+		for i := p.lo; i < p.hi; i++ {
+			if !entries[i].overlaps(from, to) {
+				continue
+			}
+			off, end := entries[i].off, entryEnd(p.fi, i)
+			key := granuleKey{snap.device, p.seq, off, end}
+			segs, ok := s.cache.get(key)
+			if !ok {
+				var err error
+				segs, err = s.cache.load(key, func() ([]traj.Segment, error) {
+					if err := open(); err != nil {
+						return nil, err
+					}
+					return s.fetchGranule(f, off, end)
+				})
+				if err != nil {
+					return dst, err
+				}
+			}
+			// The span covers whole records; keep only the segments in range.
+			for _, sg := range segs {
+				if sg.End.T >= from && sg.Start.T <= to {
+					dst = append(dst, sg)
+				}
+			}
+		}
+		return dst, nil
+	}
+
+	bufp := getReadBuf()
+	defer putReadBuf(bufp)
+	scratchp := getSegScratch()
+	defer putSegScratch(scratchp)
+	for i := p.lo; i < p.hi; {
+		if !entries[i].overlaps(from, to) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < p.hi && entries[j].overlaps(from, to) {
+			j++
+		}
+		if err := open(); err != nil {
+			return dst, err
+		}
+		buf := growBuf(bufp, int(entryEnd(p.fi, j-1)-entries[i].off))
+		if err := s.preadFull(f, buf, entries[i].off); err != nil {
+			return dst, err
+		}
+		// Decode into pooled scratch and append only the matches: dst holds
+		// result segments only, never a whole span awaiting its filter.
+		scratch, err := decodeRecordRange((*scratchp)[:0], buf)
+		if err != nil {
+			return dst, err
+		}
+		*scratchp = scratch[:0]
+		for _, sg := range scratch {
+			if sg.End.T >= from && sg.Start.T <= to {
+				dst = append(dst, sg)
+			}
+		}
+		i = j
+	}
+	return dst, nil
+}
+
+// fetchGranule preads and decodes one entry span — the granule cache's
+// miss path. The pread buffer is pooled; the decoded slice is freshly
+// allocated, since the cache will retain it.
+func (s *Store) fetchGranule(f *os.File, off, end int64) ([]traj.Segment, error) {
+	bufp := getReadBuf()
+	defer putReadBuf(bufp)
+	buf := growBuf(bufp, int(end-off))
+	if err := s.preadFull(f, buf, off); err != nil {
+		return nil, err
+	}
+	return decodeRecordRange(nil, buf)
 }
 
 // SegmentAt returns the persisted segment covering time t for device —
@@ -56,21 +417,15 @@ func (s *Store) ReplayRange(device string, from, to int64) ([]traj.Segment, erro
 // ErrNoPosition is returned when t falls before, after, or in a gap of
 // the device's history — including a device with no log at all.
 func (s *Store) SegmentAt(device string, t int64) (traj.Segment, error) {
-	l, err := s.lockLog(device)
+	snap, err := s.snapshot(device)
 	if err != nil {
 		return traj.Segment{}, err
 	}
-	defer l.mu.Unlock()
-	if s.closed.Load() {
-		return traj.Segment{}, ErrClosed
-	}
-	if err := l.open(s); err != nil {
-		return traj.Segment{}, err
-	}
+	defer snap.release()
 	// Newest file first: on overlap the latest append wins, and the common
 	// "where is it now" probe touches only the live file.
-	for i := len(l.seqs) - 1; i >= 0; i-- {
-		seg, ok, err := s.segmentAtFile(l, l.seqs[i], t)
+	for i := len(snap.seqs) - 1; i >= 0; i-- {
+		seg, ok, err := s.fileAt(snap, snap.seqs[i], t)
 		if err != nil {
 			return traj.Segment{}, err
 		}
@@ -81,148 +436,91 @@ func (s *Store) SegmentAt(device string, t int64) (traj.Segment, error) {
 	return traj.Segment{}, ErrNoPosition
 }
 
-// readFileRange appends file seq's segments intersecting [from, to] to
-// dst. A decode failure under a sealed file's sidecar discards that
-// sidecar and retries once against an index rebuilt from the data file —
-// sidecars are advisory, and a CRC-collision or foreign file must not
-// turn into a spurious ErrCorrupt. The newest file's index is built in
-// memory from the data itself, so there a failure is real corruption.
-func (s *Store) readFileRange(l *deviceLog, seq int, from, to int64, dst []traj.Segment) ([]traj.Segment, error) {
+// fileAt finds the last-appended segment of file seq covering time t,
+// with the same rebuild-and-retry contract as fileRange.
+func (s *Store) fileAt(snap *readSnap, seq int, t int64) (traj.Segment, bool, error) {
 	for attempt := 0; ; attempt++ {
-		fi, err := s.loadIndex(l, seq)
-		if err != nil {
-			return dst, err
-		}
-		out, err := s.readSpans(l, seq, fi, from, to, dst)
-		if err == nil {
-			return out, nil
-		}
-		if attempt > 0 || l.isNewest(seq) {
-			return dst, fmt.Errorf("%w: indexed read: %v (%s)", ErrCorrupt, err, l.path(seq))
-		}
-		l.dropIndex(seq)
-	}
-}
-
-// readSpans is one indexed pass over file seq: select the entries whose
-// time range intersects [from, to] (binary search when the index is
-// time-sorted, linear filter otherwise), read each contiguous run of
-// selected entries with one pread, decode, and keep the segments
-// actually in range.
-func (s *Store) readSpans(l *deviceLog, seq int, fi fileIndex, from, to int64, dst []traj.Segment) ([]traj.Segment, error) {
-	entries := fi.entries
-	lo, hi := 0, len(entries)
-	if entriesSorted(entries) {
-		// maxT and minT are both non-decreasing: entries before lo end too
-		// early to reach from, entries from hi on start after to.
-		lo = sort.Search(len(entries), func(i int) bool { return entries[i].maxT >= from })
-		hi = sort.Search(len(entries), func(i int) bool { return entries[i].minT > to })
-	}
-	var f *os.File
-	defer func() {
-		if f != nil {
-			f.Close()
-		}
-	}()
-	var buf []byte
-	for i := lo; i < hi; {
-		if !entries[i].overlaps(from, to) {
-			i++
-			continue
-		}
-		j := i + 1
-		for j < hi && entries[j].overlaps(from, to) {
-			j++
-		}
-		end := fi.dataLen
-		if j < len(entries) {
-			end = entries[j].off
-		}
-		if f == nil {
-			var err error
-			if f, err = os.Open(l.path(seq)); err != nil {
-				return dst, err
-			}
-		}
-		buf = grow(buf, int(end-entries[i].off))
-		if _, err := f.ReadAt(buf, entries[i].off); err != nil {
-			return dst, err
-		}
-		before := len(dst)
-		var err error
-		if dst, err = decodeRecordRange(dst, buf); err != nil {
-			return dst[:before], err
-		}
-		// The span covers whole records; keep only the segments in range.
-		keep := dst[:before]
-		for _, sg := range dst[before:] {
-			if sg.End.T >= from && sg.Start.T <= to {
-				keep = append(keep, sg)
-			}
-		}
-		dst = keep
-		i = j
-	}
-	return dst, nil
-}
-
-// segmentAtFile finds the last-appended segment of file seq covering
-// time t, with the same rebuild-and-retry contract as readFileRange.
-func (s *Store) segmentAtFile(l *deviceLog, seq int, t int64) (traj.Segment, bool, error) {
-	for attempt := 0; ; attempt++ {
-		fi, err := s.loadIndex(l, seq)
+		fi, err := snap.index(s, seq)
 		if err != nil {
 			return traj.Segment{}, false, err
 		}
-		seg, ok, err := s.segmentAtSpans(l, seq, fi, t)
+		seg, ok, err := s.segmentAtSpans(snap, seq, fi, t)
 		if err == nil {
 			return seg, ok, nil
 		}
-		if attempt > 0 || l.isNewest(seq) {
-			return traj.Segment{}, false, fmt.Errorf("%w: indexed read: %v (%s)", ErrCorrupt, err, l.path(seq))
+		if attempt > 0 || seq == snap.tailSeq() {
+			return traj.Segment{}, false, fmt.Errorf("%w: indexed read: %v (%s)", ErrCorrupt, err, snap.l.path(seq))
 		}
-		l.dropIndex(seq)
+		snap.dropIndex(seq)
 	}
 }
 
 // segmentAtSpans probes file seq's entries newest-first for a segment
-// covering t, decoding one entry span per probe — normally exactly one.
-func (s *Store) segmentAtSpans(l *deviceLog, seq int, fi fileIndex, t int64) (traj.Segment, bool, error) {
+// covering t, decoding one entry span per probe — normally exactly one,
+// and none at all when the span is cached.
+func (s *Store) segmentAtSpans(snap *readSnap, seq int, fi fileIndex, t int64) (traj.Segment, bool, error) {
 	entries := fi.entries
-	lo, hi := 0, len(entries)
-	if entriesSorted(entries) {
-		lo = sort.Search(len(entries), func(i int) bool { return entries[i].maxT >= t })
-		hi = sort.Search(len(entries), func(i int) bool { return entries[i].minT > t })
-	}
+	lo, hi := selectEntries(entries, t, t)
 	var f *os.File
 	defer func() {
 		if f != nil {
 			f.Close()
 		}
 	}()
-	var segs []traj.Segment
-	var buf []byte
+	var bufp *[]byte
+	var scratchp *[]traj.Segment
+	defer func() {
+		if bufp != nil {
+			putReadBuf(bufp)
+		}
+		if scratchp != nil {
+			putSegScratch(scratchp)
+		}
+	}()
 	for i := hi - 1; i >= lo; i-- {
 		if !entries[i].overlaps(t, t) {
 			continue
 		}
-		end := fi.dataLen
-		if i+1 < len(entries) {
-			end = entries[i+1].off
-		}
-		if f == nil {
-			var err error
-			if f, err = os.Open(l.path(seq)); err != nil {
+		off, end := entries[i].off, entryEnd(fi, i)
+		var segs []traj.Segment
+		var err error
+		if s.cache != nil {
+			key := granuleKey{snap.device, seq, off, end}
+			var ok bool
+			if segs, ok = s.cache.get(key); !ok {
+				segs, err = s.cache.load(key, func() ([]traj.Segment, error) {
+					if f == nil {
+						var oerr error
+						if f, oerr = os.Open(snap.l.path(seq)); oerr != nil {
+							return nil, oerr
+						}
+					}
+					return s.fetchGranule(f, off, end)
+				})
+				if err != nil {
+					return traj.Segment{}, false, err
+				}
+			}
+		} else {
+			if f == nil {
+				if f, err = os.Open(snap.l.path(seq)); err != nil {
+					return traj.Segment{}, false, err
+				}
+			}
+			if bufp == nil {
+				bufp = getReadBuf()
+			}
+			if scratchp == nil {
+				scratchp = getSegScratch()
+			}
+			buf := growBuf(bufp, int(end-off))
+			if err := s.preadFull(f, buf, off); err != nil {
 				return traj.Segment{}, false, err
 			}
-		}
-		buf = grow(buf, int(end-entries[i].off))
-		if _, err := f.ReadAt(buf, entries[i].off); err != nil {
-			return traj.Segment{}, false, err
-		}
-		var err error
-		if segs, err = decodeRecordRange(segs[:0], buf); err != nil {
-			return traj.Segment{}, false, err
+			if segs, err = decodeRecordRange((*scratchp)[:0], buf); err != nil {
+				return traj.Segment{}, false, err
+			}
+			*scratchp = segs[:0]
 		}
 		for k := len(segs) - 1; k >= 0; k-- {
 			if segs[k].Start.T <= t && t <= segs[k].End.T {
@@ -249,17 +547,64 @@ func decodeRecordRange(dst []traj.Segment, b []byte) ([]traj.Segment, error) {
 	return dst, nil
 }
 
-// isNewest reports whether seq is the live append file — the one whose
-// index lives in memory. Caller holds l.mu.
-func (l *deviceLog) isNewest(seq int) bool {
-	n := len(l.seqs)
-	return n > 0 && seq == l.seqs[n-1]
+// preadFull reads exactly len(b) bytes at off, counting them toward the
+// ReadBytes stat. A full read is success even if the file ends exactly
+// there (ReadAt may pair it with io.EOF).
+func (s *Store) preadFull(f *os.File, b []byte, off int64) error {
+	n, err := f.ReadAt(b, off)
+	s.readBytes.Add(int64(n))
+	if n == len(b) {
+		return nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return err
 }
 
-// grow returns a length-n buffer, reusing b's backing array when it fits.
-func grow(b []byte, n int) []byte {
-	if cap(b) < n {
-		return make([]byte, n)
+// Pooled pread scratch: every span read in the package borrows a buffer
+// here instead of allocating per query. Buffers that grew past
+// maxPooledReadBuf (a cold full-log replay can read big spans) are
+// dropped rather than pinned in the pool forever.
+const maxPooledReadBuf = 1 << 20
+
+var readBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64<<10)
+	return &b
+}}
+
+func getReadBuf() *[]byte { return readBufPool.Get().(*[]byte) }
+
+func putReadBuf(p *[]byte) {
+	if cap(*p) <= maxPooledReadBuf {
+		readBufPool.Put(p)
 	}
-	return b[:n]
+}
+
+// Pooled decode scratch for the uncached span readers, same idea at the
+// segment level: a span decodes here, only the in-range segments move to
+// the caller's result.
+const maxPooledSegScratch = 16 << 10 // segments; ~1 MiB
+
+var segScratchPool = sync.Pool{New: func() any {
+	s := make([]traj.Segment, 0, 256)
+	return &s
+}}
+
+func getSegScratch() *[]traj.Segment { return segScratchPool.Get().(*[]traj.Segment) }
+
+func putSegScratch(p *[]traj.Segment) {
+	if cap(*p) <= maxPooledSegScratch {
+		segScratchPool.Put(p)
+	}
+}
+
+// growBuf returns a length-n buffer backed by *p, growing (and
+// remembering) the backing array as needed.
+func growBuf(p *[]byte, n int) []byte {
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return *p
 }

@@ -80,6 +80,10 @@ const (
 	// bytes per device), but no longer proportional to every device the
 	// process has ever seen.
 	DefaultMaxResidentLogs = 65536
+	// DefaultReadCacheBytes is the granule-cache budget trajserve passes
+	// by default. Config.ReadCacheBytes has no implicit default — the
+	// zero Config keeps the cache off.
+	DefaultReadCacheBytes = 64 << 20
 )
 
 // SyncPolicy selects when appended records are fsynced to disk.
@@ -166,6 +170,13 @@ type Config struct {
 	// so a log can still answer where its device last was. 0 keeps
 	// everything.
 	MaxLogAge time.Duration
+	// ReadCacheBytes, when positive, enables the store-wide decoded-read
+	// cache (cache.go) with that byte budget: index-entry spans decode
+	// once and hot ReplayRange/SegmentAt queries are served from memory
+	// with no I/O. 0 disables the cache (every read goes to disk, as
+	// before); negative is an error. DefaultReadCacheBytes is a sensible
+	// serving-tier budget.
+	ReadCacheBytes int64
 }
 
 // Stats are store-wide counters, all cumulative except OpenHandles.
@@ -191,6 +202,11 @@ type Stats struct {
 	ReclaimedBytes    int64 `json:"reclaimed_bytes"`    // bytes deleted by retention
 	DeletedFiles      int64 `json:"deleted_files"`      // files deleted by retention
 	PrefixTruncations int64 `json:"prefix_truncations"` // files rewritten to drop an expired record prefix
+
+	ReadBytes      int64 `json:"read_bytes"`        // record bytes preaded by queries and replays
+	ReadCacheHits  int64 `json:"read_cache_hits"`   // granule reads served from the cache (no I/O)
+	ReadCacheMiss  int64 `json:"read_cache_misses"` // granule reads that fetched from disk
+	ReadCacheBytes int64 `json:"read_cache_bytes"`  // decoded bytes resident in the cache now
 }
 
 // Store is an append-only segment log over one directory. All methods
@@ -206,6 +222,7 @@ type Store struct {
 	metaLL list.List // *deviceLog metadata recency, most recent at front; guarded by mu
 
 	handles handleLRU
+	cache   *granuleCache // nil when Config.ReadCacheBytes is 0
 
 	appends    atomic.Int64
 	segments   atomic.Int64
@@ -223,6 +240,7 @@ type Store struct {
 	reclaimedBytes  atomic.Int64
 	deletedFiles    atomic.Int64
 	prefixTruncs    atomic.Int64
+	readBytes       atomic.Int64
 
 	closed atomic.Bool
 	stop   chan struct{}
@@ -265,6 +283,12 @@ type deviceLog struct {
 	// the resident-log LRU), so the fsync the commit owes lands on the
 	// same open file the appends wrote to.
 	pins int
+
+	// readPins counts live read snapshots per file (by seq). A pinned
+	// file is never deleted or prefix-truncated by retention (compact.go)
+	// and keeps this instance's metadata resident, so snapshot readers
+	// decode stable bytes without holding mu.
+	readPins map[int]int
 
 	elem     *list.Element // LRU position while f is open; guarded by handleLRU.mu
 	metaElem *list.Element // metadata recency position; guarded by Store.mu
@@ -313,6 +337,9 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.MaxLogAge < 0 {
 		return nil, fmt.Errorf("segstore: negative MaxLogAge %v", cfg.MaxLogAge)
 	}
+	if cfg.ReadCacheBytes < 0 {
+		return nil, fmt.Errorf("segstore: negative ReadCacheBytes %d", cfg.ReadCacheBytes)
+	}
 	if _, err := ParseSyncPolicy(cfg.Sync.String()); err != nil {
 		return nil, err
 	}
@@ -327,6 +354,9 @@ func Open(cfg Config) (*Store, error) {
 		stop:    make(chan struct{}),
 	}
 	s.handles.cap = cfg.MaxOpenFiles
+	if cfg.ReadCacheBytes > 0 {
+		s.cache = newGranuleCache(cfg.ReadCacheBytes)
+	}
 	if cfg.Sync == SyncInterval || s.retentionOn() {
 		s.maint.Add(1)
 		go s.runMaintenance()
@@ -429,7 +459,9 @@ func (s *Store) log(device string) (*deviceLog, error) {
 // Victims must be fully quiescent: no open handle (the handle LRU's
 // tighter cap makes cold logs handle-less first), no sticky failure (a
 // poisoned log must keep rejecting appends — a fresh instance would
-// forget the failed fsync), and not mid-operation (TryLock). Evicted
+// forget the failed fsync), no live read snapshots (their pins live on
+// this instance; a successor would not see them and retention could
+// delete a file mid-read), and not mid-operation (TryLock). Evicted
 // instances are flagged so a holder that raced past the map lookup
 // re-resolves instead of writing alongside a successor (see lockLog).
 // Caller holds s.mu.
@@ -438,7 +470,7 @@ func (s *Store) evictMetaLocked(keep *deviceLog) {
 		prev := e.Prev()
 		v := e.Value.(*deviceLog)
 		if v != keep && v.mu.TryLock() {
-			if v.f == nil && !v.dirty && v.failed == nil && v.pins == 0 {
+			if v.f == nil && !v.dirty && v.failed == nil && v.pins == 0 && len(v.readPins) == 0 {
 				v.evicted = true
 				delete(s.logs, v.device)
 				s.metaLL.Remove(e)
@@ -926,41 +958,6 @@ func (s *Store) commitDevice(device string) error {
 	return nil
 }
 
-// Replay returns every persisted segment for device in append order
-// (coordinates quantized to 1 cm, as stored). A device with no log
-// replays as nil. Damage anywhere but the newest file's tail is
-// reported as ErrCorrupt.
-func (s *Store) Replay(device string) ([]traj.Segment, error) {
-	l, err := s.lockLog(device)
-	if err != nil {
-		return nil, err
-	}
-	defer l.mu.Unlock()
-	// Same re-check as Append: don't open file handles behind Close.
-	if s.closed.Load() {
-		return nil, ErrClosed
-	}
-	if err := l.open(s); err != nil {
-		return nil, err
-	}
-	var out []traj.Segment
-	for i, seq := range l.seqs {
-		b, err := os.ReadFile(l.path(seq))
-		if err != nil {
-			return nil, fmt.Errorf("segstore: %w", err)
-		}
-		var validLen int64
-		out, _, validLen, err = scanLog(out, nil, b, 0)
-		if err != nil {
-			return nil, fmt.Errorf("%w (%s)", err, l.path(seq))
-		}
-		if validLen < int64(len(b)) && i < len(l.seqs)-1 {
-			return nil, fmt.Errorf("%w: torn record mid-log (%s)", ErrCorrupt, l.path(seq))
-		}
-	}
-	return out, nil
-}
-
 // Devices lists every device with a log on disk, sorted. Stray entries
 // in the data dir — loose files, foreign or unreadable directories, and
 // directories holding no log files (e.g. a crash between creating a
@@ -1067,6 +1064,11 @@ func (s *Store) Stats() Stats {
 		ReclaimedBytes:    s.reclaimedBytes.Load(),
 		DeletedFiles:      s.deletedFiles.Load(),
 		PrefixTruncations: s.prefixTruncs.Load(),
+
+		ReadBytes:      s.readBytes.Load(),
+		ReadCacheHits:  s.cache.hitCount(),
+		ReadCacheMiss:  s.cache.missCount(),
+		ReadCacheBytes: s.cache.sizeBytes(),
 	}
 }
 

@@ -23,7 +23,11 @@ import (
 // Each log file carries a sparse time index (a CRC-framed .idx sidecar,
 // rebuilt from the data if ever missing or stale), which is what makes
 // ReplayRange and SegmentAt seek to the covering records instead of
-// scanning the log.
+// scanning the log. Reads run concurrently with appends — queries
+// snapshot the log and decode outside its lock — and setting
+// SegmentStoreConfig.ReadCacheBytes (DefaultReadCacheBytes is a
+// sensible budget) serves repeated queries from a decoded-span cache
+// with no disk I/O.
 type (
 	// SegmentStore is an append-only segment log over one directory:
 	// CRC-framed, varint delta-coded records in size-rotated files, with
@@ -43,6 +47,10 @@ type (
 // DefaultMaxOpenFiles is the file-handle cap applied when
 // SegmentStoreConfig.MaxOpenFiles is zero.
 const DefaultMaxOpenFiles = segstore.DefaultMaxOpenFiles
+
+// DefaultReadCacheBytes is a sensible serving-tier budget for
+// SegmentStoreConfig.ReadCacheBytes (which defaults to 0 — no caching).
+const DefaultReadCacheBytes = segstore.DefaultReadCacheBytes
 
 // Fsync policies for SegmentStoreConfig.Sync.
 const (
