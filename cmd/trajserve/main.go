@@ -11,11 +11,15 @@
 //	          -max-open-files 1024 -retention-bytes 268435456 -retention-age 720h \
 //	          -read-cache-bytes 67108864 \
 //	          -sink-writers 4 -sink-queue 256 -sink-full block \
-//	          -compact-every 1h -pprof localhost:6060
+//	          -max-sessions 100000 -device-rate 100 -queue-watermark 0.9 \
+//	          -shutdown-timeout 10s -compact-every 1h -pprof localhost:6060
 //
 // Endpoints:
 //
-//	GET  /healthz                  liveness probe
+//	GET  /healthz                  JSON readiness: status ok/degraded/
+//	     draining plus poisoned_logs and sink_queued. 503 while
+//	     draining (stop routing here); degraded — quarantined device
+//	     logs or a sink queue past its watermark — stays 200
 //	GET  /algorithms               registered algorithm names (text)
 //	GET  /stats                    streaming-engine counters (JSON)
 //	POST /compress?algo=OPERB-A&zeta=40&format=csv&clean=4&out=binary
@@ -89,8 +93,22 @@
 // evictions, read-cache hits/misses/resident bytes, bytes reclaimed,
 // files deleted) under "store" alongside the engine's.
 // Request bodies are capped at -max-body bytes; larger uploads get 413.
+//
+// Overload behavior: -device-rate/-device-burst enforce a per-device
+// token-bucket rate limit, -max-sessions caps live sessions (with
+// -shed, the default, the coldest session is flushed durably to admit a
+// new device instead of rejecting it), and -queue-watermark rejects NEW
+// devices while the sink queue is past that fraction of its capacity.
+// Every admission rejection is a 429 whose Retry-After header says when
+// retrying can succeed — the token-refill time, or the queue backlog
+// over its measured drain rate.
+//
 // SIGINT/SIGTERM drain in-flight requests and flush all live sessions
-// into the store.
+// into the store; during the drain new ingest gets 503 + Retry-After
+// and /healthz turns 503/draining. -shutdown-timeout bounds each
+// shutdown phase so a wedged disk cannot hang the process forever —
+// on timeout the crash-recoverable log replays the acknowledged prefix
+// at next start.
 package main
 
 import (
@@ -110,6 +128,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -144,6 +163,14 @@ func main() {
 		sinkSync    = flag.Bool("sink-sync", false, "bypass the async sink queue and write segments to disk inside the ingest critical section (pre-v4 behavior, for comparison)")
 
 		tailBuffer = flag.Int("tail-buffer", 0, "per-subscriber /devices/{id}/tail buffer in batches; a client that falls further behind is disconnected with a lagged event (0 = default)")
+
+		maxSessions    = flag.Int("max-sessions", 0, "cap on live ingest sessions (0 = unlimited)")
+		shed           = flag.Bool("shed", true, "at -max-sessions, shed the coldest session (flushed durably into the store) to admit the new device instead of rejecting it")
+		deviceRate     = flag.Float64("device-rate", 0, "per-device ingest rate limit in points/sec; over-rate batches get 429 with Retry-After (0 = unlimited)")
+		deviceBurst    = flag.Float64("device-burst", 0, "token-bucket burst in points for -device-rate (0 = one second of rate)")
+		queueWatermark = flag.Float64("queue-watermark", 0.9, "sink-queue pressure fraction beyond which new devices get 429 with Retry-After while existing sessions keep flowing (0 = disabled)")
+
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "bound on each graceful-shutdown phase (HTTP drain, then session flush + sink-queue drain); on timeout the process exits and the crash-recoverable log replays the acknowledged prefix on restart")
 
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		compactEvery = flag.Duration("compact-every", 0, "run a full-disk retention sweep (Store.CompactNow) on this period, covering cold devices the background pass never visits (0 = disabled)")
@@ -182,17 +209,22 @@ func main() {
 		evictEvery = time.Second
 	}
 	cfg := stream.Config{
-		Zeta:        *zeta,
-		Aggressive:  *aggressive,
-		Shards:      *shards,
-		CleanWindow: *clean,
-		IdleAfter:   *idle,
-		EvictEvery:  evictEvery,
-		SinkWriters: *sinkWriters,
-		SinkQueue:   *sinkQueue,
-		SinkSweep:   *sinkSweep,
-		SinkFull:    fullPolicy,
-		SinkSync:    *sinkSync,
+		Zeta:           *zeta,
+		Aggressive:     *aggressive,
+		Shards:         *shards,
+		CleanWindow:    *clean,
+		IdleAfter:      *idle,
+		EvictEvery:     evictEvery,
+		SinkWriters:    *sinkWriters,
+		SinkQueue:      *sinkQueue,
+		SinkSweep:      *sinkSweep,
+		SinkFull:       fullPolicy,
+		SinkSync:       *sinkSync,
+		MaxSessions:    *maxSessions,
+		ShedSessions:   *shed,
+		DeviceRate:     *deviceRate,
+		DeviceBurst:    *deviceBurst,
+		QueueWatermark: *queueWatermark,
 		OnEvict: func(dev string, segs []traj.Segment) {
 			log.Printf("evicted idle session %s (%d trailing segments)", dev, len(segs))
 		},
@@ -209,7 +241,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(eng, store, tails, *maxBody)}
+	h := newHandler(eng, store, tails, *maxBody)
+	srv := &http.Server{Addr: *addr, Handler: h}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -246,18 +279,31 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("trajserve: shutting down")
-	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// New ingest gets an immediate 503 + Retry-After instead of racing
+	// the closing listener; in-flight requests drain below.
+	h.draining.Store(true)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Printf("trajserve: shutdown: %v", err)
 	}
-	flushed := eng.Close()
-	log.Printf("trajserve: flushed %d live sessions", len(flushed))
-	if store != nil {
-		// After eng.Close, so every trailing segment is in the log.
-		if err := store.Close(); err != nil {
-			log.Printf("trajserve: segment store: %v", err)
+	// Bound the session flush + sink-queue drain too: a wedged disk must
+	// not hang shutdown forever. On timeout the store is left unclosed on
+	// purpose — closing it would race the still-draining writers, and the
+	// segment log recovers the acknowledged prefix on restart regardless.
+	done := make(chan int, 1)
+	go func() { done <- len(eng.Close()) }()
+	select {
+	case n := <-done:
+		log.Printf("trajserve: flushed %d live sessions", n)
+		if store != nil {
+			// After eng.Close, so every trailing segment is in the log.
+			if err := store.Close(); err != nil {
+				log.Printf("trajserve: segment store: %v", err)
+			}
 		}
+	case <-time.After(*shutdownTimeout):
+		log.Printf("trajserve: shutdown timeout (%s) with the sink queue still draining; exiting — the log replays the acknowledged prefix on restart", *shutdownTimeout)
 	}
 }
 
@@ -286,15 +332,22 @@ type server struct {
 	store   *segstore.Store // nil without -data-dir
 	tails   *tailHub        // nil without -data-dir
 	maxBody int64
+	mux     *http.ServeMux
+
+	// draining is set when graceful shutdown begins: new ingest gets
+	// 503 + Retry-After instead of racing the closing listener, and
+	// /healthz flips to draining so load balancers stop routing here.
+	draining atomic.Bool
 }
 
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
 // newHandler builds the service mux; separated from main for testing.
-func newHandler(eng *stream.Engine, store *segstore.Store, tails *tailHub, maxBody int64) http.Handler {
+func newHandler(eng *stream.Engine, store *segstore.Store, tails *tailHub, maxBody int64) *server {
 	s := &server{eng: eng, store: store, tails: tails, maxBody: maxBody}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux = mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, _ *http.Request) {
 		for _, a := range algo.All() {
 			fmt.Fprintln(w, a.Name)
@@ -307,7 +360,35 @@ func newHandler(eng *stream.Engine, store *segstore.Store, tails *tailHub, maxBo
 	mux.HandleFunc("GET /devices/{device}/segments", s.handleDeviceSegments)
 	mux.HandleFunc("GET /devices/{device}/at", s.handleDeviceAt)
 	mux.HandleFunc("GET /devices/{device}/tail", s.handleDeviceTail)
-	return mux
+	return s
+}
+
+// handleHealthz is the readiness probe: a JSON status plus the signals
+// an operator needs when it is not "ok". Draining is a 503 — stop
+// routing here, the process is going away — while degraded (quarantined
+// device logs, or a sink queue past its pressure watermark) stays 200:
+// the service still serves, the flag is the advance warning before
+// clients start seeing 429s.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	var poisoned int64
+	if s.store != nil {
+		poisoned = s.store.Stats().PoisonedLogs
+	}
+	status, code := "ok", http.StatusOK
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case poisoned > 0 || s.eng.Overloaded():
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":        status,
+		"poisoned_logs": poisoned,
+		"sink_queued":   s.eng.Stats().SinkQueued,
+	})
 }
 
 // bodyErr maps a request-body read failure to its HTTP status: 413 when
@@ -567,6 +648,11 @@ func parseBinary(r io.Reader) (*batch, error) {
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "shutting down; retry against another instance", http.StatusServiceUnavailable)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	var (
 		b   *batch
@@ -608,6 +694,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	failed := make(map[string]string)
 	worst := 0
+	var retryAfter time.Duration // largest advice among overloaded devices
 	for _, dev := range b.order {
 		pts := b.points[dev]
 		var (
@@ -626,7 +713,15 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			status := http.StatusInternalServerError
+			var oe *stream.OverloadError
 			switch {
+			case errors.As(err, &oe):
+				// Rate-limited or queue-pressure rejection: the engine
+				// says exactly when retrying can succeed.
+				status = http.StatusTooManyRequests
+				if oe.RetryAfter > retryAfter {
+					retryAfter = oe.RetryAfter
+				}
 			case errors.Is(err, stream.ErrSessionLimit):
 				status = http.StatusTooManyRequests
 			case errors.Is(err, stream.ErrClosed):
@@ -652,6 +747,11 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	// Only when every device failed does the request itself fail.
 	if len(failed) == len(b.order) {
+		if worst == http.StatusTooManyRequests && retryAfter > 0 {
+			// Retry-After is whole seconds; round up so the client never
+			// retries before the engine said it could succeed.
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter.Seconds()))))
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(worst)
 		json.NewEncoder(w).Encode(map[string]any{"failed": failed})

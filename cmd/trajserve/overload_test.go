@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"trajsim/internal/stream"
+)
+
+// Tests for the overload and shutdown surfaces: 429 + Retry-After from
+// admission control, 503 + Retry-After while draining, and the JSON
+// /healthz readiness states.
+
+// rateLimitedServer runs the service over an engine with a tight
+// per-device rate limit so a second batch is over rate immediately.
+func rateLimitedServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng, err := stream.NewEngine(stream.Config{
+		Zeta: 40, Shards: 4, DeviceRate: 1, DeviceBurst: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv := httptest.NewServer(newHandler(eng, nil, nil, testMaxBody))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postCSV(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestIngestRateLimited429: an over-rate device gets 429 and a positive
+// whole-second Retry-After no earlier than the engine's advice.
+func TestIngestRateLimited429(t *testing.T) {
+	srv := rateLimitedServer(t)
+	csv := "device,t_ms,x_m,y_m\ncab-1,0,0,0\ncab-1,1000,8,1\n"
+	resp := postCSV(t, srv.URL, csv)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first batch: status %d", resp.StatusCode)
+	}
+	// The bucket (burst 2) is empty; the very next point is over rate.
+	resp = postCSV(t, srv.URL, "device,t_ms,x_m,y_m\ncab-1,2000,16,0\n")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate batch: status %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer of seconds", resp.Header.Get("Retry-After"))
+	}
+	var body struct {
+		Failed map[string]string `json:"failed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := body.Failed["cab-1"]; !ok {
+		t.Errorf("failed map missing the rate-limited device: %v", body.Failed)
+	}
+}
+
+// TestDrainingRejectsIngest: once shutdown has begun, new ingest gets
+// an immediate 503 + Retry-After and /healthz reports draining with
+// the same status code, so load balancers stop routing here.
+func TestDrainingRejectsIngest(t *testing.T) {
+	eng, err := stream.NewEngine(stream.Config{Zeta: 40, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	h := newHandler(eng, nil, nil, testMaxBody)
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	h.draining.Store(true)
+	resp := postCSV(t, srv.URL, "device,t_ms,x_m,y_m\ncab-1,0,0,0\n")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without a Retry-After header")
+	}
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", hz.StatusCode)
+	}
+	var state struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if state.Status != "draining" {
+		t.Errorf("healthz status = %q, want draining", state.Status)
+	}
+}
+
+// TestStatsSurfacesResilienceCounters: GET /stats carries the
+// admission counters at the top level and the quarantine gauges inside
+// the store block — present (zero-valued) from the first request, so an
+// operator dashboard can key on them before anything goes wrong.
+func TestStatsSurfacesResilienceCounters(t *testing.T) {
+	srv, shutdown := persistentServer(t, t.TempDir())
+	defer shutdown()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw struct {
+		Shed        *int64 `json:"shed_sessions"`
+		RateLimited *int64 `json:"rate_limited"`
+		Overloaded  *int64 `json:"overload_rejected"`
+		Store       *struct {
+			PoisonedLogs      *int64 `json:"poisoned_logs"`
+			QuarantineReopens *int64 `json:"quarantine_reopens"`
+		} `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw.Shed == nil || raw.RateLimited == nil || raw.Overloaded == nil {
+		t.Error("/stats missing shed_sessions/rate_limited/overload_rejected")
+	}
+	if raw.Store == nil || raw.Store.PoisonedLogs == nil || raw.Store.QuarantineReopens == nil {
+		t.Error("/stats store block missing poisoned_logs/quarantine_reopens")
+	}
+}
+
+// TestHealthzJSON: the ordinary readiness reply is 200 with status ok
+// and the two degradation signals present (zero-valued).
+func TestHealthzJSON(t *testing.T) {
+	srv := testServer(t, testMaxBody)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var state struct {
+		Status       string `json:"status"`
+		PoisonedLogs *int64 `json:"poisoned_logs"`
+		SinkQueued   *int64 `json:"sink_queued"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if state.Status != "ok" {
+		t.Errorf("status = %q, want ok", state.Status)
+	}
+	if state.PoisonedLogs == nil || state.SinkQueued == nil {
+		t.Error("healthz reply missing poisoned_logs or sink_queued")
+	}
+}

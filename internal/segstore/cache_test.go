@@ -23,7 +23,7 @@ import (
 func rawReplay(t *testing.T, dir, dev string) []traj.Segment {
 	t.Helper()
 	ddir := filepath.Join(dir, escapeDevice(dev))
-	seqs, _, err := listSeqs(ddir)
+	seqs, _, err := (&Store{fs: osFS{}}).listSeqs(ddir)
 	if err != nil {
 		t.Fatal(err)
 	}

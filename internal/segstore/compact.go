@@ -47,7 +47,7 @@ func (s *Store) compactLocked(l *deviceLog) error {
 	seqs := l.seqs
 	if !l.opened {
 		var err error
-		if seqs, _, err = listSeqs(l.dir); err != nil {
+		if seqs, _, err = s.listSeqs(l.dir); err != nil {
 			return err
 		}
 	}
@@ -58,7 +58,7 @@ func (s *Store) compactLocked(l *deviceLog) error {
 	mtimes := make([]time.Time, len(seqs))
 	var total int64
 	for i, seq := range seqs {
-		fi, err := os.Stat(l.path(seq))
+		fi, err := s.fs.Stat(l.path(seq))
 		if err != nil {
 			return fmt.Errorf("segstore: retention: %w", err)
 		}
@@ -86,8 +86,8 @@ func (s *Store) compactLocked(l *deviceLog) error {
 		}
 		// Sidecar first: a crash between the two deletes leaves a
 		// rebuildable data file, never a stale index outliving its data.
-		l.dropIndex(seqs[removed])
-		if err := os.Remove(l.path(seqs[removed])); err != nil {
+		l.dropIndex(s, seqs[removed])
+		if err := s.fs.Remove(l.path(seqs[removed])); err != nil {
 			if l.opened {
 				l.seqs = append(l.seqs[:0], seqs[removed:]...)
 			}
@@ -158,7 +158,7 @@ func (s *Store) truncatePrefixLocked(l *deviceLog) error {
 	if drop <= 0 || drop*truncateFraction < payload {
 		return nil
 	}
-	data, err := os.ReadFile(l.path(seq))
+	data, err := s.fs.ReadFile(l.path(seq))
 	if err != nil {
 		return fmt.Errorf("segstore: retention: %w", err)
 	}
@@ -169,8 +169,8 @@ func (s *Store) truncatePrefixLocked(l *deviceLog) error {
 	nb = append(nb, fileMagic...)
 	nb = append(nb, data[cut:fi.dataLen]...)
 	tmp := l.path(seq) + tmpSuffix
-	if err := writeFileSynced(tmp, nb, s.cfg.Sync != SyncNever); err != nil {
-		os.Remove(tmp)
+	if err := s.writeFileSynced(tmp, nb, s.cfg.Sync != SyncNever); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("segstore: retention: %w", err)
 	}
 	if active && l.f != nil {
@@ -178,15 +178,15 @@ func (s *Store) truncatePrefixLocked(l *deviceLog) error {
 		// on the replaced inode would be silently lost. The next append
 		// reopens at the tracked offset.
 		if err := s.dropHandle(l); err != nil {
-			os.Remove(tmp)
+			s.fs.Remove(tmp)
 			return fmt.Errorf("segstore: retention: %w", err)
 		}
 	}
 	if !active {
-		l.dropIndex(seq)
+		l.dropIndex(s, seq)
 	}
-	if err := os.Rename(tmp, l.path(seq)); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, l.path(seq)); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("segstore: retention: %w", err)
 	}
 	// The rewrite reuses byte offsets for different records: cached
@@ -197,7 +197,7 @@ func (s *Store) truncatePrefixLocked(l *deviceLog) error {
 		s.cache.invalidateFile(l.device, seq)
 	}
 	if s.cfg.Sync == SyncAlways {
-		if err := syncDir(l.dir); err != nil {
+		if err := s.syncDir(l.dir); err != nil {
 			return err
 		}
 	}
@@ -229,8 +229,8 @@ func shiftEntries(entries []indexEntry, delta int64) []indexEntry {
 
 // writeFileSynced writes b to path, optionally fsyncing before close —
 // rename-over-original callers need the new bytes durable first.
-func writeFileSynced(path string, b []byte, sync bool) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func (s *Store) writeFileSynced(path string, b []byte, sync bool) error {
+	f, err := s.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -286,7 +286,7 @@ func (s *Store) CompactNow() error {
 	// filter would list every directory a second time right before
 	// compactLocked lists it for real, and compaction treats empty and
 	// foreign-content directories as no-ops anyway.
-	entries, err := os.ReadDir(s.cfg.Dir)
+	entries, err := s.fs.ReadDir(s.cfg.Dir)
 	if err != nil {
 		return fmt.Errorf("segstore: %w", err)
 	}

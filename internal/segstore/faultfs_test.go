@@ -1,0 +1,207 @@
+package segstore
+
+import (
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// faultFS is the test half of the filesystem seam (fs.go): it delegates
+// to osFS, counts every operation in order, and injects failures two
+// ways — a single-shot fault armed at one operation index (the fault
+// matrix sweeps that index across a whole workload), and a "wedge" that
+// fails every operation of one kind until cleared (a disk that stays
+// broken: full, unplugged, remounting). Short-write mode delivers half
+// the bytes before failing, the shape torn-tail recovery exists for.
+type faultFS struct {
+	mu    sync.Mutex
+	n     int      // operations so far
+	trace []string // operation kinds, in order
+	armAt int      // operation index to fail once; <0 disarmed
+	err   error    // injected error for both arm and wedge faults
+	short bool     // armed Write faults deliver half the bytes first
+	fired bool     // the armed fault went off
+	wedge string   // while non-empty, every op of this kind fails
+}
+
+func newFaultFS() *faultFS { return &faultFS{armAt: -1} }
+
+// step counts one operation and reports whether to inject its failure.
+func (ff *faultFS) step(kind string) bool {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	i := ff.n
+	ff.n++
+	ff.trace = append(ff.trace, kind)
+	if ff.wedge == kind {
+		return true
+	}
+	if i == ff.armAt {
+		ff.fired = true
+		return true
+	}
+	return false
+}
+
+func (ff *faultFS) ops() int {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.n
+}
+
+func (ff *faultFS) kindAt(i int) string {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.trace[i]
+}
+
+func (ff *faultFS) setWedge(kind string) {
+	ff.mu.Lock()
+	ff.wedge = kind
+	ff.mu.Unlock()
+}
+
+// opsOfKind counts operations of one kind seen so far.
+func (ff *faultFS) opsOfKind(kind string) int {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	n := 0
+	for _, k := range ff.trace {
+		if k == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func (ff *faultFS) OpenFile(name string, flag int, perm os.FileMode) (file, error) {
+	if ff.step("openfile") {
+		return nil, ff.err
+	}
+	f, err := (osFS{}).OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, ff: ff}, nil
+}
+
+func (ff *faultFS) Open(name string) (file, error) {
+	if ff.step("open") {
+		return nil, ff.err
+	}
+	f, err := (osFS{}).Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, ff: ff}, nil
+}
+
+func (ff *faultFS) ReadFile(name string) ([]byte, error) {
+	if ff.step("readfile") {
+		return nil, ff.err
+	}
+	return os.ReadFile(name)
+}
+
+func (ff *faultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if ff.step("writefile") {
+		return ff.err
+	}
+	return os.WriteFile(name, data, perm)
+}
+
+func (ff *faultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if ff.step("readdir") {
+		return nil, ff.err
+	}
+	return os.ReadDir(name)
+}
+
+func (ff *faultFS) Stat(name string) (os.FileInfo, error) {
+	if ff.step("stat") {
+		return nil, ff.err
+	}
+	return os.Stat(name)
+}
+
+func (ff *faultFS) MkdirAll(path string, perm os.FileMode) error {
+	if ff.step("mkdirall") {
+		return ff.err
+	}
+	return os.MkdirAll(path, perm)
+}
+
+func (ff *faultFS) Remove(name string) error {
+	if ff.step("remove") {
+		return ff.err
+	}
+	return os.Remove(name)
+}
+
+func (ff *faultFS) Rename(oldpath, newpath string) error {
+	if ff.step("rename") {
+		return ff.err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// faultFile wraps an open file with the same injection points.
+type faultFile struct {
+	f  file
+	ff *faultFS
+}
+
+func (w *faultFile) Write(b []byte) (int, error) {
+	if w.ff.step("write") {
+		if w.ff.short && len(b) > 1 {
+			// A torn write: half the bytes reach the disk for real, then
+			// the "device" fails.
+			n, _ := w.f.Write(b[: len(b)/2 : len(b)/2])
+			return n, w.ff.err
+		}
+		return 0, w.ff.err
+	}
+	return w.f.Write(b)
+}
+
+func (w *faultFile) WriteAt(b []byte, off int64) (int, error) {
+	if w.ff.step("writeat") {
+		return 0, w.ff.err
+	}
+	return w.f.WriteAt(b, off)
+}
+
+func (w *faultFile) ReadAt(b []byte, off int64) (int, error) {
+	if w.ff.step("readat") {
+		return 0, w.ff.err
+	}
+	return w.f.ReadAt(b, off)
+}
+
+func (w *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if w.ff.step("seek") {
+		return 0, w.ff.err
+	}
+	return w.f.Seek(offset, whence)
+}
+
+func (w *faultFile) Truncate(size int64) error {
+	if w.ff.step("truncate") {
+		return w.ff.err
+	}
+	return w.f.Truncate(size)
+}
+
+func (w *faultFile) Sync() error {
+	if w.ff.step("sync") {
+		return w.ff.err
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error {
+	if w.ff.step("close") {
+		return w.ff.err
+	}
+	return w.f.Close()
+}

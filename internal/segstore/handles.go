@@ -65,7 +65,7 @@ func (s *Store) registerHandle(l *deviceLog) {
 	// I/O, possibly an fsync — after dropping every lock.
 	type cold struct {
 		log   *deviceLog
-		f     *os.File
+		f     file
 		dirty bool
 	}
 	var evict []cold
@@ -109,7 +109,7 @@ func (s *Store) registerHandle(l *deviceLog) {
 		if err != nil {
 			// The eviction has no caller to hand this to, and a failed fsync
 			// must not be retried as if nothing happened (the kernel may have
-			// dropped the dirty pages): poison the log so the next Append
+			// dropped the dirty pages): quarantine the log so the next Append
 			// surfaces the durability loss instead of silently extending an
 			// unflushed file. Blocking on c.log.mu here is safe: lock holders
 			// only ever block on handleLRU.mu (never held across this call)
@@ -117,7 +117,7 @@ func (s *Store) registerHandle(l *deviceLog) {
 			// c.log.mu cannot have done while we held it at detach time.
 			c.log.mu.Lock()
 			if c.log.failed == nil {
-				c.log.failed = fmt.Errorf("segstore: flush of evicted log: %w", err)
+				_ = s.poisonLocked(c.log, fmt.Errorf("segstore: flush of evicted log: %w", err))
 			}
 			c.log.mu.Unlock()
 		}
@@ -153,7 +153,7 @@ func (l *deviceLog) handle(s *Store) error {
 	if len(l.seqs) == 0 {
 		return nil
 	}
-	f, err := os.OpenFile(l.path(l.seqs[len(l.seqs)-1]), os.O_RDWR, 0)
+	f, err := s.fs.OpenFile(l.path(l.seqs[len(l.seqs)-1]), os.O_RDWR, 0)
 	if err != nil {
 		return fmt.Errorf("segstore: reopen: %w", err)
 	}

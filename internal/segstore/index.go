@@ -218,7 +218,7 @@ func entriesSorted(entries []indexEntry) bool {
 // rebuilt — advisory either way.
 func (l *deviceLog) writeIndex(s *Store, seq int, dataLen int64, entries []indexEntry) error {
 	b := appendIndexFile(nil, dataLen, entries)
-	if err := os.WriteFile(l.idxPath(seq), b, 0o644); err != nil {
+	if err := s.fs.WriteFile(l.idxPath(seq), b, 0o644); err != nil {
 		return err
 	}
 	s.indexWrites.Add(1)
@@ -280,18 +280,18 @@ func (s *Store) loadSealedIndex(l *deviceLog, seq int) (fileIndex, error) {
 // (repairing the sidecar on the way out). Touches only immutable files,
 // so it needs no lock; two racing readers do redundant, identical work.
 func (s *Store) readSealedIndex(l *deviceLog, seq int) (fileIndex, error) {
-	st, err := os.Stat(l.path(seq))
+	st, err := s.fs.Stat(l.path(seq))
 	if err != nil {
 		return fileIndex{}, fmt.Errorf("segstore: %w", err)
 	}
-	if b, err := os.ReadFile(l.idxPath(seq)); err == nil {
+	if b, err := s.fs.ReadFile(l.idxPath(seq)); err == nil {
 		if dataLen, entries, derr := decodeIndexFile(b); derr == nil && dataLen == st.Size() {
 			return fileIndex{entries: entries, dataLen: dataLen}, nil
 		}
 	}
 	// Missing, corrupt, or stale sidecar: the data file is the source of
 	// truth. Rescan it, repair the sidecar, and carry on.
-	b, err := os.ReadFile(l.path(seq))
+	b, err := s.fs.ReadFile(l.path(seq))
 	if err != nil {
 		return fileIndex{}, fmt.Errorf("segstore: %w", err)
 	}
@@ -321,9 +321,9 @@ func (l *deviceLog) cacheIndex(seq int, fi fileIndex) {
 // retention deletes or rewrites the file. The sidecar is removed before
 // the caller touches the data file, so a crash between the two leaves a
 // rebuildable data file, never a stale sidecar that outlives its data.
-func (l *deviceLog) dropIndex(seq int) {
+func (l *deviceLog) dropIndex(s *Store, seq int) {
 	delete(l.idxCache, seq)
-	if err := os.Remove(l.idxPath(seq)); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := s.fs.Remove(l.idxPath(seq)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		// Best effort: a leftover sidecar is detected as stale on next read.
 		_ = err
 	}

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 )
 
 // Tests for the metadata LRU (Config.MaxResidentLogs): the logs map must
@@ -106,6 +107,7 @@ func TestMetaLRUKeepsPoisonedLogs(t *testing.T) {
 	s.mu.Unlock()
 	l.mu.Lock()
 	l.failed = sticky
+	l.quarNext = s.now().Add(time.Hour) // still in quarantine backoff
 	l.mu.Unlock()
 
 	for d := 0; d < 8; d++ {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"sort"
 	"sync"
 
@@ -156,7 +155,7 @@ func (snap *readSnap) index(s *Store, seq int) (fileIndex, error) {
 // dropIndex forgets file seq's index in both the snapshot memo and the
 // store (unlinking the sidecar) — the retry path when a sealed file's
 // advisory sidecar turns out not to match its data.
-func (snap *readSnap) dropIndex(seq int) {
+func (snap *readSnap) dropIndex(s *Store, seq int) {
 	for i, si := range snap.idxs {
 		if si.seq == seq {
 			snap.idxs = append(snap.idxs[:i], snap.idxs[i+1:]...)
@@ -164,7 +163,7 @@ func (snap *readSnap) dropIndex(seq int) {
 		}
 	}
 	snap.l.mu.Lock()
-	snap.l.dropIndex(seq)
+	snap.l.dropIndex(s, seq)
 	snap.l.mu.Unlock()
 }
 
@@ -298,7 +297,7 @@ func (s *Store) fileRange(snap *readSnap, p spanPlan, from, to int64, dst []traj
 		if attempt > 0 || p.seq == snap.tailSeq() {
 			return dst, fmt.Errorf("%w: indexed read: %v (%s)", ErrCorrupt, err, snap.l.path(p.seq))
 		}
-		snap.dropIndex(p.seq)
+		snap.dropIndex(s, p.seq)
 		fi, ferr := snap.index(s, p.seq)
 		if ferr != nil {
 			return dst, ferr
@@ -315,7 +314,7 @@ func (s *Store) fileRange(snap *readSnap, p spanPlan, from, to int64, dst []traj
 // read with one pread through a pooled buffer.
 func (s *Store) readSpans(snap *readSnap, p spanPlan, from, to int64, dst []traj.Segment) ([]traj.Segment, error) {
 	entries := p.fi.entries
-	var f *os.File
+	var f file
 	defer func() {
 		if f != nil {
 			f.Close()
@@ -326,7 +325,7 @@ func (s *Store) readSpans(snap *readSnap, p spanPlan, from, to int64, dst []traj
 			return nil
 		}
 		var err error
-		f, err = os.Open(snap.l.path(p.seq))
+		f, err = s.fs.Open(snap.l.path(p.seq))
 		return err
 	}
 
@@ -400,7 +399,7 @@ func (s *Store) readSpans(snap *readSnap, p spanPlan, from, to int64, dst []traj
 // fetchGranule preads and decodes one entry span — the granule cache's
 // miss path. The pread buffer is pooled; the decoded slice is freshly
 // allocated, since the cache will retain it.
-func (s *Store) fetchGranule(f *os.File, off, end int64) ([]traj.Segment, error) {
+func (s *Store) fetchGranule(f file, off, end int64) ([]traj.Segment, error) {
 	bufp := getReadBuf()
 	defer putReadBuf(bufp)
 	buf := growBuf(bufp, int(end-off))
@@ -451,7 +450,7 @@ func (s *Store) fileAt(snap *readSnap, seq int, t int64) (traj.Segment, bool, er
 		if attempt > 0 || seq == snap.tailSeq() {
 			return traj.Segment{}, false, fmt.Errorf("%w: indexed read: %v (%s)", ErrCorrupt, err, snap.l.path(seq))
 		}
-		snap.dropIndex(seq)
+		snap.dropIndex(s, seq)
 	}
 }
 
@@ -461,7 +460,7 @@ func (s *Store) fileAt(snap *readSnap, seq int, t int64) (traj.Segment, bool, er
 func (s *Store) segmentAtSpans(snap *readSnap, seq int, fi fileIndex, t int64) (traj.Segment, bool, error) {
 	entries := fi.entries
 	lo, hi := selectEntries(entries, t, t)
-	var f *os.File
+	var f file
 	defer func() {
 		if f != nil {
 			f.Close()
@@ -491,7 +490,7 @@ func (s *Store) segmentAtSpans(snap *readSnap, seq int, fi fileIndex, t int64) (
 				segs, err = s.cache.load(key, func() ([]traj.Segment, error) {
 					if f == nil {
 						var oerr error
-						if f, oerr = os.Open(snap.l.path(seq)); oerr != nil {
+						if f, oerr = s.fs.Open(snap.l.path(seq)); oerr != nil {
 							return nil, oerr
 						}
 					}
@@ -503,7 +502,7 @@ func (s *Store) segmentAtSpans(snap *readSnap, seq int, fi fileIndex, t int64) (
 			}
 		} else {
 			if f == nil {
-				if f, err = os.Open(snap.l.path(seq)); err != nil {
+				if f, err = s.fs.Open(snap.l.path(seq)); err != nil {
 					return traj.Segment{}, false, err
 				}
 			}
@@ -550,7 +549,7 @@ func decodeRecordRange(dst []traj.Segment, b []byte) ([]traj.Segment, error) {
 // preadFull reads exactly len(b) bytes at off, counting them toward the
 // ReadBytes stat. A full read is success even if the file ends exactly
 // there (ReadAt may pair it with io.EOF).
-func (s *Store) preadFull(f *os.File, b []byte, off int64) error {
+func (s *Store) preadFull(f file, b []byte, off int64) error {
 	n, err := f.ReadAt(b, off)
 	s.readBytes.Add(int64(n))
 	if n == len(b) {

@@ -84,6 +84,12 @@ const (
 	// by default. Config.ReadCacheBytes has no implicit default — the
 	// zero Config keeps the cache off.
 	DefaultReadCacheBytes = 64 << 20
+
+	// defaultQuarantineBase is the first reopen backoff after a log is
+	// poisoned; attempts double it up to defaultQuarantineMax. Tests
+	// shrink Store.quarBase to exercise the recovery path quickly.
+	defaultQuarantineBase = 250 * time.Millisecond
+	defaultQuarantineMax  = time.Minute
 )
 
 // SyncPolicy selects when appended records are fsynced to disk.
@@ -188,6 +194,9 @@ type Stats struct {
 	GroupSyncs int64 `json:"group_syncs"` // fsyncs issued by CommitDevices group commits
 	Recovered  int64 `json:"truncations"` // torn tails truncated during recovery
 
+	PoisonedLogs      int64 `json:"poisoned_logs"`      // device logs quarantined by a write/fsync failure right now
+	QuarantineReopens int64 `json:"quarantine_reopens"` // quarantined logs successfully re-recovered and resumed
+
 	OpenHandles     int64 `json:"open_handles"`     // device logs holding an open file now
 	HandleHits      int64 `json:"handle_hits"`      // appends that found their file open
 	HandleMisses    int64 `json:"handle_misses"`    // appends that had to open (or create) a file
@@ -213,9 +222,12 @@ type Stats struct {
 // are safe for concurrent use; appends for different devices proceed in
 // parallel.
 type Store struct {
-	cfg     Config
-	now     func() time.Time // wall clock for index entries; fixed in tests
-	idxGran int64            // index coalescing span; shrunk in tests
+	cfg      Config
+	fs       fileSystem       // osFS in production; a fault injector in tests
+	now      func() time.Time // wall clock for index entries and quarantine backoff; fixed in tests
+	idxGran  int64            // index coalescing span; shrunk in tests
+	quarBase time.Duration    // first quarantine reopen backoff; shrunk in tests
+	quarMax  time.Duration    // backoff cap
 
 	mu     sync.Mutex
 	logs   map[string]*deviceLog
@@ -230,6 +242,9 @@ type Store struct {
 	syncs      atomic.Int64
 	groupSyncs atomic.Int64
 	recovered  atomic.Int64
+
+	poisonedLogs atomic.Int64 // gauge: logs quarantined right now
+	quarReopens  atomic.Int64
 
 	handleHits      atomic.Int64
 	handleMisses    atomic.Int64
@@ -257,12 +272,23 @@ type deviceLog struct {
 	device  string
 	dir     string
 	opened  bool
-	evicted bool     // metadata LRU dropped this instance; holders must re-resolve
-	seqs    []int    // existing file numbers, ascending
-	f       *os.File // newest file, open for append; nil until first write or after eviction
-	size    int64    // valid bytes in the newest file
-	dirty   bool     // has unsynced writes
-	failed  error    // sticky write failure; rejects further appends
+	evicted bool  // metadata LRU dropped this instance; holders must re-resolve
+	seqs    []int // existing file numbers, ascending
+	f       file  // newest file, open for append; nil until first write or after eviction
+	size    int64 // valid bytes in the newest file
+	dirty   bool  // has unsynced writes
+
+	// Quarantine state. A write or fsync failure poisons the log: failed
+	// is set, the file handle is discarded (a failed fsync is never
+	// retried on the same descriptor — the kernel may have dropped the
+	// dirty pages), and appends are rejected with the sticky failure
+	// until quarNext. After that, the next append attempts recovery:
+	// metadata is discarded and the log re-runs torn-tail recovery from
+	// disk, resuming appends on success or backing off exponentially
+	// (capped) on another failure.
+	failed    error     // sticky failure; non-nil while quarantined
+	quarNext  time.Time // earliest next reopen attempt
+	quarTries int       // consecutive failed reopen attempts
 
 	// Sparse time index: tail covers the newest file (built by the open
 	// scan, extended per append); idxCache holds sealed files' indexes
@@ -305,6 +331,12 @@ type tailSpan struct {
 // Open validates cfg, creates the root directory, and returns a running
 // Store. Per-device recovery is lazy (see deviceLog).
 func Open(cfg Config) (*Store, error) {
+	return openFS(cfg, osFS{})
+}
+
+// openFS is Open over an injectable filesystem — the seam fault-injection
+// tests use to fail any chosen file operation.
+func openFS(cfg Config, fsys fileSystem) (*Store, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("segstore: Config.Dir is required")
 	}
@@ -343,15 +375,18 @@ func Open(cfg Config) (*Store, error) {
 	if _, err := ParseSyncPolicy(cfg.Sync.String()); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("segstore: %w", err)
 	}
 	s := &Store{
-		cfg:     cfg,
-		now:     defaultNow,
-		idxGran: defaultIndexGranularity,
-		logs:    make(map[string]*deviceLog),
-		stop:    make(chan struct{}),
+		cfg:      cfg,
+		fs:       fsys,
+		now:      defaultNow,
+		idxGran:  defaultIndexGranularity,
+		quarBase: defaultQuarantineBase,
+		quarMax:  defaultQuarantineMax,
+		logs:     make(map[string]*deviceLog),
+		stop:     make(chan struct{}),
 	}
 	s.handles.cap = cfg.MaxOpenFiles
 	if cfg.ReadCacheBytes > 0 {
@@ -560,8 +595,8 @@ func segTimeRange(segs []traj.Segment) (minT, maxT int64, ok bool) {
 // skipped. The second result lists strays the store should sweep:
 // index sidecars orphaned by a deleted data file, and temp files left
 // by a crash mid-rewrite.
-func listSeqs(dir string) ([]int, []string, error) {
-	entries, err := os.ReadDir(dir)
+func (s *Store) listSeqs(dir string) ([]int, []string, error) {
+	entries, err := s.fs.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil, nil
 	} else if err != nil {
@@ -614,7 +649,7 @@ func (l *deviceLog) open(s *Store) error {
 	if l.opened {
 		return nil
 	}
-	seqs, strays, err := listSeqs(l.dir)
+	seqs, strays, err := s.listSeqs(l.dir)
 	if err != nil {
 		return err
 	}
@@ -622,7 +657,7 @@ func (l *deviceLog) open(s *Store) error {
 	// deleting an index and its data file, and temp files from a crash
 	// mid-rewrite. Both are advisory debris — removal loses nothing.
 	for _, name := range strays {
-		_ = os.Remove(filepath.Join(l.dir, name))
+		_ = s.fs.Remove(filepath.Join(l.dir, name))
 	}
 	l.seqs = seqs
 	if len(l.seqs) == 0 {
@@ -630,11 +665,11 @@ func (l *deviceLog) open(s *Store) error {
 		return nil
 	}
 	last := l.seqs[len(l.seqs)-1]
-	fi, err := os.Stat(l.path(last))
+	fi, err := s.fs.Stat(l.path(last))
 	if err != nil {
 		return fmt.Errorf("segstore: %w", err)
 	}
-	b, err := os.ReadFile(l.path(last))
+	b, err := s.fs.ReadFile(l.path(last))
 	if err != nil {
 		return fmt.Errorf("segstore: %w", err)
 	}
@@ -658,7 +693,7 @@ func (l *deviceLog) open(s *Store) error {
 			ErrCorrupt, torn, validLen, l.path(last))
 	}
 	if validLen < int64(len(b)) || validLen < int64(len(fileMagic)) {
-		f, err := os.OpenFile(l.path(last), os.O_RDWR, 0)
+		f, err := s.fs.OpenFile(l.path(last), os.O_RDWR, 0)
 		if err != nil {
 			return fmt.Errorf("segstore: %w", err)
 		}
@@ -694,25 +729,25 @@ func (l *deviceLog) open(s *Store) error {
 // create starts file number seq, writing the header. Caller holds l.mu
 // with l.f == nil (first write or just rotated).
 func (l *deviceLog) create(s *Store, seq int) error {
-	if err := os.MkdirAll(l.dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(l.dir, 0o755); err != nil {
 		return fmt.Errorf("segstore: %w", err)
 	}
-	f, err := os.OpenFile(l.path(seq), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := s.fs.OpenFile(l.path(seq), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("segstore: %w", err)
 	}
-	if _, err := f.WriteString(fileMagic); err != nil {
+	if _, err := f.Write([]byte(fileMagic)); err != nil {
 		// Remove the header-less file, or every retry of this seq would
 		// hit O_EXCL and wedge the device until restart.
 		f.Close()
-		os.Remove(l.path(seq))
+		s.fs.Remove(l.path(seq))
 		return fmt.Errorf("segstore: %w", err)
 	}
 	l.f, l.size = f, int64(len(fileMagic))
 	l.seqs = append(l.seqs, seq)
 	s.registerHandle(l)
 	if s.cfg.Sync == SyncAlways {
-		if err := syncDir(l.dir); err != nil {
+		if err := s.syncDir(l.dir); err != nil {
 			return err
 		}
 	}
@@ -721,8 +756,8 @@ func (l *deviceLog) create(s *Store, seq int) error {
 
 // syncDir fsyncs a directory so freshly created file entries survive a
 // crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func (s *Store) syncDir(dir string) error {
+	d, err := s.fs.Open(dir)
 	if err != nil {
 		return fmt.Errorf("segstore: %w", err)
 	}
@@ -739,23 +774,34 @@ func syncDir(dir string) error {
 func (l *deviceLog) rotate(s *Store) error {
 	if s.cfg.Sync != SyncNever {
 		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("segstore: %w", err)
+			return s.poisonLocked(l, fmt.Errorf("segstore: rotate %s: sync: %w", l.device, err))
 		}
 		s.syncs.Add(1)
 		l.dirty = false
 	}
 	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("segstore: %w", err)
+		// Close can surface deferred write-back errors; treat it like a
+		// failed fsync rather than sealing a file of unknown durability.
+		return s.poisonLocked(l, fmt.Errorf("segstore: rotate %s: close: %w", l.device, err))
 	}
 	l.f = nil
+	seq := l.seqs[len(l.seqs)-1]
+	sealedLen, sealed := l.size, l.tail
+	if err := l.create(s, seq+1); err != nil {
+		// The file is sealed only once its successor exists. On a failed
+		// create (ENOSPC, a vanished directory) the old file stays the
+		// append target — handle() reopens it at the tracked offset and
+		// its tail index stays live — so the failure costs this append
+		// only, and no sidecar gets persisted for a file still growing.
+		return err
+	}
 	// Rotation is the moment a file becomes immutable — the one point
 	// where persisting its index is final. Best effort: a failed sidecar
 	// write costs a rebuild on the next range read, never the append.
-	seq := l.seqs[len(l.seqs)-1]
-	_ = l.writeIndex(s, seq, l.size, l.tail)
-	l.cacheIndex(seq, fileIndex{entries: l.tail, dataLen: l.size})
+	_ = l.writeIndex(s, seq, sealedLen, sealed)
+	l.cacheIndex(seq, fileIndex{entries: sealed, dataLen: sealedLen})
 	l.tail = nil // ownership moved to the cache
-	return l.create(s, seq+1)
+	return nil
 }
 
 // Append persists one batch of finalized segments for device. Batches
@@ -793,8 +839,10 @@ func (s *Store) append(device string, segs []traj.Segment, deferSync bool) error
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	if l.failed != nil {
-		return l.failed
+	// A quarantined log rejects appends with its sticky failure until the
+	// backoff deadline, then attempts recovery right here.
+	if err := s.tryUnquarantine(l); err != nil {
+		return err
 	}
 	if err := l.open(s); err != nil {
 		return err
@@ -840,8 +888,7 @@ func (s *Store) append(device string, segs []traj.Segment, deferSync bool) error
 					return fmt.Errorf("segstore: append %s: %w", device, err)
 				}
 			}
-			l.failed = fmt.Errorf("segstore: log %s unwritable after torn append: %w", device, err)
-			return l.failed
+			return s.poisonLocked(l, fmt.Errorf("segstore: log %s unwritable after torn append: %w", device, err))
 		}
 		return fmt.Errorf("segstore: append %s: %w", device, err)
 	}
@@ -894,7 +941,10 @@ func (s *Store) append(device string, segs []traj.Segment, deferSync bool) error
 		l.pins++
 	case s.cfg.Sync == SyncAlways:
 		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("segstore: %w", err)
+			// The bytes are written but not durable, and a failed fsync must
+			// never be retried on the same descriptor (the kernel may have
+			// dropped the dirty pages): quarantine, do not acknowledge.
+			return s.poisonLocked(l, fmt.Errorf("segstore: append %s: sync: %w", device, err))
 		}
 		s.syncs.Add(1)
 		l.dirty = false // earlier deferred writes are now durable too
@@ -946,11 +996,10 @@ func (s *Store) commitDevice(device string) error {
 	}
 	if err := l.f.Sync(); err != nil {
 		// A failed fsync must not be retried as if nothing happened — the
-		// kernel may have dropped the dirty pages. Poison the log so the
-		// next append surfaces the durability loss instead of extending an
-		// unflushed file.
-		l.failed = fmt.Errorf("segstore: group commit %s: %w", device, err)
-		return l.failed
+		// kernel may have dropped the dirty pages. Quarantine the log so
+		// the next append surfaces the durability loss instead of
+		// extending an unflushed file.
+		return s.poisonLocked(l, fmt.Errorf("segstore: group commit %s: %w", device, err))
 	}
 	l.dirty = false
 	s.syncs.Add(1)
@@ -967,7 +1016,7 @@ func (s *Store) Devices() ([]string, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	entries, err := os.ReadDir(s.cfg.Dir)
+	entries, err := s.fs.ReadDir(s.cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("segstore: %w", err)
 	}
@@ -980,7 +1029,7 @@ func (s *Store) Devices() ([]string, error) {
 		if err != nil {
 			continue // not ours
 		}
-		seqs, _, err := listSeqs(filepath.Join(s.cfg.Dir, e.Name()))
+		seqs, _, err := s.listSeqs(filepath.Join(s.cfg.Dir, e.Name()))
 		if err != nil || len(seqs) == 0 {
 			continue // unreadable or empty: nothing to replay
 		}
@@ -1003,9 +1052,15 @@ func (s *Store) Sync() error {
 	for _, l := range logs {
 		l.mu.Lock()
 		if l.dirty && l.f != nil {
-			if err := l.f.Sync(); err != nil && first == nil {
-				first = fmt.Errorf("segstore: %w", err)
-			} else if err == nil {
+			if err := l.f.Sync(); err != nil {
+				// Quarantine instead of retrying the failed fsync on the
+				// same descriptor next tick — the retry would report
+				// success without the dropped pages ever reaching disk.
+				perr := s.poisonLocked(l, fmt.Errorf("segstore: background sync %s: %w", l.device, err))
+				if first == nil {
+					first = perr
+				}
+			} else {
 				l.dirty = false
 				s.syncs.Add(1)
 			}
@@ -1049,6 +1104,9 @@ func (s *Store) Stats() Stats {
 		Syncs:      s.syncs.Load(),
 		GroupSyncs: s.groupSyncs.Load(),
 		Recovered:  s.recovered.Load(),
+
+		PoisonedLogs:      s.poisonedLogs.Load(),
+		QuarantineReopens: s.quarReopens.Load(),
 
 		OpenHandles:     int64(s.handles.open()),
 		HandleHits:      s.handleHits.Load(),

@@ -5,6 +5,7 @@ import (
 	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"trajsim/internal/traj"
 )
@@ -135,9 +136,20 @@ type sinkQueue struct {
 	def       DeferredSink // sink's group-commit face; nil if unsupported
 	policy    SinkFullPolicy
 	sweepSegs int
+	watermark int64 // queued-op count that counts as overload; 0 disables
+	now       func() time.Time
 	workers   []chan sinkOp
 	wg        sync.WaitGroup
 	pool      sync.Pool // of *segBatch
+
+	// Drain-rate tracking for OverloadError.RetryAfter: drained counts
+	// ops the workers have taken, and retryAfter turns its growth since
+	// the last sample into a smoothed ops/sec rate.
+	drained atomic.Int64
+	rateMu  sync.Mutex
+	rateAt  time.Time // last sample time; zero until the first sample
+	rateN   int64     // drained count at the last sample
+	rate    float64   // EWMA drain rate, ops/sec
 
 	// stopMu serializes enqueues against close: producers hold the read
 	// side for the duration of a send, so close can wait out in-flight
@@ -161,16 +173,23 @@ type sinkQueue struct {
 }
 
 func newSinkQueue(sink Sink, writers, queue, sweep int, policy SinkFullPolicy,
+	watermark float64, now func() time.Time,
 	errs, errSegs, apps *atomic.Int64, onSink func(string, []traj.Segment)) *sinkQueue {
 	q := &sinkQueue{
 		sink:      sink,
 		policy:    policy,
 		sweepSegs: sweep,
+		now:       now,
 		workers:   make([]chan sinkOp, writers),
 		errs:      errs,
 		errSegs:   errSegs,
 		apps:      apps,
 		onSink:    onSink,
+	}
+	if watermark > 0 {
+		// At least 1: a positive watermark must be able to fire even on
+		// a tiny queue.
+		q.watermark = max(1, int64(watermark*float64(writers*queue)))
 	}
 	q.def, _ = sink.(DeferredSink)
 	q.pool.New = func() any { return &segBatch{} }
@@ -208,6 +227,7 @@ func (q *sinkQueue) run(ch chan sinkOp) {
 			return
 		}
 		q.depth.Add(-1)
+		q.drained.Add(1)
 		sw.add(op)
 		// Sweep drain: fold everything immediately available into this
 		// sweep, bounded by sweepSegs so a storage stall cannot grow the
@@ -225,6 +245,7 @@ func (q *sinkQueue) run(ch chan sinkOp) {
 				break
 			}
 			q.depth.Add(-1)
+			q.drained.Add(1)
 			sw.add(next)
 		}
 		sw.flush()
@@ -475,6 +496,52 @@ func (q *sinkQueue) drain() {
 	for _, b := range barriers {
 		<-b
 	}
+}
+
+// Bounds on the retry delay derived from queue state: short enough to
+// be worth honoring when the drain rate is healthy, long enough to
+// matter when the disk has wedged and the rate reads as zero.
+const (
+	minRetryAfter = 100 * time.Millisecond
+	maxRetryAfter = 30 * time.Second
+)
+
+// overloaded reports whether the queue depth has crossed the pressure
+// watermark. A single atomic load — cheap enough for the ingest path.
+func (q *sinkQueue) overloaded() bool {
+	return q.watermark > 0 && q.depth.Load() >= q.watermark
+}
+
+// retryAfter estimates how long until the current backlog has drained:
+// depth over a smoothed drain rate, clamped to [minRetryAfter,
+// maxRetryAfter]. The rate is sampled on demand — growth of the drained
+// counter since the last call, folded into an EWMA so one burst or lull
+// between calls doesn't swing the advice — and a rate of zero (nothing
+// drained yet, or a wedged sink) yields the maximum: the honest answer
+// when the disk may not be coming back soon.
+func (q *sinkQueue) retryAfter() time.Duration {
+	depth := q.depth.Load()
+	q.rateMu.Lock()
+	now := q.now()
+	n := q.drained.Load()
+	if q.rateAt.IsZero() {
+		q.rateAt, q.rateN = now, n
+	} else if dt := now.Sub(q.rateAt); dt >= 50*time.Millisecond {
+		inst := float64(n-q.rateN) / dt.Seconds()
+		if q.rate == 0 {
+			q.rate = inst
+		} else {
+			q.rate = 0.5*q.rate + 0.5*inst
+		}
+		q.rateAt, q.rateN = now, n
+	}
+	rate := q.rate
+	q.rateMu.Unlock()
+	if rate <= 0 {
+		return maxRetryAfter
+	}
+	d := time.Duration(float64(depth) / rate * float64(time.Second))
+	return min(max(d, minRetryAfter), maxRetryAfter)
 }
 
 // close drains the queue and stops the workers. Enqueues after close are

@@ -112,8 +112,35 @@ type Config struct {
 	// that calls EvictIdle on this period until Close.
 	EvictEvery time.Duration
 	// MaxSessions caps live sessions; 0 means unlimited. Ingest for a new
-	// device beyond the cap fails with ErrSessionLimit.
+	// device beyond the cap fails with ErrSessionLimit — or, under
+	// ShedSessions, flushes the coldest session to make room instead.
 	MaxSessions int
+	// ShedSessions selects coldest-first load shedding at the
+	// MaxSessions cap: instead of rejecting a new device, the live
+	// session idle the longest is flushed durably (through the sink
+	// drain barrier, reported to OnEvict) and its slot reused. The new
+	// device is demonstrably live; the coldest one is the best bet to
+	// be gone for good. Ignored without MaxSessions.
+	ShedSessions bool
+	// DeviceRate, when positive, enforces a per-device token-bucket
+	// rate limit of this many points per second. A batch needs one
+	// token per point; an over-rate batch is rejected with an
+	// *OverloadError (ErrOverloaded under errors.Is) whose RetryAfter
+	// says when the bucket will have refilled, and the session is left
+	// untouched. Zero disables rate limiting.
+	DeviceRate float64
+	// DeviceBurst is the token-bucket capacity in points — how large a
+	// burst a device may ingest at once after idling. Zero selects
+	// DeviceRate (one second of burst). Requires DeviceRate.
+	DeviceBurst float64
+	// QueueWatermark, when positive (a fraction in (0, 1]), rejects
+	// ingest for NEW devices with an *OverloadError while the async
+	// sink queue holds more than this fraction of its total capacity:
+	// the disk is behind, and opening more sessions only deepens the
+	// backlog. The RetryAfter is the backlog divided by the queue's
+	// measured drain rate. Existing sessions keep flowing under the
+	// SinkFull policy. Ignored without an async Sink.
+	QueueWatermark float64
 	// OnEvict, when non-nil, receives the trailing segments of every
 	// evicted session (EvictIdle and the janitor both report through it).
 	OnEvict func(device string, segs []traj.Segment)
@@ -176,6 +203,10 @@ type Stats struct {
 	Contended  int64 `json:"contended"`   // ingests that blocked on a busy shard lock
 	SinkErrors int64 `json:"sink_errors"` // merged payloads the Sink failed to persist
 
+	Shed        int64 `json:"shed_sessions"`     // sessions flushed coldest-first to admit new devices
+	RateLimited int64 `json:"rate_limited"`      // ingests rejected by the per-device rate limit
+	Overloaded  int64 `json:"overload_rejected"` // new-device ingests rejected at the queue watermark
+
 	SinkAppends      int64 `json:"sink_appends"`          // merged payloads the Sink accepted
 	SinkErrorSegs    int64 `json:"sink_error_segments"`   // segments lost inside failed payloads
 	SinkQueued       int64 `json:"sink_queued"`           // sink-queue ops in flight right now
@@ -213,6 +244,12 @@ type session struct {
 	last  time.Time      // engine-clock time of the latest ingest
 	lastT int64          // timestamp of the latest accepted point (no cleaner)
 	out   []traj.Segment // reusable Ingest out-buffer; valid until the next batch
+
+	// Token bucket under Config.DeviceRate (see admitRate); untouched
+	// otherwise. A zero tokAt means never charged: the first charge
+	// starts the bucket full.
+	tokens float64
+	tokAt  time.Time
 }
 
 // shard is one of the Engine's session maps. Padding would buy little
@@ -228,6 +265,7 @@ type Engine struct {
 	cfg    Config
 	opts   core.Options
 	now    func() time.Time
+	burst  float64 // resolved DeviceBurst (DeviceRate when unset)
 	shards []shard
 	q      *sinkQueue // async sink pipeline; nil without a Sink or under SinkSync
 
@@ -241,6 +279,9 @@ type Engine struct {
 	sinkErrs    atomic.Int64
 	sinkErrSegs atomic.Int64
 	sinkApps    atomic.Int64
+	shed        atomic.Int64
+	rateLimited atomic.Int64
+	overloadRej atomic.Int64
 
 	closed  atomic.Bool
 	stop    chan struct{}
@@ -280,6 +321,18 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.SinkSweep == 0 {
 		cfg.SinkSweep = DefaultSinkSweep
 	}
+	if cfg.DeviceRate < 0 {
+		return nil, fmt.Errorf("stream: negative device rate %g", cfg.DeviceRate)
+	}
+	if cfg.DeviceBurst < 0 {
+		return nil, fmt.Errorf("stream: negative device burst %g", cfg.DeviceBurst)
+	}
+	if cfg.DeviceBurst > 0 && cfg.DeviceRate <= 0 {
+		return nil, fmt.Errorf("stream: DeviceBurst %g without DeviceRate", cfg.DeviceBurst)
+	}
+	if cfg.QueueWatermark < 0 || cfg.QueueWatermark > 1 {
+		return nil, fmt.Errorf("stream: queue watermark %g outside (0, 1]", cfg.QueueWatermark)
+	}
 	opts := core.DefaultOptions()
 	if cfg.Options != nil {
 		opts = *cfg.Options
@@ -299,12 +352,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if e.now == nil {
 		e.now = time.Now
 	}
+	e.burst = cfg.DeviceBurst
+	if e.burst == 0 {
+		e.burst = cfg.DeviceRate
+	}
 	for i := range e.shards {
 		e.shards[i].sessions = make(map[string]*session)
 	}
 	if cfg.Sink != nil && !cfg.SinkSync {
 		e.q = newSinkQueue(cfg.Sink, cfg.SinkWriters, cfg.SinkQueue, cfg.SinkSweep, cfg.SinkFull,
-			&e.sinkErrs, &e.sinkErrSegs, &e.sinkApps, cfg.OnSink)
+			cfg.QueueWatermark, e.now, &e.sinkErrs, &e.sinkErrSegs, &e.sinkApps, cfg.OnSink)
 	}
 	if cfg.EvictEvery > 0 && cfg.IdleAfter > 0 {
 		e.janitor.Add(1)
@@ -418,6 +475,8 @@ func (e *Engine) ingest(device string, pts []traj.Point, dst *[]traj.Segment) ([
 		return nil, nil
 	}
 	sh := e.shard(device)
+	shedTries := 0
+acquire:
 	// TryLock first so shard-lock contention — the quantity sharding
 	// exists to eliminate — is observable in Stats.
 	if !sh.mu.TryLock() {
@@ -452,12 +511,31 @@ func (e *Engine) ingest(device string, pts []traj.Point, dst *[]traj.Segment) ([
 		batchLastT = prev
 	}
 	if s == nil {
+		// First contact while the sink queue is past its pressure
+		// watermark: the disk is behind and a new session only deepens
+		// the backlog. Reject with when-to-retry; existing sessions
+		// (below) keep flowing under the SinkFull policy.
+		if e.q != nil && e.q.overloaded() {
+			retry := e.q.retryAfter()
+			sh.mu.Unlock()
+			e.overloadRej.Add(1)
+			return nil, &OverloadError{RetryAfter: retry, Reason: "sink queue past watermark"}
+		}
 		// Reserve the slot with the increment itself so concurrent
 		// first-contact ingests on different shards cannot overshoot
 		// MaxSessions between a read and an add.
 		if n, max := e.live.Add(1), int64(e.cfg.MaxSessions); max > 0 && n > max {
 			e.live.Add(-1)
 			sh.mu.Unlock()
+			// Shed the coldest session to make room — at most twice, so
+			// a race-heavy moment degrades to the plain rejection rather
+			// than an unbounded eviction storm.
+			if e.cfg.ShedSessions && shedTries < 2 {
+				shedTries++
+				if e.shedColdest(device) {
+					goto acquire
+				}
+			}
 			return nil, fmt.Errorf("%w (%d live)", ErrSessionLimit, max)
 		}
 		enc, err := newSessionEncoder(e.cfg.Zeta, e.cfg.Aggressive, e.opts)
@@ -472,6 +550,16 @@ func (e *Engine) ingest(device string, pts []traj.Point, dst *[]traj.Segment) ([
 		}
 		sh.sessions[device] = s
 		e.opened.Add(1)
+	}
+	// Per-device rate limit: charge the bucket before any encoder or
+	// ordering state changes, so a rejected batch is a clean no-op the
+	// caller can retry after the error's RetryAfter. A session created
+	// just above always admits its first batch (the bucket starts full).
+	if e.cfg.DeviceRate > 0 {
+		if err := e.admitRate(s, len(pts)); err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
 	}
 	s.lastT = batchLastT
 	out := s.out[:0]
@@ -652,6 +740,9 @@ func (e *Engine) Stats() Stats {
 		SinkErrors:    e.sinkErrs.Load(),
 		SinkErrorSegs: e.sinkErrSegs.Load(),
 		SinkAppends:   e.sinkApps.Load(),
+		Shed:          e.shed.Load(),
+		RateLimited:   e.rateLimited.Load(),
+		Overloaded:    e.overloadRej.Load(),
 	}
 	if e.q != nil {
 		st.SinkQueued = e.q.depth.Load()

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"trajsim/internal/gen"
 	"trajsim/internal/segstore"
@@ -135,7 +136,7 @@ func TestSweepCapBoundsFold(t *testing.T) {
 // not pooled — an outlier burst must not pin its peak allocation.
 func TestRecyclePoolCap(t *testing.T) {
 	var errs, errSegs, apps atomic.Int64
-	q := newSinkQueue(&memSink{}, 1, 1, DefaultSinkSweep, SinkBlock, &errs, &errSegs, &apps, nil)
+	q := newSinkQueue(&memSink{}, 1, 1, DefaultSinkSweep, SinkBlock, 0, time.Now, &errs, &errSegs, &apps, nil)
 	defer q.close()
 	small := &segBatch{segs: make([]traj.Segment, 0, maxPooledSegs)}
 	if !q.recycle(small) {

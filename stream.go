@@ -30,6 +30,12 @@ type (
 	// SinkFullPolicy selects what a full sink queue does with an
 	// ingest-path batch: SinkBlock or SinkDrop.
 	SinkFullPolicy = stream.SinkFullPolicy
+	// OverloadError is an admission-control rejection — a per-device
+	// rate limit or sink-queue pressure — carrying RetryAfter, when
+	// retrying can plausibly succeed. Matches ErrOverloaded under
+	// errors.Is. Configure via EngineConfig.DeviceRate/DeviceBurst/
+	// QueueWatermark/ShedSessions.
+	OverloadError = stream.OverloadError
 )
 
 // Sink-queue backpressure policies and defaults, re-exported.
@@ -59,6 +65,9 @@ var (
 	ErrDeviceTooLong = stream.ErrDeviceTooLong
 	ErrSessionLimit  = stream.ErrSessionLimit
 	ErrTimeOrder     = stream.ErrTimeOrder
+	// ErrOverloaded matches every admission-control rejection; the
+	// concrete error is always an *OverloadError with the retry delay.
+	ErrOverloaded = stream.ErrOverloaded
 )
 
 // NewEngine returns a live-session streaming engine.
