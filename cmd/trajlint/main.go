@@ -1,0 +1,72 @@
+// Command trajlint runs the repo's custom static-analysis suite: the
+// five analyzers in internal/analysis that mechanically enforce the
+// concurrency, fault-injection and clock invariants the storage and
+// stream tiers rely on.
+//
+// Usage:
+//
+//	go run ./cmd/trajlint ./...
+//	go run ./cmd/trajlint -suppressed ./internal/segstore
+//
+// Exit status is non-zero when any unsuppressed finding (or a
+// malformed/unused //trajlint:ignore) is reported. Suppressed
+// findings are hidden unless -suppressed is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"trajsim/internal/analysis"
+)
+
+func main() {
+	showSuppressed := flag.Bool("suppressed", false, "also print findings suppressed by //trajlint:ignore")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: trajlint [flags] packages...\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{}, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trajlint:", err)
+		os.Exit(2)
+	}
+	findings := analysis.Run(pkgs, analysis.All())
+	bad := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			if *showSuppressed {
+				fmt.Println(f)
+			}
+			continue
+		}
+		bad++
+		fmt.Println(f)
+	}
+	if bad > 0 {
+		plural := "s"
+		if bad == 1 {
+			plural = ""
+		}
+		fmt.Fprintf(os.Stderr, "trajlint: %d finding%s in %s\n", bad, plural, strings.Join(flag.Args(), " "))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant checker. Run reports through the
+// Pass; the driver handles //trajlint:ignore suppression afterwards,
+// so analyzers never need to know about escapes.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) unit of work.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is a raw report from an analyzer, pre-suppression.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a driver-level result: a diagnostic resolved to a file
+// position, with suppression state attached.
+type Finding struct {
+	Analyzer   string
+	Position   token.Position
+	Message    string
+	Suppressed bool
+	// Reason is the justification from the matching //trajlint:ignore
+	// when Suppressed.
+	Reason string
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+	if f.Suppressed {
+		s += " (suppressed: " + f.Reason + ")"
+	}
+	return s
+}
+
+// All returns the full trajlint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{FSDirect, GuardedBy, LockIO, WallTime, FsyncReuse}
+}
+
+// driverName attributes findings produced by the driver itself
+// (malformed or unused ignore directives) rather than an analyzer.
+const driverName = "trajlint"
+
+// Run executes the analyzers over the packages and resolves ignore
+// directives. Every diagnostic appears in the result; suppressed ones
+// are marked rather than dropped so tests can assert on both sets.
+// Driver findings (malformed //trajlint:ignore, ignores that
+// suppressed nothing although every analyzer they name was run) are
+// appended unsuppressed: an escape that cannot be parsed, or that no
+// longer masks anything, is itself rot.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{Analyzer: a.Name, Position: pos, Message: d.Message}
+				if ig := ignores.match(a.Name, pos); ig != nil {
+					ig.used = true
+					f.Suppressed = true
+					f.Reason = ig.reason
+				}
+				findings = append(findings, f)
+			}
+		}
+		findings = append(findings, ignores.problems(pkg.Fset, ran)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings
+}
+
+// Unsuppressed filters findings to the ones that should fail a build.
+func Unsuppressed(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ---- shared type helpers used by several analyzers ----
+
+// namedOf unwraps pointers and returns the named type of t, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// isMutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isPackageFunc reports whether obj is a package-level function (not
+// a method).
+func isPackageFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil
+}
+
+// pkgFunc resolves the called function object of call, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,117 @@
+// Package analysistest runs an analyzer over a testdata fixture
+// package and checks its findings against `// want "substr"` comments
+// in the fixture source — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the repo's
+// own loader so the suite stays dependency-free.
+//
+// A fixture line produces an expectation with a trailing comment:
+//
+//	os.Remove(path) // want "bypasses the fileSystem seam"
+//
+// Each unsuppressed finding must match a want on its line (substring
+// match), and every want must be matched by a finding. Driver
+// findings (malformed or unused //trajlint:ignore) participate, so
+// fixtures can also pin the escape-hatch hygiene rules.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"trajsim/internal/analysis"
+)
+
+type want struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+// Run loads the fixture package at pattern (a directory path like
+// ./testdata/src/fsdirect), runs the analyzer through the driver
+// (ignore directives and all), and diffs findings against wants.
+func Run(t *testing.T, a *analysis.Analyzer, pattern string) []analysis.Finding {
+	t.Helper()
+	return RunAll(t, []*analysis.Analyzer{a}, pattern)
+}
+
+// RunAll is Run with several analyzers over one fixture, for fixtures
+// that are positive cases for more than one invariant (the PR 9
+// rotation-bug shape trips both fsdirect and lockio).
+func RunAll(t *testing.T, analyzers []*analysis.Analyzer, pattern string) []analysis.Finding {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.LoadConfig{}, pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	findings := analysis.Run(pkgs, analyzers)
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, pkg, c)...)
+				}
+			}
+		}
+	}
+
+	for i := range findings {
+		f := &findings[i]
+		if f.Suppressed {
+			continue
+		}
+		ok := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+				continue
+			}
+			if strings.Contains(f.Message, w.substr) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matching %q", w.file, w.line, w.substr)
+		}
+	}
+	return findings
+}
+
+func parseWants(t *testing.T, pkg *analysis.Package, c *ast.Comment) []*want {
+	t.Helper()
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(strings.TrimPrefix(text, "/*"))
+	if !strings.HasPrefix(text, "want") {
+		return nil
+	}
+	m := wantRE.FindStringSubmatch(text)
+	if m == nil {
+		t.Errorf("%s: malformed want comment %q", pkg.Fset.Position(c.Pos()), c.Text)
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*want
+	for _, q := range regexp.MustCompile(`"(?:[^"\\]|\\.)*"`).FindAllString(m[1], -1) {
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			t.Errorf("%s: bad want string %s: %v", pos, q, err)
+			continue
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, substr: s})
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"trajsim/internal/analysis"
+	"trajsim/internal/analysis/analysistest"
+)
+
+// Each analyzer has a fixture package with positive (// want) and
+// negative (comment-free) cases, run through the real loader and
+// driver so ignore handling is exercised too.
+
+func TestFSDirect(t *testing.T) {
+	analysistest.Run(t, analysis.FSDirect, "./testdata/src/fsdirect")
+}
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, analysis.GuardedBy, "./testdata/src/guardedby")
+}
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, analysis.LockIO, "./testdata/src/lockio")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, analysis.WallTime, "./testdata/src/walltime")
+}
+
+func TestFsyncReuse(t *testing.T) {
+	analysistest.Run(t, analysis.FsyncReuse, "./testdata/src/fsyncreuse")
+}
+
+// TestRotateBugShape pins the PR 9 regression: the rotation that
+// bypassed the fs seam and did successor I/O under the store-wide
+// lock must be caught by fsdirect and lockio together.
+func TestRotateBugShape(t *testing.T) {
+	analysistest.RunAll(t,
+		[]*analysis.Analyzer{analysis.FSDirect, analysis.LockIO},
+		"./testdata/src/rotatebug")
+}

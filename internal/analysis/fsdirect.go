@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// FSDirect keeps every file operation in internal/segstore behind the
+// fs.go injection seam. A direct os.* call compiles and passes every
+// un-injected test, but silently escapes the PR 9 fault matrix: the
+// injected filesystem never sees the operation, so fault coverage
+// shrinks without any test failing. That is exactly how the PR 9
+// rotation bug survived until the matrix grew a new probe.
+var FSDirect = &Analyzer{
+	Name: "fsdirect",
+	Doc: "inside package segstore, direct os file operations are " +
+		"forbidden outside fs.go: all file I/O goes through the " +
+		"fileSystem seam so fault injection sees it",
+	Run: runFSDirect,
+}
+
+// osFileOps is the set of os package functions that touch the
+// filesystem. References count as much as calls: passing os.Remove as
+// a value escapes the seam just as thoroughly.
+var osFileOps = map[string]bool{
+	"Create": true, "CreateTemp": true, "NewFile": true, "Open": true,
+	"OpenFile": true, "OpenRoot": true, "ReadFile": true, "WriteFile": true,
+	"ReadDir": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Truncate": true,
+	"Chtimes": true, "Chmod": true, "Chown": true, "Lchown": true,
+	"Link": true, "Symlink": true, "Readlink": true,
+	"Stat": true, "Lstat": true, "Pipe": true,
+}
+
+func runFSDirect(pass *Pass) {
+	if pass.Pkg.Name() != "segstore" {
+		return
+	}
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Package).Filename)
+		if name == "fs.go" {
+			continue // the seam itself is where os lives
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+				return true
+			}
+			if !osFileOps[obj.Name()] || !isPackageFunc(obj) {
+				// os.File methods (Truncate, Stat, ...) share names
+				// with package functions; the seam rule is about the
+				// package-level entry points.
+				return true
+			}
+			pass.Reportf(id.Pos(), "direct os.%s bypasses the fileSystem seam (fs.go); use the injected filesystem so fault injection covers this call", obj.Name())
+			return true
+		})
+	}
+}

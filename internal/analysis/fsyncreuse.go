@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FsyncReuse mechanizes the fsyncgate rule from PR 9's quarantine
+// design: once a code path has observed a Sync() error on a file, the
+// kernel may already have dropped the dirty pages — the error was
+// reported once and will not be reported again. Writing or syncing
+// the same file value afterwards can succeed while the data is gone.
+// The only legal moves after a failed fsync are Close and reopening
+// via recovery (which is what poisonLocked/tryUnquarantine do).
+var FsyncReuse = &Analyzer{
+	Name: "fsyncreuse",
+	Doc: "after observing a Sync() error, the same file value must " +
+		"not be written or synced again; close it and re-open through " +
+		"recovery",
+	Run: runFsyncReuse,
+}
+
+// fsyncForbidden are the operations that would reuse a file value
+// whose sync already failed. Close (and Name/Fd-style reads) stay
+// legal: shedding the fd is the recovery path.
+var fsyncForbidden = map[string]bool{
+	"Write": true, "WriteAt": true, "WriteString": true,
+	"ReadFrom": true, "Sync": true, "Truncate": true,
+}
+
+func runFsyncReuse(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				checkFsyncBlock(pass, b.List)
+			}
+			return true
+		})
+	}
+}
+
+func checkFsyncBlock(pass *Pass, list []ast.Stmt) {
+	for i, s := range list {
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			recv, inverted := syncErrIf(pass, s)
+			if recv == "" {
+				continue
+			}
+			if !inverted {
+				// if err := x.Sync(); err != nil { error path }
+				reportFsyncMisuse(pass, s.Body.List, recv)
+				if !blockTerminates(pass, s.Body.List) {
+					reportFsyncRest(pass, list[i+1:], recv)
+				}
+			} else {
+				// if err := x.Sync(); err == nil { success } — the
+				// error path is the else branch and the fallthrough.
+				if s.Else != nil {
+					if eb, ok := s.Else.(*ast.BlockStmt); ok {
+						reportFsyncMisuse(pass, eb.List, recv)
+					}
+				}
+				reportFsyncRest(pass, list[i+1:], recv)
+			}
+		case *ast.AssignStmt:
+			// err = x.Sync() followed by a later if err != nil.
+			recv, errName := syncErrAssign(pass, s)
+			if recv == "" {
+				continue
+			}
+			for _, later := range list[i+1:] {
+				if reassigns(later, errName) || reassigns(later, recv) {
+					break
+				}
+				ifs, ok := later.(*ast.IfStmt)
+				if !ok || ifs.Init != nil {
+					continue
+				}
+				op, name := errNilCond(ifs.Cond)
+				if name != errName {
+					continue
+				}
+				if op == token.NEQ {
+					reportFsyncMisuse(pass, ifs.Body.List, recv)
+				}
+				break
+			}
+		}
+	}
+}
+
+// syncErrIf matches `if err := x.Sync(); err <op> nil` and returns
+// the printed receiver x, with inverted=true for the == polarity.
+func syncErrIf(pass *Pass, s *ast.IfStmt) (recv string, inverted bool) {
+	as, ok := s.Init.(*ast.AssignStmt)
+	if !ok {
+		return "", false
+	}
+	r, errName := syncErrAssign(pass, as)
+	if r == "" {
+		return "", false
+	}
+	op, name := errNilCond(s.Cond)
+	if name != errName {
+		return "", false
+	}
+	switch op {
+	case token.NEQ:
+		return r, false
+	case token.EQL:
+		return r, true
+	}
+	return "", false
+}
+
+// syncErrAssign matches `err := x.Sync()` / `err = x.Sync()`.
+func syncErrAssign(pass *Pass, as *ast.AssignStmt) (recv, errName string) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", ""
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return "", ""
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" || len(call.Args) != 0 {
+		return "", ""
+	}
+	return types.ExprString(sel.X), id.Name
+}
+
+// errNilCond matches `name != nil` / `name == nil`.
+func errNilCond(cond ast.Expr) (token.Token, string) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return token.ILLEGAL, ""
+	}
+	id, ok := ast.Unparen(be.X).(*ast.Ident)
+	if !ok {
+		return token.ILLEGAL, ""
+	}
+	if nilID, ok := ast.Unparen(be.Y).(*ast.Ident); !ok || nilID.Name != "nil" {
+		return token.ILLEGAL, ""
+	}
+	return be.Op, id.Name
+}
+
+// reportFsyncMisuse flags forbidden same-receiver operations in stmts.
+func reportFsyncMisuse(pass *Pass, stmts []ast.Stmt, recv string) {
+	for _, s := range stmts {
+		if reassigns(s, recv) {
+			return
+		}
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !fsyncForbidden[sel.Sel.Name] {
+				return true
+			}
+			if types.ExprString(sel.X) != recv {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s after observing a Sync error on %s: a failed fsync must not be retried on the same file; close and re-open through recovery",
+				recv, sel.Sel.Name, recv)
+			return true
+		})
+	}
+}
+
+// reportFsyncRest scans the statements after a non-terminating error
+// branch, stopping once the receiver is reassigned.
+func reportFsyncRest(pass *Pass, stmts []ast.Stmt, recv string) {
+	for _, s := range stmts {
+		if reassigns(s, recv) {
+			return
+		}
+		reportFsyncMisuse(pass, []ast.Stmt{s}, recv)
+	}
+}
+
+// reassigns reports whether stmt assigns to the printed expression
+// name (the receiver being tracked, or the captured error variable).
+func reassigns(stmt ast.Stmt, name string) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if types.ExprString(ast.Unparen(lhs)) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// blockTerminates reports whether the list unconditionally exits the
+// enclosing function or loop (good enough for straight-line error
+// branches: return, branch, or panic as a top-level statement).
+func blockTerminates(pass *Pass, list []ast.Stmt) bool {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			if s.Tok != token.FALLTHROUGH {
+				return true
+			}
+		case *ast.ExprStmt:
+			if isPanicCall(pass, s.X) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GuardedBy enforces //trajlint:guardedby field annotations: an
+// annotated field may only be read or written while its guard mutex
+// is held on the local path. It also owns the annotation grammar
+// (malformed //trajlint: annotations are reported here) and checks
+// //trajlint:holds contracts at every call site.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated //trajlint:guardedby must be accessed " +
+		"with their guard held; //trajlint:holds call sites must hold " +
+		"the locks they promise",
+	Run: runGuardedBy,
+}
+
+func runGuardedBy(pass *Pass) {
+	fx := collectFacts(pass)
+	for _, d := range fx.problems {
+		pass.Reportf(d.Pos, "%s", d.Message)
+	}
+	w := &walker{pass: pass, fx: fx}
+	w.onAccess = func(sel *ast.SelectorExpr, field *types.Var, held *lockSet) {
+		checkGuardedAccess(pass, w, sel, field, held)
+	}
+	w.onCall = func(call *ast.CallExpr, held *lockSet) {
+		checkHoldsCallSite(pass, w, call, held)
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				w.walkFunc(fd)
+			}
+		}
+	}
+}
+
+func checkGuardedAccess(pass *Pass, w *walker, sel *ast.SelectorExpr, field *types.Var, held *lockSet) {
+	spec := w.fx.guarded[field]
+	// Constructor exemption: a freshly allocated value is not yet
+	// shared, so its fields need no lock.
+	if r := rootObj(pass.TypesInfo, sel.X); r != nil && w.localAlloc[r] {
+		return
+	}
+	if spec.sibling != "" {
+		// Same-struct guard: the lock must be held through the same
+		// base expression ("l.f" needs "l.mu"), which keeps distinct
+		// instances distinct.
+		guard := types.ExprString(sel.X) + "." + spec.sibling
+		if held.hasExpr(guard) {
+			return
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s, which is not held here",
+			types.ExprString(sel.X), field.Name(), guard)
+		return
+	}
+	// Type-qualified guard: one global lock instance guards the field
+	// wherever it lives, so object identity is the right match.
+	if held.hasObj(spec.guardObj) {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s.%s, which is not held here",
+		types.ExprString(sel.X), field.Name(), spec.typeName, spec.guardObj.Name())
+}
+
+// checkHoldsCallSite verifies that a call to a //trajlint:holds
+// function actually holds the promised locks, mapped through the call
+// arguments (receiver or positional parameter).
+func checkHoldsCallSite(pass *Pass, w *walker, call *ast.CallExpr, held *lockSet) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	specs := w.fx.holds[fn]
+	if len(specs) == 0 {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for _, spec := range specs {
+		arg := holdsArgExpr(pass, fn, sig, call, spec)
+		if arg == nil {
+			continue // method value / mismatched call shape: give up quietly
+		}
+		guard := types.ExprString(arg) + "." + spec.field
+		if held.hasExpr(guard) {
+			continue
+		}
+		// A freshly allocated argument is unshared; its lock contract
+		// is vacuous (constructors building a log before publishing).
+		if r := rootObj(pass.TypesInfo, arg); r != nil && w.localAlloc[r] {
+			continue
+		}
+		pass.Reportf(call.Pos(), "call to %s requires holding %s (declared //trajlint:holds %s.%s)",
+			fn.Name(), guard, spec.base, spec.field)
+	}
+}
+
+// holdsArgExpr maps a holdSpec base name to the concrete argument
+// expression at this call site.
+func holdsArgExpr(pass *Pass, fn *types.Func, sig *types.Signature, call *ast.CallExpr, spec holdSpec) ast.Expr {
+	if sig.Recv() != nil && sig.Recv().Name() == spec.base {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i).Name() == spec.base {
+			if i < len(call.Args) {
+				return call.Args[i]
+			}
+			return nil
+		}
+	}
+	return nil
+}

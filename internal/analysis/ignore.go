@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch. Grammar:
+//
+//	//trajlint:ignore <analyzer>[,<analyzer>...] <reason...>
+//
+// placed on the flagged line or the line directly above it. The
+// reason is mandatory: an unexplained suppression is a finding in its
+// own right, and an ignore that suppresses nothing (while every
+// analyzer it names was run) is reported as unused so stale escapes
+// cannot accumulate.
+
+type ignoreDirective struct {
+	analyzers []string
+	reason    string
+	file      string
+	line      int
+	pos       token.Pos
+	bad       string // non-empty: malformed, with explanation
+	used      bool
+}
+
+type ignoreSet struct {
+	// byFile maps filename -> line -> directives ending on that line.
+	byFile map[string]map[int][]*ignoreDirective
+	all    []*ignoreDirective
+}
+
+const ignorePrefix = "//trajlint:ignore"
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	s := &ignoreSet{byFile: map[string]map[int][]*ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &ignoreDirective{file: pos.Filename, line: pos.Line, pos: c.Pos()}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //trajlint:ignorexyz — not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.bad = "missing analyzer list and reason"
+				case len(fields) == 1:
+					d.bad = "missing reason: every suppression must say why"
+				default:
+					d.analyzers = strings.Split(fields[0], ",")
+					d.reason = strings.Join(fields[1:], " ")
+					for _, name := range d.analyzers {
+						if !knownAnalyzer(name) {
+							d.bad = "unknown analyzer " + name
+						}
+					}
+				}
+				m := s.byFile[pos.Filename]
+				if m == nil {
+					m = map[int][]*ignoreDirective{}
+					s.byFile[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], d)
+				s.all = append(s.all, d)
+			}
+		}
+	}
+	return s
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// match finds a well-formed directive covering analyzer at pos: same
+// file, same line or the line directly above.
+func (s *ignoreSet) match(analyzer string, pos token.Position) *ignoreDirective {
+	m := s.byFile[pos.Filename]
+	if m == nil {
+		return nil
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range m[line] {
+			if d.bad != "" {
+				continue
+			}
+			for _, a := range d.analyzers {
+				if a == analyzer {
+					return d
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// problems returns driver findings: malformed directives always, and
+// unused directives whenever every analyzer they name was in the run
+// (so a single-analyzer test pass cannot false-positive on an ignore
+// aimed at a different analyzer).
+func (s *ignoreSet) problems(fset *token.FileSet, ran map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range s.all {
+		switch {
+		case d.bad != "":
+			out = append(out, Finding{
+				Analyzer: driverName,
+				Position: fset.Position(d.pos),
+				Message:  "malformed trajlint:ignore: " + d.bad,
+			})
+		case !d.used:
+			allRan := true
+			for _, a := range d.analyzers {
+				if !ran[a] {
+					allRan = false
+					break
+				}
+			}
+			if allRan {
+				out = append(out, Finding{
+					Analyzer: driverName,
+					Position: fset.Position(d.pos),
+					Message:  "unused trajlint:ignore: no " + strings.Join(d.analyzers, ",") + " finding here to suppress",
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+// Package analysis is trajlint's engine: a small, dependency-free
+// reimplementation of the go/analysis pattern (Analyzer, Pass,
+// Diagnostic) plus a package loader, built only on the standard
+// library's go/ast, go/types and go/importer.
+//
+// Why not golang.org/x/tools/go/analysis: this repo vendors nothing
+// and adds no module requirements, so the analyzers are written
+// against a mini framework with the same shape. The trade-off is
+// deliberate: the five analyzers here (fsdirect, guardedby, lockio,
+// walltime, fsyncreuse) are intraprocedural and syntax+types driven,
+// which the standard library covers completely.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked root package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // parsed with comments, same order as GoFiles
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// LoadConfig controls Load.
+type LoadConfig struct {
+	// Dir is where `go list` runs; empty means the current directory.
+	// It must be inside the module.
+	Dir string
+	// Overlay maps absolute file paths to replacement contents used at
+	// parse time. Type-checking sees the overlay too, so overlays must
+	// keep the package compiling. The mutation tests use this to
+	// strip one //trajlint: directive at a time from real sources.
+	Overlay map[string][]byte
+}
+
+// pkgJSON is the subset of `go list -json` output the loader needs.
+type pkgJSON struct {
+	ImportPath, Name, Dir, Export string
+	Standard, DepOnly             bool
+	GoFiles                       []string
+}
+
+type listing struct {
+	exports map[string]string // import path -> export data file
+	roots   []pkgJSON
+}
+
+// listCache memoizes `go list` runs per (dir, patterns) for the life
+// of the process. The listing is overlay-independent (overlays only
+// change comments/bodies we re-parse ourselves), so mutation tests
+// that call Load dozens of times pay for one subprocess.
+var (
+	listMu    sync.Mutex
+	listCache = map[string]*listing{}
+)
+
+func runList(dir string, patterns []string) (*listing, error) {
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	listMu.Lock()
+	defer listMu.Unlock()
+	if l, ok := listCache[key]; ok {
+		return l, nil
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Standard,Export,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	l := &listing{exports: map[string]string{}}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p pkgJSON
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			l.roots = append(l.roots, p)
+		}
+	}
+	sort.Slice(l.roots, func(i, j int) bool { return l.roots[i].ImportPath < l.roots[j].ImportPath })
+	listCache[key] = l
+	return l, nil
+}
+
+// Load resolves patterns with `go list`, parses every root package
+// with comments, and type-checks it from source against compiled
+// export data for its dependencies. Test files are not loaded:
+// trajlint checks production invariants, and tests legitimately use
+// wall clocks, direct os calls and lock-free scaffolding.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	l, err := runList(cfg.Dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	var pkgs []*Package
+	for _, p := range l.roots {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			full := filepath.Join(p.Dir, name)
+			var src any
+			if ov, ok := cfg.Overlay[full]; ok {
+				src = ov
+			}
+			f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", full, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: p.ImportPath,
+			Name:       p.Name,
+			Dir:        p.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			TypesInfo:  info,
+		})
+	}
+	return pkgs, nil
+}

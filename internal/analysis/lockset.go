@@ -1,0 +1,506 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The lockset walker: a branch-aware, intraprocedural abstract
+// interpretation of which mutexes are held at each point in a
+// function body. guardedby and lockio both drive it with callbacks.
+//
+// Semantics, and the deliberate approximations:
+//
+//   - x.Lock / x.RLock / x.TryLock / x.TryRLock add x; x.Unlock /
+//     x.RUnlock remove it. Locks are identified by the printed source
+//     expression ("l.mu"), plus the resolved field object when it can
+//     be determined (used for type-qualified guards and the
+//     serializes-io exemption).
+//   - `defer x.Unlock()` keeps x held to the end of the function: the
+//     walker simply does not remove it.
+//   - //trajlint:holds seeds the set; assignments from a
+//     //trajlint:returns-locked call add `<lhs>.<mu>`.
+//   - if/else: a branch that terminates (return, panic, break,
+//     continue, goto) discards its lock effects; when both arms fall
+//     through, the sets are intersected. A TryLock in the condition
+//     joins the ambient set, which is exact for the two idioms the
+//     repo uses (`if !mu.TryLock() { mu.Lock() }` and
+//     `if !mu.TryLock() { continue }`) and conservative-quiet
+//     otherwise.
+//   - for/range/switch/select bodies run on a copy and their effects
+//     are discarded afterwards: a lock acquired and released inside a
+//     loop body is checked inside that body only.
+//   - a func literal is walked with a copy of the current set (it
+//     usually runs on the spot or under the same critical section); a
+//     `go func(){...}` body starts empty — a new goroutine holds
+//     nothing.
+//   - values allocated locally (&T{}, T{}, new(T)) are exempt from
+//     guard checks: no other goroutine can see them yet. This is the
+//     constructor exemption.
+//
+// The walker is intraprocedural on purpose: cross-function lock flow
+// is expressed with annotations (holds / returns-locked) rather than
+// inferred, so a reader sees the same contract the tool checks.
+
+type heldLock struct {
+	expr string     // printed acquisition expression, e.g. "l.mu"
+	obj  *types.Var // resolved mutex field, when known
+}
+
+type lockSet struct {
+	locks []heldLock
+}
+
+func (s *lockSet) clone() *lockSet {
+	c := &lockSet{locks: make([]heldLock, len(s.locks))}
+	copy(c.locks, s.locks)
+	return c
+}
+
+func (s *lockSet) add(expr string, obj *types.Var) {
+	if s.hasExpr(expr) {
+		return
+	}
+	s.locks = append(s.locks, heldLock{expr: expr, obj: obj})
+}
+
+func (s *lockSet) remove(expr string) {
+	for i, h := range s.locks {
+		if h.expr == expr {
+			s.locks = append(s.locks[:i], s.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *lockSet) hasExpr(expr string) bool {
+	for _, h := range s.locks {
+		if h.expr == expr {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lockSet) hasObj(obj *types.Var) bool {
+	for _, h := range s.locks {
+		if h.obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lockSet) empty() bool { return len(s.locks) == 0 }
+
+// setTo replaces s's contents with o's.
+func (s *lockSet) setTo(o *lockSet) { s.locks = append(s.locks[:0], o.locks...) }
+
+// intersect keeps only locks present in both s and o.
+func (s *lockSet) intersect(o *lockSet) {
+	kept := s.locks[:0]
+	for _, h := range s.locks {
+		if o.hasExpr(h.expr) {
+			kept = append(kept, h)
+		}
+	}
+	s.locks = kept
+}
+
+type walker struct {
+	pass *Pass
+	fx   *facts
+	// localAlloc holds objects assigned from a fresh allocation
+	// anywhere in the current function (flow-insensitive).
+	localAlloc map[types.Object]bool
+
+	// onAccess fires for every selection of a guardedby-annotated
+	// field. onCall fires for every call that is not a lock
+	// operation, after argument effects.
+	onAccess func(sel *ast.SelectorExpr, field *types.Var, held *lockSet)
+	onCall   func(call *ast.CallExpr, held *lockSet)
+}
+
+func (w *walker) walkFunc(fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	w.localAlloc = collectLocalAllocs(w.pass, fd.Body)
+	held := &lockSet{}
+	if fn, ok := w.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		for _, h := range w.fx.holds[fn] {
+			held.add(h.base+"."+h.field, h.obj)
+		}
+	}
+	w.stmts(fd.Body.List, held)
+}
+
+// collectLocalAllocs finds objects bound to freshly allocated values.
+func collectLocalAllocs(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	fresh := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+				return ok
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || !fresh(as.Rhs[i]) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// stmts walks a statement list, mutating held in place. It reports
+// whether the list unconditionally leaves the enclosing block.
+func (w *walker) stmts(list []ast.Stmt, held *lockSet) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) stmt(s ast.Stmt, held *lockSet) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+		return isPanicCall(w.pass, s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+		w.applyReturnsLocked(s, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok != token.FALLTHROUGH
+	case *ast.DeferStmt:
+		w.deferStmt(s, held)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			// A new goroutine starts holding nothing.
+			w.stmts(fl.Body.List, &lockSet{})
+		} else {
+			w.expr(s.Call.Fun, held)
+		}
+	case *ast.IfStmt:
+		return w.ifStmt(s, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		body := held.clone()
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		w.caseClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		w.caseClauses(s.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := held.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, branch)
+			}
+			w.stmts(cc.Body, branch)
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	}
+	return false
+}
+
+func (w *walker) caseClauses(body *ast.BlockStmt, held *lockSet) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		branch := held.clone()
+		for _, e := range cc.List {
+			w.expr(e, branch)
+		}
+		w.stmts(cc.Body, branch)
+	}
+}
+
+func (w *walker) ifStmt(s *ast.IfStmt, held *lockSet) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, held)
+	}
+	w.expr(s.Cond, held) // a TryLock in the condition joins held
+	thenSet := held.clone()
+	thenTerm := w.stmts(s.Body.List, thenSet)
+	elseSet := held.clone()
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = w.stmt(s.Else, elseSet)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return true
+	case thenTerm:
+		held.setTo(elseSet)
+	case elseTerm:
+		held.setTo(thenSet)
+	default:
+		thenSet.intersect(elseSet)
+		held.setTo(thenSet)
+	}
+	return false
+}
+
+func (w *walker) deferStmt(s *ast.DeferStmt, held *lockSet) {
+	if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Unlock", "RUnlock":
+			if isMutexType(w.pass.TypesInfo.TypeOf(sel.X)) {
+				// Deferred release: the lock stays held to the end of
+				// the function, so leave the set untouched.
+				return
+			}
+		}
+	}
+	for _, a := range s.Call.Args {
+		w.expr(a, held)
+	}
+	if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		w.stmts(fl.Body.List, held.clone())
+		return
+	}
+	w.callAndFun(s.Call, held)
+}
+
+// applyReturnsLocked handles `l, err := s.lockLog(dev)`.
+func (w *walker) applyReturnsLocked(as *ast.AssignStmt, held *lockSet) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	spec, ok := w.fx.returnsLocked[fn]
+	if !ok || len(as.Lhs) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	held.add(id.Name+"."+spec.field, spec.obj)
+}
+
+// expr walks an expression, applying lock operations and firing the
+// access/call callbacks in evaluation order (approximately).
+func (w *walker) expr(e ast.Expr, held *lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, held.clone())
+			return false
+		case *ast.CallExpr:
+			if w.lockOp(n, held) {
+				return false
+			}
+			for _, a := range n.Args {
+				w.expr(a, held)
+			}
+			w.callAndFun(n, held)
+			return false
+		case *ast.SelectorExpr:
+			w.access(n, held)
+			return true
+		}
+		return true
+	})
+}
+
+// callAndFun fires onCall and walks the callee expression for guarded
+// field accesses (e.g. the receiver chain).
+func (w *walker) callAndFun(call *ast.CallExpr, held *lockSet) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.access(sel, held)
+		w.expr(sel.X, held)
+	}
+	if w.onCall != nil {
+		w.onCall(call, held)
+	}
+}
+
+// lockOp recognizes and applies mutex operations, reporting whether
+// call was one.
+func (w *walker) lockOp(call *ast.CallExpr, held *lockSet) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	if !isMutexType(w.pass.TypesInfo.TypeOf(sel.X)) {
+		return false
+	}
+	expr := types.ExprString(sel.X)
+	switch name {
+	case "Unlock", "RUnlock":
+		held.remove(expr)
+	default:
+		held.add(expr, selectedField(w.pass.TypesInfo, sel.X))
+	}
+	return true
+}
+
+// selectedField resolves e to a struct-field object when e is a field
+// selection (possibly chained), e.g. `l.mu` or `s.handles.mu`.
+func selectedField(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			f, _ := s.Obj().(*types.Var)
+			return f
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// access fires onAccess for selections of guarded fields.
+func (w *walker) access(sel *ast.SelectorExpr, held *lockSet) {
+	if w.onAccess == nil {
+		return
+	}
+	s, ok := w.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	f, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	if _, guarded := w.fx.guarded[f]; !guarded {
+		return
+	}
+	w.onAccess(sel, f, held)
+}
+
+// rootObj returns the object of the leftmost identifier of e.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isPanicCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

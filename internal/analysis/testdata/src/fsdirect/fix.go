@@ -1,0 +1,54 @@
+// Fixture for the fsdirect analyzer: direct os file operations in a
+// package named segstore are flagged everywhere except fs.go.
+package segstore
+
+import "os"
+
+// fs mirrors the real injection seam shape: calls through an
+// interface value are invisible to fsdirect (lockio owns those).
+type fs interface {
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+}
+
+type store struct {
+	fs fs
+}
+
+func bad(path string) error {
+	if err := os.Remove(path); err != nil { // want "direct os.Remove bypasses the fileSystem seam"
+		return err
+	}
+	f, err := os.Create(path) // want "direct os.Create bypasses the fileSystem seam"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// badValue passes an os function as a value — just as much of an
+// escape as calling it.
+func badValue() func(string) error {
+	return os.Remove // want "direct os.Remove bypasses the fileSystem seam"
+}
+
+func good(s *store, path string) error {
+	return s.fs.Remove(path)
+}
+
+// goodNonFile uses os identifiers that do not touch the filesystem.
+func goodNonFile() string {
+	return os.Getenv("HOME")
+}
+
+// goodFileMethod: os.File methods share names with package functions
+// (Truncate, Stat) but already sit behind a file value the seam
+// produced; only the package-level entry points escape it.
+func goodFileMethod(f *os.File) error {
+	return f.Truncate(0)
+}
+
+func suppressed(path string) error {
+	//trajlint:ignore fsdirect fixture: proves the escape hatch suppresses fsdirect here
+	return os.Remove(path)
+}

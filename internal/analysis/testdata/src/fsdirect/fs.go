@@ -1,0 +1,10 @@
+package segstore
+
+import "os"
+
+// fs.go is the seam file: direct os operations are allowed here, and
+// only here, so the production filesystem lives in one place.
+type osFS struct{}
+
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }

@@ -1,0 +1,106 @@
+// Fixture for the fsyncreuse analyzer: after observing a Sync error,
+// the same file value must not be written or synced again.
+package fsyncreuse
+
+type file interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// badRetrySync is the classic fsyncgate shape: the second fsync can
+// return nil while the dirty pages are already gone.
+func badRetrySync(f file) error {
+	if err := f.Sync(); err != nil {
+		return f.Sync() // want "f.Sync after observing a Sync error on f"
+	}
+	return nil
+}
+
+func badWriteAfterSyncError(f file, p []byte) error {
+	if err := f.Sync(); err != nil {
+		_, werr := f.Write(p) // want "f.Write after observing a Sync error on f"
+		return werr
+	}
+	return nil
+}
+
+// badFallthrough: the error branch does not terminate, so the write
+// after the if still runs on the failed-sync path.
+func badFallthrough(f file, p []byte) error {
+	if err := f.Sync(); err != nil {
+		logErr(err)
+	}
+	_, err := f.Write(p) // want "f.Write after observing a Sync error on f"
+	return err
+}
+
+// badInvertedPolarity is the handle-eviction shape gone wrong: after
+// `if err == nil { ... }` the fallthrough path may hold the error,
+// and truncating there reuses the file.
+func badInvertedPolarity(f file) error {
+	var err error
+	if err = f.Sync(); err == nil {
+		return nil
+	}
+	return f.Truncate(0) // want "f.Truncate after observing a Sync error on f"
+}
+
+// badAssignThenCheck: the observation can be split across statements.
+func badAssignThenCheck(f file) error {
+	err := f.Sync()
+	if err != nil {
+		return f.Sync() // want "f.Sync after observing a Sync error on f"
+	}
+	return nil
+}
+
+// goodCloseAndReturn is the sanctioned recovery: shed the fd.
+func goodCloseAndReturn(f file) error {
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return nil
+}
+
+// goodTerminatingErrorBranch: the error path returns, so the write
+// below only runs on the success path.
+func goodTerminatingErrorBranch(f file, p []byte) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	_, err := f.Write(p)
+	return err
+}
+
+// goodReopen: reassigning the file value starts a fresh fd; the rule
+// tracks the value, not the variable name forever.
+func goodReopen(f file, open func() file, p []byte) error {
+	if err := f.Sync(); err != nil {
+		logErr(err)
+	}
+	f = open()
+	_, err := f.Write(p)
+	return err
+}
+
+// goodDifferentFile: the error on one file says nothing about
+// another.
+func goodDifferentFile(a, b file) error {
+	if err := a.Sync(); err != nil {
+		return b.Sync()
+	}
+	return nil
+}
+
+func suppressedRetry(f file) error {
+	if err := f.Sync(); err != nil {
+		//trajlint:ignore fsyncreuse fixture: deliberate double-sync to prove the escape hatch
+		return f.Sync()
+	}
+	return nil
+}
+
+func logErr(error) {}

@@ -1,0 +1,38 @@
+package guardedby
+
+import "sync"
+
+// Malformed annotations are findings themselves: a contract that
+// cannot be parsed protects nothing. The /* want */ block comments
+// sit on the directive lines because the diagnostic lands on the
+// directive itself.
+
+type badAnnotated struct {
+	mu sync.Mutex
+	a  int /* want "needs a guard" */                   //trajlint:guardedby
+	b  int /* want "no sibling mutex field nosuch" */   //trajlint:guardedby nosuch
+	c  int /* want "no type Missing in this package" */ //trajlint:guardedby Missing.mu
+	d  int /* want "must annotate a mutex field" */     //trajlint:serializes-io
+}
+
+/* want "q is not a receiver or parameter" */ //trajlint:holds q.mu
+func badHoldsBase(c *counter) {
+	_ = c
+}
+
+/* want "returns-locked on a function with no results" */ //trajlint:returns-locked mu
+func badReturnsLockedNone() {
+}
+
+func unusedIgnore(c *counter) int {
+	c.mu.Lock()
+	/* want "unused trajlint:ignore" */ //trajlint:ignore guardedby this access is locked, so the ignore is dead
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func malformedIgnore(c *counter) int {
+	/* want "malformed trajlint:ignore" */ //trajlint:ignore guardedby
+	return c.n                             // want "c.n is guarded by c.mu"
+}

@@ -1,0 +1,158 @@
+// Fixture for the guardedby analyzer: //trajlint:guardedby fields,
+// //trajlint:holds contracts and the //trajlint:returns-locked lock
+// transfer, across the locking idioms the real tree uses.
+package guardedby
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	// ll is a shared structure guarded by the registry's own lock.
+	ll []int //trajlint:guardedby mu
+}
+
+type counter struct {
+	mu   sync.RWMutex
+	n    int            //trajlint:guardedby mu
+	elem *int           //trajlint:guardedby registry.mu
+	seen map[string]int //trajlint:guardedby mu
+}
+
+func goodPlain(c *counter) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func goodDefer(c *counter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func badPlain(c *counter) int {
+	return c.n // want "c.n is guarded by c.mu, which is not held here"
+}
+
+func badAfterUnlock(c *counter) int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want "c.n is guarded by c.mu, which is not held here"
+}
+
+// goodTryLock is the contended-shard idiom from stream.ingest.
+func goodTryLock(c *counter) {
+	if !c.mu.TryLock() {
+		c.mu.Lock()
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// goodTryLockSkip is the metadata-eviction idiom: only touch the
+// victim when its lock was won.
+func goodTryLockSkip(c *counter) {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+func badTryLockLeak(c *counter) {
+	if c.mu.TryLock() {
+		c.mu.Unlock()
+	}
+	c.n++ // want "c.n is guarded by c.mu, which is not held here"
+}
+
+// goodBranchMerge: both arms hold the lock, so the merge does too.
+func goodBranchMerge(c *counter, heavy bool) {
+	if heavy {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// goodExternalGuard: elem is guarded by another struct's lock,
+// matched by lock identity rather than expression text.
+func goodExternalGuard(r *registry, c *counter) {
+	r.mu.Lock()
+	c.elem = nil
+	r.mu.Unlock()
+}
+
+func badExternalGuard(c *counter) {
+	c.mu.Lock()  // the wrong lock for elem
+	c.elem = nil // want "c.elem is guarded by registry.mu, which is not held here"
+	c.mu.Unlock()
+}
+
+// goodConstructor: freshly allocated values are unshared.
+func goodConstructor() *counter {
+	c := &counter{}
+	c.n = 1
+	c.seen = map[string]int{}
+	return c
+}
+
+// wrongInstance: holding one counter's lock says nothing about
+// another's.
+func wrongInstance(a, b *counter) {
+	a.mu.Lock()
+	b.n++ // want "b.n is guarded by b.mu, which is not held here"
+	a.mu.Unlock()
+}
+
+// bumpLocked is the caller-holds contract made checkable.
+//
+//trajlint:holds c.mu
+func bumpLocked(c *counter) {
+	c.n++
+}
+
+func goodHoldsCall(c *counter) {
+	c.mu.Lock()
+	bumpLocked(c)
+	c.mu.Unlock()
+}
+
+func badHoldsCall(c *counter) {
+	bumpLocked(c) // want "call to bumpLocked requires holding c.mu"
+}
+
+type box struct {
+	mu sync.Mutex
+	v  int //trajlint:guardedby mu
+}
+
+// lockBox hands its result back with the lock held, like segstore's
+// lockLog.
+//
+//trajlint:returns-locked mu
+func lockBox(b *box) *box {
+	b.mu.Lock()
+	return b
+}
+
+func goodReturnsLocked(in *box) int {
+	b := lockBox(in)
+	v := b.v
+	b.mu.Unlock()
+	return v
+}
+
+func badWithoutReturnsLocked(b *box) int {
+	return b.v // want "b.v is guarded by b.mu, which is not held here"
+}
+
+// suppressedAccess proves the escape hatch: a deliberate unlocked
+// read with a written reason is not a finding.
+func suppressedAccess(c *counter) int {
+	//trajlint:ignore guardedby fixture: racy stats read is deliberate here
+	return c.n
+}

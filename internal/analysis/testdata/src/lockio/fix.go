@@ -1,0 +1,89 @@
+// Fixture for the lockio analyzer: no file/sink I/O while holding a
+// mutex acquired in the enclosing function, except under a lock
+// annotated //trajlint:serializes-io. Package is named segstore so
+// the local file/fileSystem interfaces match the analyzer's I/O
+// method sets exactly as the real seam does.
+package segstore
+
+import "sync"
+
+type file interface {
+	Write(p []byte) (int, error)
+	ReadAt(p []byte, off int64) (int, error)
+	Sync() error
+	Close() error
+}
+
+type fileSystem interface {
+	Open(name string) (file, error)
+	Remove(name string) error
+}
+
+type store struct {
+	mu sync.Mutex // store-wide: never legal to hold across I/O
+	fs fileSystem
+	f  file
+	n  int
+}
+
+type devLog struct {
+	//trajlint:serializes-io
+	mu sync.Mutex // per-device: the designed write serialization point
+	f  file
+}
+
+func badWriteUnderStoreLock(s *store, p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.Write(p) // want "I/O call s.f.Write while holding s.mu"
+	return err
+}
+
+func badFSUnderStoreLock(s *store, name string) error {
+	s.mu.Lock()
+	err := s.fs.Remove(name) // want "I/O call s.fs.Remove while holding s.mu"
+	s.mu.Unlock()
+	return err
+}
+
+// goodSnapshotThenRead is the PR 8 read-path shape: capture state
+// under the lock, drop it, then do the I/O.
+func goodSnapshotThenRead(s *store, p []byte) (int, error) {
+	s.mu.Lock()
+	f := s.f
+	s.mu.Unlock()
+	return f.ReadAt(p, 0)
+}
+
+// goodSerializedWrite is the segstore append shape: the per-device
+// log lock is the write path's serialization point by design.
+func goodSerializedWrite(l *devLog, p []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.f.Write(p)
+	return err
+}
+
+// badMixedLocks: the exempt per-log lock does not excuse the
+// store-wide lock also being held.
+func badMixedLocks(s *store, l *devLog, p []byte) error {
+	s.mu.Lock()
+	l.mu.Lock()
+	_, err := l.f.Write(p) // want "I/O call l.f.Write while holding s.mu"
+	l.mu.Unlock()
+	s.mu.Unlock()
+	return err
+}
+
+// goodCalleeOnlyLock: a lock acquired by the caller is the caller's
+// problem (and the holds annotation's job); lockio is per-function.
+func goodCalleeOnlyLock(s *store, p []byte) (int, error) {
+	return s.f.Write(p)
+}
+
+func suppressedShutdownSync(s *store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//trajlint:ignore lockio fixture: shutdown-style sync under the store lock, deliberate
+	return s.f.Sync()
+}

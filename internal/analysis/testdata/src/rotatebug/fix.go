@@ -1,0 +1,54 @@
+// Fixture reproducing the PR 9 rotation-bug shape: a segment
+// rotation that (a) renames the sealed file with a direct os call —
+// invisible to the injected filesystem, so the fault matrix never
+// tested that rename failing — and (b) creates and syncs the
+// successor while still holding the store-wide lock, stalling every
+// other device on one slow disk. fsdirect catches the seam escape,
+// lockio catches the I/O under the store lock; between them the
+// original bug could not have been merged.
+package segstore
+
+import (
+	"os"
+	"sync"
+)
+
+type file interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type fileSystem interface {
+	Create(name string) (file, error)
+}
+
+type store struct {
+	mu   sync.Mutex
+	fs   fileSystem
+	f    file
+	seal string
+	next string
+}
+
+func rotate(s *store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil { // want "I/O call s.f.Sync while holding s.mu"
+		return err
+	}
+	if err := s.f.Close(); err != nil { // want "I/O call s.f.Close while holding s.mu"
+		return err
+	}
+	// The bug: the rename bypassed the seam entirely, so injected
+	// rename faults never reached it.
+	if err := os.Rename(s.next, s.seal); err != nil { // want "direct os.Rename bypasses the fileSystem seam"
+		return err
+	}
+	f, err := s.fs.Create(s.next) // want "I/O call s.fs.Create while holding s.mu"
+	if err != nil {
+		return err
+	}
+	s.f = f
+	return nil
+}

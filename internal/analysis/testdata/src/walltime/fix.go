@@ -1,0 +1,57 @@
+// Fixture for the walltime analyzer: ambient wall-clock reads are
+// forbidden in the clock-injected packages. Package is named stream
+// so the scope check engages.
+package stream
+
+import "time"
+
+type engine struct {
+	now  func() time.Time
+	idle time.Duration
+}
+
+func badNow(e *engine) time.Time {
+	return time.Now() // want "time.Now reads the wall clock in a clock-injected package"
+}
+
+func badSince(e *engine, t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock in a clock-injected package"
+}
+
+func badTimer(e *engine) {
+	<-time.After(e.idle) // want "time.After reads the wall clock in a clock-injected package"
+}
+
+func badTicker(e *engine) *time.Ticker {
+	return time.NewTicker(e.idle) // want "time.NewTicker reads the wall clock in a clock-injected package"
+}
+
+// badSeamValue is the seam-assignment shape without its suppression:
+// referencing time.Now as a value counts.
+func badSeamValue(e *engine) {
+	e.now = time.Now // want "time.Now reads the wall clock in a clock-injected package"
+}
+
+// goodInjected reads time only through the injected clock.
+func goodInjected(e *engine, t0 time.Time) time.Duration {
+	return e.now().Sub(t0)
+}
+
+// goodTypes: time types, constants and arithmetic are fine —
+// only ambient clock reads are banned.
+func goodTypes(d time.Duration) time.Duration {
+	return d + 250*time.Millisecond
+}
+
+// goodMethods: Time.After/Sub share names with banned package
+// functions but read no ambient state.
+func goodMethods(a, b time.Time) bool {
+	return a.After(b) || a.Sub(b) > 0
+}
+
+// suppressedSeam is the one legal wall-clock read: the production
+// default for the injected clock, marked as the seam.
+func suppressedSeam(e *engine) {
+	//trajlint:ignore walltime fixture: the production clock seam itself
+	e.now = time.Now
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallTime keeps the clock-injected packages deterministic: inside
+// internal/segstore and internal/stream, the wall clock may only be
+// read through the injected clock seam (segstore's defaultNow
+// variable, stream's Engine.now field). A stray time.Now compiles
+// fine and works in production, but quietly makes retention,
+// quarantine backoff, idle eviction and rate-limit tests
+// time-dependent again — the exact flakiness PR 6 and PR 9 paid to
+// remove. The two seam assignments themselves carry the
+// //trajlint:ignore that marks them as the single allowed use.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "time.Now/Since/argless timers are forbidden in the " +
+		"clock-injected packages (segstore, stream) outside the " +
+		"annotated clock seam",
+	Run: runWallTime,
+}
+
+// bannedTimeFuncs reads ambient wall-clock state or schedules on it.
+// time.NewTicker is included: production loops take their period from
+// config and their cadence belongs behind the seam too, so the two
+// maintenance tickers are explicit, justified suppressions.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"AfterFunc": true, "NewTimer": true, "NewTicker": true,
+}
+
+func runWallTime(pass *Pass) {
+	switch pass.Pkg.Name() {
+	case "segstore", "stream":
+	default:
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if !bannedTimeFuncs[obj.Name()] || !isPackageFunc(obj) {
+				// Methods like Time.After share names with the banned
+				// package functions; only the package-level functions
+				// read ambient state.
+				return true
+			}
+			pass.Reportf(id.Pos(), "time.%s reads the wall clock in a clock-injected package; use the injected clock seam so tests stay deterministic", obj.Name())
+			return true
+		})
+	}
+}
