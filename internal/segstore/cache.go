@@ -88,11 +88,11 @@ type granuleCache struct {
 	budget int64
 
 	mu       sync.Mutex
-	ll       list.List // *granule, most recently used at the front
-	byKey    map[granuleKey]*granule
-	byFile   map[fileKey]map[granuleKey]*granule
-	inflight map[granuleKey]*inflightGranule
-	bytes    int64
+	ll       list.List                           //trajlint:guardedby mu -- *granule, most recently used at the front
+	byKey    map[granuleKey]*granule             //trajlint:guardedby mu
+	byFile   map[fileKey]map[granuleKey]*granule //trajlint:guardedby mu
+	inflight map[granuleKey]*inflightGranule     //trajlint:guardedby mu
+	bytes    int64                               //trajlint:guardedby mu
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -165,6 +165,8 @@ func (c *granuleCache) load(key granuleKey, fetch func() ([]traj.Segment, error)
 // insertLocked adds one fetched granule and evicts the coldest entries
 // while the budget is exceeded. A span too large to ever fit is not
 // cached at all. Caller holds c.mu.
+//
+//trajlint:holds c.mu
 func (c *granuleCache) insertLocked(key granuleKey, segs []traj.Segment) {
 	if c.byKey[key] != nil {
 		return // a racing invalidate+reload beat us; keep the resident one
@@ -195,6 +197,8 @@ func (c *granuleCache) insertLocked(key granuleKey, segs []traj.Segment) {
 
 // removeLocked unlinks one granule from every structure. Caller holds
 // c.mu.
+//
+//trajlint:holds c.mu
 func (c *granuleCache) removeLocked(g *granule) {
 	c.ll.Remove(g.elem)
 	delete(c.byKey, g.key)

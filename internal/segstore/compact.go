@@ -40,6 +40,8 @@ func (s *Store) retentionOn() bool {
 // It works on unopened logs too, listing the directory directly, so a
 // full sweep does not pay recovery cost for cold devices (record-range
 // truncation, which needs the index, only runs once a log is opened).
+//
+//trajlint:holds l.mu
 func (s *Store) compactLocked(l *deviceLog) error {
 	if !s.retentionOn() {
 		return nil
@@ -120,6 +122,8 @@ func (s *Store) compactLocked(l *deviceLog) error {
 // rename and rewritten after, so a crash at any point leaves either the
 // old intact file or the new one, each with a rebuildable (or already
 // consistent) index. Caller holds l.mu with l.opened.
+//
+//trajlint:holds l.mu
 func (s *Store) truncatePrefixLocked(l *deviceLog) error {
 	if s.cfg.MaxLogAge <= 0 || len(l.seqs) == 0 {
 		return nil

@@ -26,7 +26,7 @@ import (
 type handleLRU struct {
 	cap int
 	mu  sync.Mutex
-	ll  list.List // *deviceLog values, most recently used at the front
+	ll  list.List //trajlint:guardedby mu -- *deviceLog values, most recently used at the front
 }
 
 // open reports the current number of open handles.
@@ -126,6 +126,8 @@ func (s *Store) registerHandle(l *deviceLog) {
 
 // dropHandle closes l's open file (without syncing — callers decide) and
 // removes it from the LRU. Caller holds l.mu.
+//
+//trajlint:holds l.mu
 func (s *Store) dropHandle(l *deviceLog) error {
 	var err error
 	if l.f != nil {
@@ -145,6 +147,8 @@ func (s *Store) dropHandle(l *deviceLog) error {
 // the tracked offset if the LRU evicted it earlier. Caller holds l.mu
 // with l.opened; a log with no files yet stays handle-less (the first
 // write creates file 1 and registers it).
+//
+//trajlint:holds l.mu
 func (l *deviceLog) handle(s *Store) error {
 	if l.f != nil {
 		s.touchHandle(l)

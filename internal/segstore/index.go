@@ -166,6 +166,8 @@ func decodeIndexFile(b []byte) (dataLen int64, entries []indexEntry, err error) 
 // addTail extends the newest file's in-memory index with the record
 // just appended at off, coalescing into the previous entry while it
 // spans under gran bytes. Caller holds l.mu.
+//
+//trajlint:holds l.mu
 func (l *deviceLog) addTail(off, minT, maxT, wall, gran int64) {
 	if n := len(l.tail); n > 0 && off-l.tail[n-1].off < gran {
 		e := &l.tail[n-1]
@@ -237,6 +239,8 @@ type fileIndex struct {
 // A rebuild that finds invalid bytes inside a sealed file reports
 // ErrCorrupt, exactly like Replay would. Caller holds l.mu with
 // l.opened.
+//
+//trajlint:holds l.mu
 func (s *Store) loadIndex(l *deviceLog, seq int) (fileIndex, error) {
 	if n := len(l.seqs); n > 0 && seq == l.seqs[n-1] {
 		return fileIndex{entries: l.tail, dataLen: l.size}, nil
@@ -310,6 +314,8 @@ func (s *Store) readSealedIndex(l *deviceLog, seq int) (fileIndex, error) {
 	return fileIndex{entries: entries, dataLen: validLen}, nil
 }
 
+//
+//trajlint:holds l.mu
 func (l *deviceLog) cacheIndex(seq int, fi fileIndex) {
 	if l.idxCache == nil {
 		l.idxCache = make(map[int]fileIndex)
@@ -321,6 +327,8 @@ func (l *deviceLog) cacheIndex(seq int, fi fileIndex) {
 // retention deletes or rewrites the file. The sidecar is removed before
 // the caller touches the data file, so a crash between the two leaves a
 // rebuildable data file, never a stale sidecar that outlives its data.
+//
+//trajlint:holds l.mu
 func (l *deviceLog) dropIndex(s *Store, seq int) {
 	delete(l.idxCache, seq)
 	if err := s.fs.Remove(l.idxPath(seq)); err != nil && !errors.Is(err, os.ErrNotExist) {
@@ -333,4 +341,5 @@ func (l *deviceLog) dropIndex(s *Store, seq int) {
 // overridable for deterministic tests.
 func (s *Store) nowMs() int64 { return s.now().UnixMilli() }
 
+//trajlint:ignore walltime this IS the clock seam: the one default Store.now falls back to when Config.Now is unset
 var defaultNow = time.Now

@@ -22,6 +22,8 @@ import (
 // err. The open handle, dirty flag, and LRU membership are dropped —
 // whatever the page cache held is no longer trusted; recovery re-reads
 // the file. Caller holds l.mu.
+//
+//trajlint:holds l.mu
 func (s *Store) poisonLocked(l *deviceLog, err error) error {
 	if l.failed == nil {
 		s.poisonedLogs.Add(1)
@@ -59,6 +61,8 @@ func (s *Store) quarBackoff(tries int) time.Duration {
 // would invalidate. They drain quickly (pins within one sweep, read pins
 // for the life of one query), so the append after that retries.
 // Caller holds l.mu.
+//
+//trajlint:holds l.mu
 func (s *Store) tryUnquarantine(l *deviceLog) error {
 	if l.failed == nil {
 		return nil

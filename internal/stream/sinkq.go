@@ -147,16 +147,16 @@ type sinkQueue struct {
 	// the last sample into a smoothed ops/sec rate.
 	drained atomic.Int64
 	rateMu  sync.Mutex
-	rateAt  time.Time // last sample time; zero until the first sample
-	rateN   int64     // drained count at the last sample
-	rate    float64   // EWMA drain rate, ops/sec
+	rateAt  time.Time //trajlint:guardedby rateMu -- last sample time; zero until the first sample
+	rateN   int64     //trajlint:guardedby rateMu -- drained count at the last sample
+	rate    float64   //trajlint:guardedby rateMu -- EWMA drain rate, ops/sec
 
 	// stopMu serializes enqueues against close: producers hold the read
 	// side for the duration of a send, so close can wait out in-flight
 	// sends before closing the channels. Post-stop enqueues are no-ops —
 	// by then every session is flushed and the queue drained.
 	stopMu  sync.RWMutex
-	stopped bool
+	stopped bool //trajlint:guardedby stopMu
 
 	depth   atomic.Int64 // ops queued right now, across workers
 	blocked atomic.Int64 // enqueues that found the queue full and waited

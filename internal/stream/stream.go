@@ -256,7 +256,7 @@ type session struct {
 // here: the mutex and map pointer are touched together under the lock.
 type shard struct {
 	mu       sync.Mutex
-	sessions map[string]*session
+	sessions map[string]*session //trajlint:guardedby mu
 }
 
 // Engine holds many live per-device encoder sessions and routes batched
@@ -350,6 +350,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		stop:   make(chan struct{}),
 	}
 	if e.now == nil {
+		//trajlint:ignore walltime this IS the clock seam: the one default the engine falls back to when Config.Clock is unset
 		e.now = time.Now
 	}
 	e.burst = cfg.DeviceBurst
@@ -711,6 +712,7 @@ func (e *Engine) EvictIdle() []Eviction {
 
 func (e *Engine) runJanitor() {
 	defer e.janitor.Done()
+	//trajlint:ignore walltime eviction cadence is real elapsed time by design; tests call EvictIdle directly instead of waiting on this ticker
 	tick := time.NewTicker(e.cfg.EvictEvery)
 	defer tick.Stop()
 	for {
