@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"trajsim/internal/segstore"
+	"trajsim/internal/stream"
+)
+
+// TestStatsExposesEveryCounter pins /stats to the Stats structs by
+// reflection: every json-tagged field of stream.Stats must appear at
+// the top level of the payload, and every field of segstore.Stats
+// under its "store" key. A counter added to either struct without
+// surfacing here (or a tag typo'd out of existence) fails this test
+// instead of silently vanishing from the operational surface.
+func TestStatsExposesEveryCounter(t *testing.T) {
+	srv, shutdown := persistentServer(t, t.TempDir())
+	defer shutdown()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats: %s", resp.Status)
+	}
+	var payload map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+
+	requireTaggedFields(t, reflect.TypeOf(stream.Stats{}), payload, "")
+	var store map[string]json.RawMessage
+	if err := json.Unmarshal(payload["store"], &store); err != nil {
+		t.Fatalf("store key is not an object: %v", err)
+	}
+	requireTaggedFields(t, reflect.TypeOf(segstore.Stats{}), store, "store.")
+}
+
+// requireTaggedFields asserts one key per json-tagged field of st in
+// obj. prefix only decorates failure messages.
+func requireTaggedFields(t *testing.T, st reflect.Type, obj map[string]json.RawMessage, prefix string) {
+	t.Helper()
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		name, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if name == "" || name == "-" {
+			t.Errorf("%s%s has no json tag; it would be invisible in /stats", prefix, f.Name)
+			continue
+		}
+		if _, ok := obj[name]; !ok {
+			t.Errorf("/stats is missing %s%s (field %s.%s)", prefix, name, st.Name(), f.Name)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the module root so
+// the real-tree tests run from any package directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoCleanUnderTrajlint is the acceptance gate CI enforces: the
+// whole tree, under every analyzer, with zero unsuppressed findings.
+// A new finding means either a real invariant violation (fix it) or a
+// deliberate design decision (suppress it with a written reason).
+func TestRepoCleanUnderTrajlint(t *testing.T) {
+	pkgs, err := Load(LoadConfig{Dir: repoRoot(t)}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Unsuppressed(Run(pkgs, All())) {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+}
+
+// mutableDirective matches the directive kinds whose deletion must
+// make an analyzer fire: caller contracts (holds, returns-locked),
+// design exemptions (serializes-io) and suppressions (ignore). These
+// always occupy a whole comment line. guardedby directives are not
+// mutation-tested — deleting one only widens what the checker accepts,
+// so "fewer findings" is the failure mode, not "new findings"; their
+// coverage comes from the holds mutations, which only fire because the
+// fields the annotated functions touch carry guardedby.
+var mutableDirectives = []string{
+	"//trajlint:holds",
+	"//trajlint:returns-locked",
+	"//trajlint:serializes-io",
+	"//trajlint:ignore",
+}
+
+type directiveSite struct {
+	file string // absolute path
+	pkg  string // package pattern relative to the repo root
+	line int    // 1-based
+	text string // the directive line, trimmed
+}
+
+func collectDirectiveSites(t *testing.T, root string) []directiveSite {
+	t.Helper()
+	var sites []directiveSite
+	for _, pkg := range []string{"./internal/segstore", "./internal/stream"} {
+		dir := filepath.Join(root, pkg)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			full := filepath.Join(dir, name)
+			f, err := os.Open(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(f)
+			for n := 1; sc.Scan(); n++ {
+				trimmed := strings.TrimSpace(sc.Text())
+				for _, d := range mutableDirectives {
+					if strings.HasPrefix(trimmed, d) {
+						sites = append(sites, directiveSite{full, pkg, n, trimmed})
+					}
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+	return sites
+}
+
+// TestDirectivesAreLoadBearing deletes each holds / returns-locked /
+// serializes-io / ignore directive from the real sources, one at a
+// time, and asserts trajlint fails. This is what keeps the annotations
+// honest: an annotation whose deletion changes nothing is documentation
+// cosplaying as a checked invariant, and would rot exactly like the
+// prose comments it replaced.
+func TestDirectivesAreLoadBearing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation sweep re-typechecks per directive")
+	}
+	root := repoRoot(t)
+	sites := collectDirectiveSites(t, root)
+	if len(sites) < 20 {
+		t.Fatalf("only %d mutable directives found; the annotation sweep has regressed", len(sites))
+	}
+	for _, site := range sites {
+		src, err := os.ReadFile(site.file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(string(src), "\n")
+		// Blank the directive but keep the line, so positions in any
+		// resulting findings still line up with the real file.
+		lines[site.line-1] = "//"
+		overlay := map[string][]byte{site.file: []byte(strings.Join(lines, "\n"))}
+
+		pkgs, err := Load(LoadConfig{Dir: root, Overlay: overlay}, site.pkg)
+		if err != nil {
+			t.Fatalf("%s:%d: load with %q deleted: %v", site.file, site.line, site.text, err)
+		}
+		if got := Unsuppressed(Run(pkgs, All())); len(got) == 0 {
+			t.Errorf("%s:%d: deleting %q produces no finding; the directive is not load-bearing",
+				site.file, site.line, site.text)
+		}
+	}
+}
